@@ -1,0 +1,85 @@
+"""Section IX (Discussion): why control pulses are compressible at all.
+
+"Qubit control pulses have a tight footprint in the frequency domain.
+Any spurious frequencies in the control pulse can introduce control
+error, crosstalk, and leakage errors.  As a result ... control pulses
+can be compressed and stored efficiently."
+
+This bench closes that loop with the three-level transmon model:
+
+1. band-limited (DRAG) pulses leak orders of magnitude less than
+   spectrally dirty ones -- the physical constraint;
+2. the same band-limitation gives them tiny DCT support -- the
+   compressibility;
+3. COMPAQT's decompressed pulses preserve the leakage level -- the
+   safety of exploiting it.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.compression import compress_waveform
+from repro.pulses import Waveform, drag
+from repro.quantum import pulse_leakage
+from repro.transforms import dct
+
+_DT = 1 / 4.54e9
+
+
+def _spectral_occupancy(waveform, energy=0.9999):
+    spectrum = dct(waveform.i_channel) ** 2
+    cumulative = np.cumsum(spectrum) / spectrum.sum()
+    return int(np.argmax(cumulative >= energy)) + 1
+
+
+def test_discussion_leakage_vs_compressibility(benchmark, record_table):
+    def experiment():
+        rng = np.random.default_rng(99)
+        smooth = Waveform(
+            "drag", drag(144, 0.18, 36, 2.2), dt=_DT, gate="x", qubits=(0,)
+        )
+        # A spectrally dirty pulse: same area, 2% wideband ripple.
+        noisy_env = drag(144, 0.18, 36, 2.2) + 0.004 * (
+            rng.standard_normal(144) + 1j * rng.standard_normal(144)
+        )
+        noisy_env *= 0.999 / max(1.0, np.abs(noisy_env).max())
+        noisy = Waveform("dirty", noisy_env, dt=_DT, gate="x", qubits=(0,))
+
+        from repro.core import fidelity_aware_compress
+
+        rows = []
+        for waveform in (smooth, noisy):
+            leak = pulse_leakage(waveform)
+            occupancy = _spectral_occupancy(waveform)
+            # Equal-quality comparison: Algorithm 1 at the same MSE
+            # target, so spectral dirt cannot be silently thresholded
+            # away.
+            ratio = fidelity_aware_compress(
+                waveform, target_mse=1e-6, window_size=16
+            ).compression_ratio_variable
+            rows.append(
+                [waveform.name, occupancy, f"{leak:.2e}", f"{ratio:.2f}"]
+            )
+        # the coupled claims: smooth pulse is both lower-leakage and
+        # more compressible at equal reconstruction quality
+        assert float(rows[0][2]) < float(rows[1][2])
+        assert float(rows[0][3]) > float(rows[1][3])
+
+        # and compression preserves the smooth pulse's leakage
+        result = compress_waveform(smooth, window_size=16)
+        leak_compressed = pulse_leakage(result.reconstructed)
+        rows.append(
+            ["drag (decompressed)", _spectral_occupancy(result.reconstructed),
+             f"{leak_compressed:.2e}",
+             f"{result.compression_ratio_variable:.2f}"]
+        )
+        assert leak_compressed < 1e-4
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Discussion: band-limitation couples leakage and compressibility",
+        ["pulse", "DCT coeffs for 99.99% energy", "leakage", "R (WS=16)"],
+        rows,
+        note="smooth = low-leakage = compressible; COMPAQT keeps all three",
+    )

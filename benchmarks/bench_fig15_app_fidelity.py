@@ -1,0 +1,74 @@
+"""Fig 15: application fidelity, normalized to the uncompressed baseline.
+
+All nine Table VI benchmarks are transpiled to Guadalupe, run through
+the Monte Carlo noisy simulator with the per-gate coherent error
+unitaries extracted from the decompressed pulses, and scored with TVD
+fidelity (normalized/polarization fidelity for the QAOA rows).
+
+Configurations follow the paper's memory designs: WS=16 keeps up to 2
+coefficients + codeword per window (R = 5.33 uniform); WS=8 keeps 1 +
+codeword (R = 4.0) -- the aggressive per-window budget that causes the
+paper's WS=8 fidelity dips via window-boundary distortion.
+"""
+
+from conftest import once
+from repro.circuits import paper_benchmarks, transpile
+from repro.core import CompaqtCompiler
+from repro.quantum import (
+    IBM_LIKE_NOISE,
+    StatevectorSimulator,
+    compression_error_map,
+    normalized_fidelity,
+    tvd_fidelity,
+)
+
+_SHOTS = 2048
+
+
+def _fidelity(circuit, ideal, gate_errors, seed, qaoa):
+    simulator = StatevectorSimulator(
+        noise=IBM_LIKE_NOISE, gate_errors=gate_errors, seed=seed
+    )
+    measured = simulator.distribution(circuit, _SHOTS)
+    if qaoa:
+        return normalized_fidelity(ideal, measured, circuit.n_qubits)
+    return tvd_fidelity(ideal, measured)
+
+
+def test_fig15_normalized_fidelity(benchmark, record_table, guadalupe):
+    def experiment():
+        configs = {
+            "WS=8": CompaqtCompiler(window_size=8, max_coefficients=1),
+            "WS=16": CompaqtCompiler(window_size=16, max_coefficients=2),
+        }
+        error_maps = {
+            label: compression_error_map(
+                guadalupe, compiler.compile_library(guadalupe.pulse_library())
+            )
+            for label, compiler in configs.items()
+        }
+        rows = []
+        for circuit in paper_benchmarks():
+            routed = transpile(circuit, guadalupe.topology)
+            # score in the logical distribution space of measured qubits
+            ideal = StatevectorSimulator().ideal_distribution(routed)
+            qaoa = circuit.name.startswith("qaoa")
+            seed = abs(hash(circuit.name)) % 100000
+            base = _fidelity(routed, ideal, None, seed, qaoa)
+            row = [circuit.name, routed.cx_count, f"{base:.3f}"]
+            for label in ("WS=8", "WS=16"):
+                fid = _fidelity(routed, ideal, error_maps[label], seed, qaoa)
+                row.append(f"{fid / base:.3f}" if base > 0 else "n/a")
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Fig 15: fidelity normalized to the uncompressed baseline",
+        ["benchmark", "CX (routed)", "baseline F", "WS=8 norm", "WS=16 norm"],
+        rows,
+        note=(
+            "paper: WS=16 ~1.0 everywhere; WS=8 loses up to a few % on "
+            "gate-heavy circuits (boundary distortion)"
+        ),
+    )

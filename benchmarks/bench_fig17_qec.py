@@ -1,0 +1,65 @@
+"""Fig 17: surface-code concurrency and logical qubits per controller.
+
+(a) peak concurrent operations in one d=3 syndrome cycle -- >80% of the
+    patch is driven at once;
+(b) logical qubits a QICK-class RFSoC supports: ~5x more with WS=16.
+"""
+
+from conftest import once
+from repro.core import logical_qubits_supported
+from repro.qec import (
+    peak_concurrent_fraction,
+    rotated_surface_code,
+    syndrome_schedule,
+    unrotated_surface_code,
+)
+
+
+def test_fig17a_syndrome_concurrency(benchmark, record_table):
+    def experiment():
+        rows = []
+        for patch in (rotated_surface_code(3), unrotated_surface_code(3)):
+            schedule = syndrome_schedule(patch)
+            fraction = peak_concurrent_fraction(patch)
+            assert fraction > 0.8  # the paper's ">80% driven concurrently"
+            rows.append(
+                [
+                    patch.name,
+                    patch.n_qubits,
+                    schedule.peak_concurrent_gates,
+                    schedule.peak_concurrent_streams,
+                    f"{fraction * 100:.0f}%",
+                ]
+            )
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Fig 17(a): peak concurrency in one d=3 syndrome cycle",
+        ["patch", "qubits", "peak gates", "peak driven qubits", "fraction"],
+        rows,
+    )
+
+
+def test_fig17b_logical_qubits(benchmark, record_table):
+    def experiment():
+        rows = []
+        for label, ws in (("uncompressed", 0), ("WS=8", 8), ("WS=16", 16)):
+            rows.append(
+                [
+                    label,
+                    logical_qubits_supported(17, ws),
+                    logical_qubits_supported(25, ws),
+                ]
+            )
+        gain = logical_qubits_supported(17, 16) / logical_qubits_supported(17, 0)
+        assert gain >= 5
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Fig 17(b): logical qubits per RFSoC controller",
+        ["design", "surface-17", "surface-25"],
+        rows,
+        note="paper: COMPAQT controls 5x more logical qubits",
+    )

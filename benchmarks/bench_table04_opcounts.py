@@ -1,0 +1,48 @@
+"""Table IV: hardware operations of the IDCT engine.
+
+DCT-W uses Loeffler's multiplier-based design (published counts);
+int-DCT-W replaces every multiplier with CSD shift-add networks.  Our
+adder/shifter counts come from the actual partial-butterfly dataflow of
+our engine with greedy common-subexpression sharing -- a generic CSE
+lands somewhat above the hand-optimized designs the paper cites [68],
+and the bench prints both.
+"""
+
+from conftest import once
+from repro.transforms import idct_op_counts
+
+
+def test_table04_idct_op_counts(benchmark, record_table):
+    paper = {
+        ("DCT-W", 8): (11, 29, 0),
+        ("int-DCT-W", 8): (0, 50, 26),
+        ("DCT-W", 16): (26, 81, 0),
+        ("int-DCT-W", 16): (0, 186, 128),
+    }
+
+    def experiment():
+        rows = []
+        for (variant, ws), (p_mult, p_add, p_shift) in paper.items():
+            ops = idct_op_counts(ws, variant)
+            rows.append(
+                [
+                    variant,
+                    ws,
+                    ops.multipliers,
+                    ops.adders,
+                    ops.shifters,
+                    f"{p_mult}/{p_add}/{p_shift}",
+                ]
+            )
+            if variant == "int-DCT-W":
+                assert ops.multipliers == 0  # the multiplierless claim
+                assert ops.adders <= 2.0 * p_add  # within 2x of hand-optimized
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Table IV: IDCT engine operations",
+        ["variant", "WS", "multipliers", "adders", "shifters", "paper (m/a/s)"],
+        rows,
+        note="int-DCT-W: zero multipliers; counts from our CSD/CSE dataflow",
+    )

@@ -1,0 +1,42 @@
+"""Table V: qubits supported per controller, normalized and absolute.
+
+The BRAM arithmetic: the baseline interleaves ``clock_ratio`` BRAMs per
+stream; COMPAQT needs ``ceil(ratio/WS) * 3`` -- verified against the
+cycle-level pipeline's actual bank usage, not just the formula.
+"""
+
+from conftest import once
+from repro.compression import compress_waveform
+from repro.core import QICK_BASELINE_QUBITS, qubit_gain, qubits_supported
+from repro.core.controller import QubitController
+from repro.devices import ibm_device
+
+
+def test_table05_qubit_scaling(benchmark, record_table):
+    def experiment():
+        rows = [
+            ["uncompressed", "1.00", "1", qubits_supported(0), "36"],
+        ]
+        for ws, paper_norm, paper_qubits in ((8, "2.66", "95"), (16, "5.33", "191")):
+            gain = qubit_gain(ws)
+            rows.append(
+                [
+                    f"int-DCT-W WS={ws}",
+                    f"{gain:.2f}",
+                    paper_norm,
+                    qubits_supported(ws),
+                    paper_qubits,
+                ]
+            )
+        # Cross-check the formula against the hardware model's banks.
+        controller = QubitController(ibm_device("bogota"))
+        assert controller.brams_per_stream == 3
+        assert qubit_gain(16) == 16 / controller.brams_per_stream
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Table V: concurrent qubits per QICK-class controller",
+        ["design", "gain (ours)", "gain (paper)", "qubits (ours)", "qubits (paper)"],
+        rows,
+    )

@@ -1,0 +1,51 @@
+"""Table VIII: FPGA resource usage of the int-DCT-W IDCT engines.
+
+LUT/FF estimates derive from our engines' real operation graphs with
+constants calibrated once to the paper's Vivado results; the structural
+claims (engines tiny vs the QICK baseline until WS=32 explodes) are
+asserted.
+"""
+
+from conftest import once
+from repro.microarch import QICK_BASELINE_RESOURCES, ZCU7EV_TOTALS, idct_resources
+
+
+def test_table08_fpga_resources(benchmark, record_table):
+    paper = {8: (601, 266), 16: (1954, 671), 32: (9063, 1197)}
+
+    def experiment():
+        rows = [
+            [
+                "QICK baseline",
+                QICK_BASELINE_RESOURCES.luts,
+                QICK_BASELINE_RESOURCES.flipflops,
+                "1.4% / 1.4%",
+                "3386 / 6448",
+            ]
+        ]
+        for ws, (p_luts, p_ffs) in paper.items():
+            estimate = idct_resources(ws)
+            lut_pct, ff_pct = estimate.utilization(ZCU7EV_TOTALS)
+            rows.append(
+                [
+                    f"int-DCT-W WS={ws}",
+                    estimate.luts,
+                    estimate.flipflops,
+                    f"{lut_pct:.2f}% / {ff_pct:.2f}%",
+                    f"{p_luts} / {p_ffs}",
+                ]
+            )
+        # Structural claims from the paper's discussion.
+        assert idct_resources(8).luts < QICK_BASELINE_RESOURCES.luts
+        assert idct_resources(16).luts < QICK_BASELINE_RESOURCES.luts
+        assert idct_resources(32).luts > QICK_BASELINE_RESOURCES.luts
+        assert idct_resources(32).luts / ZCU7EV_TOTALS.luts > 0.02
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Table VIII: LUT/FF usage per IDCT engine (zc7u7ev)",
+        ["design", "LUTs", "FFs", "utilization", "paper LUTs/FFs"],
+        rows,
+        note="WS=32 overtakes the whole baseline -- the sub-optimal design point",
+    )

@@ -1,0 +1,59 @@
+"""Table IX: compressibility of complex multi-qubit and fluxonium pulses.
+
+iToffoli (smooth simultaneous-CR flat-top) compresses hardest; the
+machine-learned Toffoli/CCZ pulses have more spectral content and land
+in the mid-5s; fluxonium trajectory-optimized single-qubit pulses reach
+~7x.  All with int-DCT-W at WS=16.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.compression import compress_waveform
+from repro.devices import complex_gate_library, fluxonium_device
+
+
+def test_table09_complex_pulses(benchmark, record_table):
+    paper = {"itoffoli": 8.32, "toffoli": 5.31, "ccz": 5.59}
+
+    def experiment():
+        rows = []
+        for waveform in complex_gate_library():
+            result = compress_waveform(waveform, window_size=16)
+            ours = result.compression_ratio_variable
+            rows.append(
+                [
+                    "Transmon",
+                    waveform.gate,
+                    waveform.n_samples,
+                    f"{ours:.2f}",
+                    paper[waveform.gate],
+                ]
+            )
+            assert abs(ours - paper[waveform.gate]) < 2.0
+        fluxonium = fluxonium_device(5)
+        ratios = [
+            compress_waveform(w, window_size=16).compression_ratio_variable
+            for w in fluxonium.pulse_library()
+        ]
+        rows.append(
+            [
+                "Fluxonium",
+                "X, X/2, Z/2, Y/2",
+                160,
+                f"{np.mean(ratios):.2f}",
+                7.2,
+            ]
+        )
+        assert abs(np.mean(ratios) - 7.2) < 2.0
+        # ordering claim: smooth flat-top beats learned pulses
+        itoffoli = rows[0][3]
+        assert float(itoffoli) > float(rows[1][3])
+        return rows
+
+    rows = once(benchmark, experiment)
+    record_table(
+        "Table IX: complex gate pulse compression (int-DCT-W, WS=16)",
+        ["device", "gate", "samples", "R (ours)", "R (paper)"],
+        rows,
+    )

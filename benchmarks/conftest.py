@@ -1,0 +1,61 @@
+"""Shared fixtures and result-recording helpers for the bench harness.
+
+Every bench regenerates one of the paper's tables or figures.  Results
+are printed (visible with ``pytest -s``) and also appended to
+``benchmarks/results/<bench>.txt`` so the numbers survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_table(request):
+    """Return a callable that prints and persists one result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name}.txt"
+    if path.exists():
+        path.unlink()
+
+    def _record(title, headers, rows, note=None):
+        text = render_table(title, headers, rows, note)
+        print("\n" + text)
+        with open(path, "a") as handle:
+            handle.write(text + "\n\n")
+        return text
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def guadalupe():
+    from repro.devices import ibm_device
+
+    return ibm_device("guadalupe")
+
+
+@pytest.fixture(scope="session")
+def guadalupe_compiled_ws16(guadalupe):
+    from repro.core import CompaqtCompiler
+
+    return CompaqtCompiler(window_size=16).compile_library(guadalupe.pulse_library())
+
+
+@pytest.fixture(scope="session")
+def guadalupe_compiled_ws8(guadalupe):
+    from repro.core import CompaqtCompiler
+
+    return CompaqtCompiler(window_size=8).compile_library(guadalupe.pulse_library())
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

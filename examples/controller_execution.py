@@ -1,0 +1,58 @@
+"""End-to-end circuit execution on the COMPAQT controller (Fig 6).
+
+Transpiles a GHZ circuit to a device, schedules it, assembles the
+sequencer's per-channel instruction streams, and executes them against
+the compressed waveform memory -- producing the exact per-channel DAC
+sample streams plus the memory-traffic savings.
+
+Run:  python examples/controller_execution.py
+"""
+
+import numpy as np
+
+from repro.analysis import print_table
+from repro.circuits import ghz_circuit, schedule_circuit, transpile
+from repro.core.controller import QubitController
+from repro.devices import ibm_device
+from repro.microarch import ControllerExecutor, assemble_schedule
+
+
+def main() -> None:
+    controller = QubitController(ibm_device("bogota"))
+    circuit = transpile(ghz_circuit(4), controller.device.topology)
+    schedule = schedule_circuit(circuit, device=controller.device)
+    program = assemble_schedule(schedule, name=circuit.name)
+    print(
+        f"{circuit.name}: {len(circuit)} instructions -> {program.n_channels} "
+        f"channels, {program.n_instructions} sequencer instructions "
+        f"({program.instruction_buffer_bytes()} B instruction buffer), "
+        f"makespan {program.makespan} samples "
+        f"({program.makespan / 4.54e9 * 1e9:.0f} ns)"
+    )
+
+    trace = ControllerExecutor(controller).run(program)
+    rows = []
+    for channel in sorted(trace.i_streams):
+        stream = trace.i_streams[channel]
+        rows.append(
+            [
+                f"q{channel} drive",
+                stream.size,
+                int(np.count_nonzero(stream)),
+                f"{trace.channel_utilization(channel) * 100:.0f}%",
+            ]
+        )
+    print_table(
+        "Per-channel DAC streams",
+        ["channel", "samples", "non-idle", "utilization"],
+        rows,
+    )
+    print(
+        f"\nmemory traffic: {trace.bram_reads} compressed reads vs "
+        f"{trace.baseline_reads} uncompressed -> "
+        f"{trace.bandwidth_gain:.2f}x bandwidth gain across the whole circuit"
+    )
+
+
+if __name__ == "__main__":
+    main()

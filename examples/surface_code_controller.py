@@ -1,0 +1,65 @@
+"""Surface-code control walkthrough (the paper's Fig 17).
+
+Builds distance-3 and distance-5 surface-code patches, schedules one
+syndrome-extraction cycle, and shows (a) how concurrent QEC is -- which
+is why it pins memory bandwidth at peak -- and (b) how many logical
+qubits a single controller supports with and without COMPAQT.
+
+Run:  python examples/surface_code_controller.py
+"""
+
+from repro.analysis import print_table
+from repro.core import logical_qubits_supported
+from repro.qec import (
+    peak_concurrent_fraction,
+    rotated_surface_code,
+    syndrome_schedule,
+    unrotated_surface_code,
+)
+
+
+def main() -> None:
+    patches = [
+        rotated_surface_code(3),
+        unrotated_surface_code(3),
+        unrotated_surface_code(5),
+    ]
+    rows = []
+    for patch in patches:
+        schedule = syndrome_schedule(patch)
+        rows.append(
+            [
+                patch.name,
+                patch.n_qubits,
+                schedule.peak_concurrent_gates,
+                f"{peak_concurrent_fraction(patch) * 100:.0f}%",
+                f"{schedule.peak_bandwidth_bytes() / 1e9:.0f} GB/s",
+                f"{schedule.average_bandwidth_bytes() / 1e9:.0f} GB/s",
+            ]
+        )
+    print_table(
+        "Syndrome-cycle concurrency (Figs 5c, 17a)",
+        ["patch", "qubits", "peak gates", "qubits driven", "peak BW", "avg BW"],
+        rows,
+        note="QEC keeps average bandwidth near peak -- no idle headroom",
+    )
+
+    rows = []
+    for label, ws in [("uncompressed", 0), ("WS=8", 8), ("WS=16", 16)]:
+        rows.append(
+            [
+                label,
+                logical_qubits_supported(17, ws),
+                logical_qubits_supported(25, ws),
+            ]
+        )
+    print_table(
+        "Logical qubits per controller (Fig 17b)",
+        ["design", "surface-17 patches", "surface-25 patches"],
+        rows,
+        note="~5x more logical qubits at WS=16, matching the paper",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""COMPAQT: Compressed Waveform Memory Architecture for Scalable Qubit Control.
+
+A full Python reproduction of the MICRO 2022 paper by Maurya and Tannu.
+
+The package is organized bottom-up:
+
+- :mod:`repro.transforms` -- DCT / integer-DCT / RLE / baseline codecs.
+- :mod:`repro.pulses` -- waveform envelopes and pulse libraries.
+- :mod:`repro.devices` -- synthetic superconducting device models.
+- :mod:`repro.compression` -- the compression pipelines (DCT-N, DCT-W,
+  int-DCT-W) and memory packing.
+- :mod:`repro.core` -- the COMPAQT compiler module, adaptive compression,
+  fidelity-aware thresholding, controller and scalability models.
+- :mod:`repro.microarch` -- cycle-level decompression pipeline, banked
+  memory, resource / timing / power models.
+- :mod:`repro.quantum` -- statevector and pulse-level simulation,
+  randomized benchmarking.
+- :mod:`repro.circuits` -- circuit IR, transpiler, scheduler, benchmark
+  circuits.
+- :mod:`repro.qec` -- surface-code patches and syndrome-extraction
+  circuits.
+- :mod:`repro.analysis` -- capacity/bandwidth scaling models and report
+  helpers.
+
+Quickstart::
+
+    from repro import compress_waveform, ibm_device
+
+    device = ibm_device("guadalupe")
+    waveform = device.pulse_library().waveform("sx", (0,))
+    result = compress_waveform(waveform, window_size=16)
+    print(result.compression_ratio, result.mse)
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ReproError,
+    CompressionError,
+    DeviceError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.pulses import Waveform
+from repro.devices import ibm_device, google_device, fluxonium_device
+from repro.compression import (
+    CompressionResult,
+    compress_waveform,
+    decompress_waveform,
+)
+from repro.core import (
+    CompaqtCompiler,
+    CompressedPulseLibrary,
+    fidelity_aware_compress,
+    adaptive_compress,
+    RfsocModel,
+    qubits_supported,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CompressionError",
+    "DeviceError",
+    "ScheduleError",
+    "SimulationError",
+    "Waveform",
+    "ibm_device",
+    "google_device",
+    "fluxonium_device",
+    "CompressionResult",
+    "compress_waveform",
+    "decompress_waveform",
+    "CompaqtCompiler",
+    "CompressedPulseLibrary",
+    "fidelity_aware_compress",
+    "adaptive_compress",
+    "RfsocModel",
+    "qubits_supported",
+]

@@ -1,0 +1,28 @@
+"""Scaling models, histograms and report rendering."""
+
+from repro.analysis.bandwidth import (
+    VendorParams,
+    IBM_PARAMS,
+    GOOGLE_PARAMS,
+    memory_capacity_per_qubit,
+    bandwidth_per_qubit,
+    capacity_curve,
+    bandwidth_curve,
+)
+from repro.analysis.histogram import window_occupancy_histogram, total_windows
+from repro.analysis.report import render_table, print_table, format_number
+
+__all__ = [
+    "VendorParams",
+    "IBM_PARAMS",
+    "GOOGLE_PARAMS",
+    "memory_capacity_per_qubit",
+    "bandwidth_per_qubit",
+    "capacity_curve",
+    "bandwidth_curve",
+    "window_occupancy_histogram",
+    "total_windows",
+    "render_table",
+    "print_table",
+    "format_number",
+]

@@ -1,0 +1,115 @@
+"""Section III's capacity and bandwidth scaling models (Fig 5, Table I).
+
+Implements the paper's closed-form estimates:
+
+    MC = sum_i fs*Ns*tau_i  (1Q gates) + d * sum_j fs*Ns*tau_j (2Q)
+         + fs*Ns*tau_readout
+    BW = fs * Ns
+
+per qubit, with vendor parameter sets from Table I, plus the coupler
+overhead factor used for the capacity curves ("some approximations made
+to account for coupler waveforms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "VendorParams",
+    "IBM_PARAMS",
+    "GOOGLE_PARAMS",
+    "memory_capacity_per_qubit",
+    "bandwidth_per_qubit",
+    "capacity_curve",
+    "bandwidth_curve",
+]
+
+
+@dataclass(frozen=True)
+class VendorParams:
+    """Table I's per-vendor control parameters."""
+
+    name: str
+    sampling_rate: float  # fs, samples/s
+    sample_bits: int  # Ns, bits per (I+Q) sample
+    tau_1q: Tuple[float, ...]  # 1Q gate latencies, seconds
+    tau_2q: Tuple[float, ...]  # 2Q gate latencies, seconds
+    tau_readout: float
+    mean_degree: float  # d: coupled neighbors per qubit
+    coupler_overhead: float = 1.0  # extra waveforms per qubit (couplers)
+
+
+IBM_PARAMS = VendorParams(
+    name="IBM",
+    sampling_rate=4.54e9,
+    sample_bits=32,
+    tau_1q=(30e-9, 30e-9),  # X, SX
+    tau_2q=(300e-9,),  # CX (cross-resonance)
+    tau_readout=300e-9,
+    mean_degree=2.0,  # heavy-hexagonal
+    coupler_overhead=2.05,
+)
+
+GOOGLE_PARAMS = VendorParams(
+    name="Google",
+    sampling_rate=1.0e9,
+    sample_bits=28,
+    tau_1q=(25e-9, 25e-9, 25e-9),  # fsim/iSWAP/phasedXZ set
+    tau_2q=(30e-9, 30e-9),
+    tau_readout=500e-9,
+    mean_degree=3.6,  # grid
+    coupler_overhead=1.6,
+)
+
+
+def memory_capacity_per_qubit(
+    params: VendorParams, include_couplers: bool = False
+) -> float:
+    """Bytes of waveform memory per qubit (the paper's MC equation).
+
+    IBM parameters give ~18 KB; ``include_couplers`` applies the
+    coupler overhead used for the Fig 5a capacity curves.
+    """
+    fs, bits = params.sampling_rate, params.sample_bits
+    one_q = sum(fs * bits * tau for tau in params.tau_1q)
+    two_q = params.mean_degree * sum(fs * bits * tau for tau in params.tau_2q)
+    readout = fs * bits * params.tau_readout
+    total_bits = one_q + two_q + readout
+    if include_couplers:
+        total_bits *= params.coupler_overhead
+    return total_bits / 8
+
+
+def bandwidth_per_qubit(params: VendorParams) -> float:
+    """Bytes/second to stream one qubit's waveform (BW = fs * Ns)."""
+    return params.sampling_rate * params.sample_bits / 8
+
+
+def capacity_curve(
+    params: VendorParams, max_qubits: int, include_couplers: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(qubits, required capacity in bytes) -- Fig 5a's linear scaling."""
+    _check_qubits(max_qubits)
+    qubits = np.arange(0, max_qubits + 1)
+    per_qubit = memory_capacity_per_qubit(params, include_couplers)
+    return qubits, qubits * per_qubit
+
+
+def bandwidth_curve(
+    params: VendorParams, max_qubits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(qubits, required bandwidth in bytes/s) -- Fig 5b."""
+    _check_qubits(max_qubits)
+    qubits = np.arange(0, max_qubits + 1)
+    return qubits, qubits * bandwidth_per_qubit(params)
+
+
+def _check_qubits(max_qubits: int) -> None:
+    if max_qubits < 1:
+        raise ReproError(f"need >= 1 qubit, got {max_qubits}")

@@ -1,0 +1,32 @@
+"""Samples-per-window histograms (Fig 11).
+
+Counts, across an entire compressed pulse library, how many memory
+words each window occupies (coefficients + RLE codeword).  The paper's
+empirical result -- at most 3 words per window for int-DCT-W at WS=8
+and WS=16 -- is what justifies the 3-bank uniform memory design.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.core.compiler import CompressedPulseLibrary
+
+__all__ = ["window_occupancy_histogram", "total_windows"]
+
+
+def window_occupancy_histogram(compiled: CompressedPulseLibrary) -> Dict[int, int]:
+    """Histogram {words per window: count} over all library waveforms.
+
+    Counts the per-window paired occupancy (max of I and Q, as stored).
+    """
+    histogram: Counter = Counter()
+    for _key, result in compiled:
+        for words in result.compressed.window_words:
+            histogram[words] += 1
+    return dict(sorted(histogram.items()))
+
+
+def total_windows(compiled: CompressedPulseLibrary) -> int:
+    return sum(result.compressed.n_windows for _key, result in compiled)

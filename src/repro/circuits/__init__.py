@@ -1,0 +1,44 @@
+"""Circuit IR, transpiler, scheduler and benchmark builders."""
+
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.transpile import transpile, decompose_instruction, BASIS_GATES
+from repro.circuits.schedule import (
+    GateDurations,
+    IBM_DURATIONS,
+    ScheduledGate,
+    Schedule,
+    schedule_circuit,
+    BYTES_PER_STREAM_PER_SECOND,
+)
+from repro.circuits.benchmarks import (
+    swap_circuit,
+    toffoli_circuit,
+    qft_circuit,
+    adder4_circuit,
+    bernstein_vazirani_circuit,
+    qaoa_circuit,
+    ghz_circuit,
+    paper_benchmarks,
+)
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "transpile",
+    "decompose_instruction",
+    "BASIS_GATES",
+    "GateDurations",
+    "IBM_DURATIONS",
+    "ScheduledGate",
+    "Schedule",
+    "schedule_circuit",
+    "BYTES_PER_STREAM_PER_SECOND",
+    "swap_circuit",
+    "toffoli_circuit",
+    "qft_circuit",
+    "adder4_circuit",
+    "bernstein_vazirani_circuit",
+    "qaoa_circuit",
+    "ghz_circuit",
+    "paper_benchmarks",
+]

@@ -1,0 +1,170 @@
+"""A minimal quantum-circuit IR.
+
+Stands in for Qiskit's ``QuantumCircuit`` for everything the paper
+needs: building benchmark circuits, transpiling to the device basis
+{x, sx, rz, cx}, scheduling pulses, and statevector simulation.
+
+Conventions: qubit 0 is the first tensor axis (most significant bit of
+the printed bitstring); ``measure`` instructions are explicit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Instruction", "Circuit"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate (or measurement) application."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.qubits:
+            raise SimulationError(f"instruction {self.name!r} touches no qubits")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise SimulationError(
+                f"instruction {self.name!r} repeats a qubit: {self.qubits}"
+            )
+
+
+class Circuit:
+    """An ordered list of instructions on ``n_qubits`` qubits."""
+
+    def __init__(self, n_qubits: int, name: str = "") -> None:
+        if n_qubits < 1:
+            raise SimulationError(f"need at least 1 qubit, got {n_qubits}")
+        self.n_qubits = n_qubits
+        self.name = name
+        self.instructions: List[Instruction] = []
+
+    # -- generic builder ------------------------------------------------------
+
+    def append(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+    ) -> "Circuit":
+        qubits = tuple(int(q) for q in qubits)
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise SimulationError(
+                    f"qubit {q} outside 0..{self.n_qubits - 1} in {name!r}"
+                )
+        self.instructions.append(Instruction(name, qubits, tuple(params)))
+        return self
+
+    # -- named helpers (chainable) --------------------------------------------
+
+    def x(self, q: int) -> "Circuit":
+        return self.append("x", (q,))
+
+    def y(self, q: int) -> "Circuit":
+        return self.append("y", (q,))
+
+    def z(self, q: int) -> "Circuit":
+        return self.append("z", (q,))
+
+    def h(self, q: int) -> "Circuit":
+        return self.append("h", (q,))
+
+    def s(self, q: int) -> "Circuit":
+        return self.append("s", (q,))
+
+    def sdg(self, q: int) -> "Circuit":
+        return self.append("sdg", (q,))
+
+    def t(self, q: int) -> "Circuit":
+        return self.append("t", (q,))
+
+    def tdg(self, q: int) -> "Circuit":
+        return self.append("tdg", (q,))
+
+    def sx(self, q: int) -> "Circuit":
+        return self.append("sx", (q,))
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.append("rx", (q,), (theta,))
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.append("ry", (q,), (theta,))
+
+    def rz(self, phi: float, q: int) -> "Circuit":
+        return self.append("rz", (q,), (phi,))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.append("cx", (control, target))
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        return self.append("cz", (a, b))
+
+    def cp(self, lam: float, a: int, b: int) -> "Circuit":
+        return self.append("cp", (a, b), (lam,))
+
+    def rzz(self, theta: float, a: int, b: int) -> "Circuit":
+        return self.append("rzz", (a, b), (theta,))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.append("swap", (a, b))
+
+    def ccx(self, a: int, b: int, target: int) -> "Circuit":
+        return self.append("ccx", (a, b, target))
+
+    def measure(self, qubits: Optional[Iterable[int]] = None) -> "Circuit":
+        """Measure the given qubits (default: all) in the Z basis."""
+        qubits = tuple(qubits) if qubits is not None else tuple(range(self.n_qubits))
+        return self.append("measure", qubits)
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def gate_instructions(self) -> List[Instruction]:
+        """Instructions excluding measurements."""
+        return [inst for inst in self.instructions if inst.name != "measure"]
+
+    def count_ops(self) -> Dict[str, int]:
+        return dict(Counter(inst.name for inst in self.instructions))
+
+    @property
+    def cx_count(self) -> int:
+        return sum(1 for i in self.instructions if i.name == "cx")
+
+    @property
+    def two_qubit_count(self) -> int:
+        return sum(
+            1
+            for i in self.gate_instructions
+            if len(i.qubits) == 2
+        )
+
+    def depth(self) -> int:
+        """Circuit depth counting every instruction as one layer slot."""
+        frontier = [0] * self.n_qubits
+        for inst in self.instructions:
+            level = max(frontier[q] for q in inst.qubits) + 1
+            for q in inst.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def copy(self) -> "Circuit":
+        out = Circuit(self.n_qubits, self.name)
+        out.instructions = list(self.instructions)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, qubits={self.n_qubits}, "
+            f"instructions={len(self.instructions)})"
+        )

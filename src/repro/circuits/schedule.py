@@ -1,0 +1,204 @@
+"""ASAP pulse scheduling and concurrency/bandwidth profiling.
+
+Section III's circuit-scalability study (Fig 5c) needs, for each
+benchmark, the peak and average waveform-memory bandwidth: every
+concurrently driven qubit consumes one waveform stream of
+``fs * 32 bits`` (18.16 GB/s at IBM rates).  The scheduler places basis
+gates as soon as their qubits are free and the profiler walks the
+resulting timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError, ScheduleError
+from repro.circuits.circuit import Circuit
+from repro.devices.backend import DeviceModel
+
+__all__ = [
+    "GateDurations",
+    "IBM_DURATIONS",
+    "ScheduledGate",
+    "Schedule",
+    "schedule_circuit",
+    "BYTES_PER_STREAM_PER_SECOND",
+]
+
+#: One waveform stream: 4.54 GS/s x 32-bit I+Q samples = 18.16 GB/s.
+BYTES_PER_STREAM_PER_SECOND = 4.54e9 * 4
+
+
+@dataclass(frozen=True)
+class GateDurations:
+    """Fixed gate durations in samples (Table I's IBM latencies)."""
+
+    x: int = 144
+    sx: int = 144
+    rz: int = 0
+    cx: int = 1360
+    measure: int = 1360
+
+    def duration(self, gate: str, qubits: Tuple[int, ...]) -> int:
+        try:
+            return getattr(self, gate)
+        except AttributeError:
+            raise ScheduleError(f"no duration for gate {gate!r}") from None
+
+
+IBM_DURATIONS = GateDurations()
+
+
+@dataclass(frozen=True)
+class ScheduledGate:
+    """One placed pulse: [start, start + duration) in samples."""
+
+    gate: str
+    qubits: Tuple[int, ...]
+    start: int
+    duration: int
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.duration
+
+    @property
+    def streams(self) -> int:
+        """Concurrent waveform streams this gate occupies (one per
+        driven qubit; a CR gate drives both control and target lines)."""
+        return len(self.qubits)
+
+
+@dataclass
+class Schedule:
+    """A timed pulse schedule with concurrency analytics."""
+
+    entries: List[ScheduledGate] = field(default_factory=list)
+    dt: float = 1 / 4.54e9
+
+    @property
+    def makespan(self) -> int:
+        """Total schedule length in samples."""
+        return max((e.stop for e in self.entries), default=0)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.makespan * self.dt
+
+    def _events(self) -> List[Tuple[int, int, int]]:
+        """(time, stream delta, gate delta) change points, sorted."""
+        events: Dict[int, List[int]] = {}
+        for entry in self.entries:
+            if entry.duration == 0:
+                continue
+            start = events.setdefault(entry.start, [0, 0])
+            start[0] += entry.streams
+            start[1] += 1
+            stop = events.setdefault(entry.stop, [0, 0])
+            stop[0] -= entry.streams
+            stop[1] -= 1
+        return sorted((t, d[0], d[1]) for t, d in events.items())
+
+    def concurrency_profile(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, active streams, active gates) step profiles."""
+        events = self._events()
+        times, streams, gates = [0], [0], [0]
+        current_streams = current_gates = 0
+        for t, ds, dg in events:
+            current_streams += ds
+            current_gates += dg
+            times.append(t)
+            streams.append(current_streams)
+            gates.append(current_gates)
+        return np.asarray(times), np.asarray(streams), np.asarray(gates)
+
+    @property
+    def peak_concurrent_gates(self) -> int:
+        """Fig 17a's metric: most pulses in flight at once."""
+        _t, _s, gates = self.concurrency_profile()
+        return int(gates.max(initial=0))
+
+    @property
+    def peak_concurrent_streams(self) -> int:
+        _t, streams, _g = self.concurrency_profile()
+        return int(streams.max(initial=0))
+
+    @property
+    def average_concurrent_streams(self) -> float:
+        """Time-weighted mean stream count over the makespan."""
+        times, streams, _g = self.concurrency_profile()
+        if self.makespan == 0:
+            return 0.0
+        spans = np.diff(np.append(times, self.makespan))
+        return float((streams * spans).sum() / self.makespan)
+
+    # -- bandwidth (Fig 5c) -----------------------------------------------------
+
+    def peak_bandwidth_bytes(
+        self, per_stream: float = BYTES_PER_STREAM_PER_SECOND
+    ) -> float:
+        return self.peak_concurrent_streams * per_stream
+
+    def average_bandwidth_bytes(
+        self, per_stream: float = BYTES_PER_STREAM_PER_SECOND
+    ) -> float:
+        return self.average_concurrent_streams * per_stream
+
+
+def schedule_circuit(
+    circuit: Circuit,
+    durations: Optional[GateDurations] = None,
+    device: Optional[DeviceModel] = None,
+) -> Schedule:
+    """ASAP-schedule a basis circuit.
+
+    Args:
+        circuit: A circuit in the pulse basis (x/sx/rz/cx/measure).
+        durations: Fixed durations (default Table I's IBM values).
+        device: If given, use its calibrated per-gate durations instead.
+
+    Raises:
+        ScheduleError: For gates without a duration.
+    """
+    if durations is None:
+        durations = IBM_DURATIONS
+    schedule = Schedule(dt=device.dt if device else 1 / 4.54e9)
+    frontier = [0] * circuit.n_qubits
+    for inst in circuit.instructions:
+        if inst.name == "measure":
+            # Measurement is concurrent across all listed qubits --
+            # serializing readout degrades fidelity (Section III-A) --
+            # so the pulses start together after every qubit is free.
+            start = max(frontier[q] for q in inst.qubits)
+            for q in inst.qubits:
+                length = _duration(inst.name, (q,), durations, device)
+                schedule.entries.append(
+                    ScheduledGate("measure", (q,), start, length)
+                )
+                frontier[q] = start + length
+            continue
+        start = max(frontier[q] for q in inst.qubits)
+        length = _duration(inst.name, inst.qubits, durations, device)
+        schedule.entries.append(
+            ScheduledGate(inst.name, inst.qubits, start, length)
+        )
+        for q in inst.qubits:
+            frontier[q] = start + length
+    return schedule
+
+
+def _duration(
+    gate: str,
+    qubits: Tuple[int, ...],
+    durations: GateDurations,
+    device: Optional[DeviceModel],
+) -> int:
+    if device is not None:
+        try:
+            return device.gate_duration_samples(gate, qubits)
+        except DeviceError:
+            pass  # fall back to the fixed table (e.g. lattice qubits)
+    return durations.duration(gate, qubits)

@@ -1,0 +1,190 @@
+"""Transpilation to the IBM basis {x, sx, rz, cx} with greedy routing.
+
+Plays the role of the "standard Qiskit transpiler" the paper uses
+(Section VI): high-level gates are rewritten into the calibrated pulse
+basis, and two-qubit gates between uncoupled qubits are routed by
+inserting SWAPs along a shortest path.  Directed CR edges are both
+calibrated on our devices, so no direction fixing is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.circuits.circuit import Circuit, Instruction
+from repro.devices.topology import CouplingMap
+
+__all__ = ["transpile", "decompose_instruction", "BASIS_GATES"]
+
+BASIS_GATES = ("x", "sx", "rz", "cx", "measure")
+
+_PI = math.pi
+
+
+def _u_zxz(circuit: Circuit, q: int, pre: float, post: float) -> None:
+    """rz(pre) . sx . rz(post) building block."""
+    circuit.rz(pre, q)
+    circuit.sx(q)
+    circuit.rz(post, q)
+
+
+def decompose_instruction(inst: Instruction, out: Circuit) -> None:
+    """Append the basis decomposition of one instruction to ``out``.
+
+    Decompositions follow the standard identities (H = rz.sx.rz,
+    CP via two CXs, SWAP = 3 CX, CCX = 6 CX + single-qubit layer).
+    """
+    name, qubits, params = inst.name, inst.qubits, inst.params
+    if name in ("x", "sx", "rz", "cx", "measure"):
+        out.append(name, qubits, params)
+    elif name == "i":
+        pass
+    elif name == "z":
+        out.rz(_PI, qubits[0])
+    elif name == "s":
+        out.rz(_PI / 2, qubits[0])
+    elif name == "sdg":
+        out.rz(-_PI / 2, qubits[0])
+    elif name == "t":
+        out.rz(_PI / 4, qubits[0])
+    elif name == "tdg":
+        out.rz(-_PI / 4, qubits[0])
+    elif name == "y":
+        out.rz(_PI, qubits[0])
+        out.x(qubits[0])
+    elif name == "h":
+        _u_zxz(out, qubits[0], _PI / 2, _PI / 2)
+    elif name == "rx":
+        (theta,) = params
+        # rx(theta) = rz(-pi/2) sx rz(pi - theta) sx rz(-pi/2) ... use
+        # the standard u3 form: rx = u3(theta, -pi/2, pi/2).
+        _append_u3(out, qubits[0], theta, -_PI / 2, _PI / 2)
+    elif name == "ry":
+        (theta,) = params
+        _append_u3(out, qubits[0], theta, 0.0, 0.0)
+    elif name == "cz":
+        a, b = qubits
+        decompose_instruction(Instruction("h", (b,)), out)
+        out.cx(a, b)
+        decompose_instruction(Instruction("h", (b,)), out)
+    elif name == "cp":
+        (lam,) = params
+        a, b = qubits
+        out.rz(lam / 2, a)
+        out.cx(a, b)
+        out.rz(-lam / 2, b)
+        out.cx(a, b)
+        out.rz(lam / 2, b)
+    elif name == "rzz":
+        (theta,) = params
+        a, b = qubits
+        out.cx(a, b)
+        out.rz(theta, b)
+        out.cx(a, b)
+    elif name == "swap":
+        a, b = qubits
+        out.cx(a, b)
+        out.cx(b, a)
+        out.cx(a, b)
+    elif name == "ccx":
+        _decompose_ccx(out, *qubits)
+    else:
+        raise ScheduleError(f"no decomposition for gate {name!r}")
+
+
+def _append_u3(out: Circuit, q: int, theta: float, phi: float, lam: float) -> None:
+    """u3 as rz-sx-rz-sx-rz (the standard IBM basis identity)."""
+    out.rz(lam, q)
+    out.sx(q)
+    out.rz(theta + _PI, q)
+    out.sx(q)
+    out.rz(phi + 3 * _PI, q)
+
+
+def _decompose_ccx(out: Circuit, a: int, b: int, c: int) -> None:
+    """Standard 6-CX Toffoli."""
+    decompose_instruction(Instruction("h", (c,)), out)
+    out.cx(b, c)
+    out.rz(-_PI / 4, c)
+    out.cx(a, c)
+    out.rz(_PI / 4, c)
+    out.cx(b, c)
+    out.rz(-_PI / 4, c)
+    out.cx(a, c)
+    out.rz(_PI / 4, b)
+    out.rz(_PI / 4, c)
+    decompose_instruction(Instruction("h", (c,)), out)
+    out.cx(a, b)
+    out.rz(_PI / 4, a)
+    out.rz(-_PI / 4, b)
+    out.cx(a, b)
+
+
+def transpile(
+    circuit: Circuit,
+    coupling: Optional[CouplingMap] = None,
+    initial_layout: Optional[List[int]] = None,
+) -> Circuit:
+    """Lower a circuit to the basis and route it onto a coupling map.
+
+    Args:
+        circuit: Logical circuit.
+        coupling: Device connectivity; None skips routing (all-to-all).
+        initial_layout: Logical-to-physical qubit map; default identity.
+
+    Returns:
+        A basis circuit on the device's qubits (``coupling.n_qubits``
+        wide when routing).
+
+    Raises:
+        ScheduleError: If the circuit needs more qubits than the device
+            has, or an unknown gate is encountered.
+    """
+    lowered = Circuit(circuit.n_qubits, name=circuit.name)
+    for inst in circuit.instructions:
+        decompose_instruction(inst, lowered)
+    if coupling is None:
+        return lowered
+    if circuit.n_qubits > coupling.n_qubits:
+        raise ScheduleError(
+            f"circuit needs {circuit.n_qubits} qubits, device has "
+            f"{coupling.n_qubits}"
+        )
+    layout = list(initial_layout or range(circuit.n_qubits))
+    if len(layout) != circuit.n_qubits:
+        raise ScheduleError("initial layout size mismatch")
+    routed = Circuit(coupling.n_qubits, name=circuit.name)
+    for inst in lowered.instructions:
+        physical = tuple(layout[q] for q in inst.qubits)
+        if len(physical) == 2 and inst.name == "cx" and not coupling.are_coupled(*physical):
+            _route_and_apply(routed, coupling, layout, inst)
+        else:
+            routed.append(inst.name, physical, inst.params)
+    return routed
+
+
+def _route_and_apply(
+    routed: Circuit,
+    coupling: CouplingMap,
+    layout: List[int],
+    inst: Instruction,
+) -> None:
+    """Swap the control toward the target along a shortest path."""
+    logical_a, logical_b = inst.qubits
+    path = coupling.shortest_path(layout[logical_a], layout[logical_b])
+    # Move the first endpoint down the path until adjacent.
+    for step in range(len(path) - 2):
+        here, there = path[step], path[step + 1]
+        routed.cx(here, there)
+        routed.cx(there, here)
+        routed.cx(here, there)
+        # Update the logical->physical map for whichever logicals sat
+        # on those physical qubits.
+        for logical, phys in enumerate(layout):
+            if phys == here:
+                layout[logical] = there
+            elif phys == there:
+                layout[logical] = here
+    routed.append(inst.name, (layout[logical_a], layout[logical_b]), inst.params)

@@ -1,0 +1,152 @@
+"""Command-line interface: inspect devices and compression reports.
+
+Usage::
+
+    python -m repro devices
+    python -m repro report --device guadalupe --window-size 16
+    python -m repro report --device bogota --variant DCT-W --fidelity-aware
+    python -m repro scalability --window-size 16
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis import render_table
+from repro.core import CompaqtCompiler, qubit_gain, qubits_supported
+from repro.devices import IBM_DEVICE_NAMES, ibm_device
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMPAQT reproduction: compressed waveform memory tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("devices", help="list available synthetic devices")
+
+    report = subparsers.add_parser(
+        "report", help="compression report for one device's pulse library"
+    )
+    report.add_argument("--device", default="guadalupe", help="IBM device name")
+    report.add_argument(
+        "--window-size", type=int, default=16, choices=(8, 16, 32)
+    )
+    report.add_argument(
+        "--variant",
+        default="int-DCT-W",
+        choices=("DCT-N", "DCT-W", "int-DCT-W"),
+    )
+    report.add_argument(
+        "--threshold", type=float, default=128, help="coefficient threshold"
+    )
+    report.add_argument(
+        "--fidelity-aware",
+        action="store_true",
+        help="tune the threshold per pulse (Algorithm 1)",
+    )
+    report.add_argument(
+        "--target-mse", type=float, default=1e-6, help="Algorithm 1 epsilon"
+    )
+
+    scal = subparsers.add_parser(
+        "scalability", help="qubits supported per QICK-class controller"
+    )
+    scal.add_argument("--window-size", type=int, default=16, choices=(8, 16, 32))
+    scal.add_argument("--clock-ratio", type=int, default=16)
+    return parser
+
+
+def _cmd_devices() -> str:
+    rows = []
+    for name in IBM_DEVICE_NAMES:
+        device = ibm_device(name)
+        rows.append(
+            [
+                device.name,
+                device.n_qubits,
+                len(device.topology.edges),
+                len(device.pulse_library()),
+                f"{device.memory_per_qubit_bytes() / 1e3:.1f} KB",
+            ]
+        )
+    return render_table(
+        "Synthetic IBM devices",
+        ["device", "qubits", "couplings", "waveforms", "memory/qubit"],
+        rows,
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    device = ibm_device(args.device)
+    compiler = CompaqtCompiler(
+        window_size=args.window_size,
+        variant=args.variant,
+        threshold=args.threshold,
+        fidelity_aware=args.fidelity_aware,
+        target_mse=args.target_mse,
+    )
+    compiled = compiler.compile_library(device.pulse_library())
+    rows = []
+    for gate in ("x", "sx", "cx", "measure"):
+        stats = compiled.gate_stats(gate)
+        rows.append(
+            [
+                gate,
+                stats.count,
+                f"{stats.min_ratio:.2f}",
+                f"{stats.mean_ratio:.2f}",
+                f"{stats.max_ratio:.2f}",
+                f"{stats.mean_mse:.1e}",
+            ]
+        )
+    rows.append(
+        [
+            "overall",
+            len(compiled),
+            "-",
+            f"{compiled.overall_ratio_variable:.2f}",
+            "-",
+            f"{compiled.mean_mse:.1e}",
+        ]
+    )
+    return render_table(
+        f"{device.name}: {args.variant} WS={args.window_size}"
+        + (" (fidelity-aware)" if args.fidelity_aware else ""),
+        ["gate", "count", "min R", "mean R", "max R", "mean MSE"],
+        rows,
+        note=f"worst window: {compiled.worst_case_window_words} words",
+    )
+
+
+def _cmd_scalability(args: argparse.Namespace) -> str:
+    rows = [["uncompressed", "1.00x", qubits_supported(0, args.clock_ratio)]]
+    for ws in (8, 16):
+        rows.append(
+            [
+                f"int-DCT-W WS={ws}",
+                f"{qubit_gain(ws, args.clock_ratio):.2f}x",
+                qubits_supported(ws, args.clock_ratio),
+            ]
+        )
+    return render_table(
+        f"Concurrent qubits (DAC/fabric clock ratio {args.clock_ratio}x)",
+        ["design", "gain", "qubits"],
+        rows,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        print(_cmd_devices())
+    elif args.command == "report":
+        print(_cmd_report(args))
+    elif args.command == "scalability":
+        print(_cmd_scalability(args))
+    return 0

@@ -1,0 +1,61 @@
+"""Compression pipelines (DCT-N / DCT-W / int-DCT-W) and memory packing."""
+
+from repro.compression.pipeline import (
+    VARIANTS,
+    DEFAULT_THRESHOLD,
+    CompressedChannel,
+    CompressedWaveform,
+    CompressionResult,
+    compress_waveform,
+    decompress_waveform,
+    compress_channel,
+    decompress_channel,
+)
+from repro.compression.window import split_windows, merge_windows, n_windows
+from repro.compression.metrics import (
+    mean_squared_error,
+    compression_ratio,
+    signal_to_noise_db,
+)
+from repro.compression.packing import (
+    brams_per_stream_uncompressed,
+    brams_per_stream_compaqt,
+    idct_engines_needed,
+    BankLayout,
+    pack_waveform,
+)
+from repro.compression.overlap import (
+    OverlappingChannel,
+    OverlappingCompressionResult,
+    compress_channel_overlapping,
+    decompress_channel_overlapping,
+    compress_waveform_overlapping,
+)
+
+__all__ = [
+    "VARIANTS",
+    "DEFAULT_THRESHOLD",
+    "CompressedChannel",
+    "CompressedWaveform",
+    "CompressionResult",
+    "compress_waveform",
+    "decompress_waveform",
+    "compress_channel",
+    "decompress_channel",
+    "split_windows",
+    "merge_windows",
+    "n_windows",
+    "mean_squared_error",
+    "compression_ratio",
+    "signal_to_noise_db",
+    "brams_per_stream_uncompressed",
+    "brams_per_stream_compaqt",
+    "idct_engines_needed",
+    "BankLayout",
+    "pack_waveform",
+    "OverlappingChannel",
+    "OverlappingCompressionResult",
+    "compress_channel_overlapping",
+    "decompress_channel_overlapping",
+    "compress_waveform_overlapping",
+]

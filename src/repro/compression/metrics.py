@@ -1,0 +1,40 @@
+"""Compression quality metrics (Fig 7's R and MSE).
+
+R is always ``old size / new size`` on the *stored* representation;
+MSE is measured between the original and reconstructed float waveforms,
+the quantity Algorithm 1 drives to a target because it tracks gate
+fidelity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mean_squared_error", "compression_ratio", "signal_to_noise_db"]
+
+
+def mean_squared_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """MSE over complex samples (I and Q errors combined)."""
+    original = np.asarray(original, dtype=np.complex128)
+    reconstructed = np.asarray(reconstructed, dtype=np.complex128)
+    if original.shape != reconstructed.shape:
+        raise ValueError(f"shape mismatch: {original.shape} vs {reconstructed.shape}")
+    diff = original - reconstructed
+    return float(np.mean(diff.real**2 + diff.imag**2))
+
+
+def compression_ratio(original_words: int, stored_words: int) -> float:
+    """R = old size / new size; stored size is floored at one word."""
+    if original_words < 1:
+        raise ValueError(f"original size must be positive, got {original_words}")
+    return original_words / max(1, stored_words)
+
+
+def signal_to_noise_db(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Reconstruction SNR in dB (infinite for exact reconstruction)."""
+    original = np.asarray(original, dtype=np.complex128)
+    noise = mean_squared_error(original, reconstructed)
+    signal = float(np.mean(original.real**2 + original.imag**2))
+    if noise == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise)

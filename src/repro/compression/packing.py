@@ -1,0 +1,108 @@
+"""Memory packing: mapping compressed windows onto BRAM banks (Fig 12).
+
+On RFSoCs the FPGA fabric clock is ~16x slower than the DAC, so the
+baseline interleaves each waveform's samples across ``clock_ratio``
+BRAMs to sustain the stream (Fig 12a).  COMPAQT instead reads one
+*compressed window* per fabric cycle per IDCT engine, which needs only
+``worst_case_words`` BRAMs per engine (Fig 12b-d) -- that reduction is
+exactly the qubit-count gain of Table V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import CompressionError
+from repro.compression.pipeline import CompressedWaveform
+
+__all__ = [
+    "brams_per_stream_uncompressed",
+    "idct_engines_needed",
+    "brams_per_stream_compaqt",
+    "BankLayout",
+    "pack_waveform",
+]
+
+
+def brams_per_stream_uncompressed(clock_ratio: int) -> int:
+    """Baseline interleave factor: one BRAM per DAC sample per cycle."""
+    _check_ratio(clock_ratio)
+    return clock_ratio
+
+
+def idct_engines_needed(clock_ratio: int, window_size: int) -> int:
+    """IDCT engines to produce ``clock_ratio`` samples per fabric cycle.
+
+    Each engine emits ``window_size`` samples per cycle; e.g. QICK's
+    ratio of 16 needs two WS=8 engines but a single WS=16 engine
+    (Section V-C).
+    """
+    _check_ratio(clock_ratio)
+    if window_size < 1:
+        raise CompressionError(f"window size must be >= 1, got {window_size}")
+    return max(1, math.ceil(clock_ratio / window_size))
+
+
+def brams_per_stream_compaqt(
+    clock_ratio: int, window_size: int, worst_case_words: int = 3
+) -> int:
+    """BRAMs per waveform stream with compressed memory.
+
+    Every engine must fetch one compressed window (``worst_case_words``
+    words) per fabric cycle, so the figure is ``engines * words``:
+    ratio 16 / WS=16 / 3 words -> 3 BRAMs (Fig 12b); WS=8 -> 6.
+    """
+    if worst_case_words < 1:
+        raise CompressionError(f"worst case words must be >= 1, got {worst_case_words}")
+    return idct_engines_needed(clock_ratio, window_size) * worst_case_words
+
+
+@dataclass(frozen=True)
+class BankLayout:
+    """Placement of one compressed waveform in banked memory.
+
+    Words are striped across ``n_banks`` in window order: window ``w``'s
+    ``width`` words live at per-bank address ``w`` in banks
+    ``0..width-1`` (Fig 12c pads short windows with zeros so every
+    window occupies the uniform width).
+    """
+
+    waveform_name: str
+    n_banks: int
+    width: int
+    n_windows: int
+
+    @property
+    def words_per_bank(self) -> int:
+        return self.n_windows
+
+    def address_of(self, window: int, slot: int) -> Tuple[int, int]:
+        """(bank, address) of word ``slot`` of window ``window``."""
+        if not 0 <= window < self.n_windows:
+            raise CompressionError(f"window {window} outside 0..{self.n_windows - 1}")
+        if not 0 <= slot < self.width:
+            raise CompressionError(f"slot {slot} outside 0..{self.width - 1}")
+        return slot, window
+
+
+def pack_waveform(
+    compressed: CompressedWaveform, clock_ratio: int
+) -> BankLayout:
+    """Compute the banked layout for one compressed waveform stream."""
+    width = compressed.worst_case_window_words
+    n_banks = brams_per_stream_compaqt(
+        clock_ratio, compressed.window_size, width
+    )
+    return BankLayout(
+        waveform_name=compressed.name,
+        n_banks=n_banks,
+        width=width,
+        n_windows=compressed.n_windows,
+    )
+
+
+def _check_ratio(clock_ratio: int) -> None:
+    if clock_ratio < 1:
+        raise CompressionError(f"clock ratio must be >= 1, got {clock_ratio}")

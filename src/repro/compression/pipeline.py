@@ -1,0 +1,386 @@
+"""The COMPAQT compression pipelines: DCT-N, DCT-W, int-DCT-W.
+
+Compression (software, compile time -- Section IV-C):
+
+1. quantize the float envelope to 16-bit I/Q codes (memory contents);
+2. per window: transform (float DCT or integer DCT), storing
+   coefficients at 16-bit width with a ``1/sqrt(N)`` fixed-point
+   convention so any window content fits;
+3. hard-threshold small coefficients to zero;
+4. fold the trailing zero run of each window into one RLE codeword.
+
+Decompression (hardware, runtime -- Fig 10) is the exact reverse: RLE
+expand, inverse transform, stream to the DAC.  :func:`decompress_waveform`
+is bit-faithful to the cycle-level engine in :mod:`repro.microarch`.
+
+Both channels of a window are kept at the same stored word count
+(Section IV-C: "the number of samples per window after compression are
+kept the same for both channels"), so per-window occupancy is the max of
+the I and Q occupancies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.compression.metrics import compression_ratio, mean_squared_error
+from repro.compression.window import merge_windows, split_windows
+from repro.pulses.quantization import quantize_iq
+from repro.pulses.waveform import Waveform
+from repro.transforms.dct import dct_matrix
+from repro.transforms.integer_dct import (
+    SUPPORTED_SIZES,
+    int_dct,
+    int_idct,
+)
+from repro.transforms.rle import EncodedWindow, rle_encode_window
+from repro.transforms.threshold import hard_threshold
+
+__all__ = [
+    "VARIANTS",
+    "DEFAULT_THRESHOLD",
+    "CompressedChannel",
+    "CompressedWaveform",
+    "CompressionResult",
+    "compress_waveform",
+    "decompress_waveform",
+    "compress_channel",
+    "decompress_channel",
+    "forward_transform",
+    "inverse_transform",
+]
+
+#: Supported pipeline variants (Table II).
+VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W")
+
+#: Default hard threshold in integer-coefficient units (16-bit codes).
+#: 128 codes (~0.4% of full scale) keeps every IBM-library window at
+#: <= 3 stored words (Fig 11) with MSE in the paper's 1e-7..1e-5 band;
+#: Algorithm 1 tunes it per pulse when fidelity-aware mode is on.
+DEFAULT_THRESHOLD = 128
+
+
+@dataclass(frozen=True)
+class CompressedChannel:
+    """One compressed I or Q channel: a sequence of encoded windows."""
+
+    windows: Tuple[EncodedWindow, ...]
+    variant: str
+    window_size: int
+    original_length: int
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def stored_words_variable(self) -> int:
+        """ASIC-style packing: every window at its true occupancy."""
+        return sum(w.n_words for w in self.windows)
+
+    @property
+    def worst_case_words(self) -> int:
+        """Largest per-window occupancy (sets the uniform memory width)."""
+        return max(w.n_words for w in self.windows)
+
+
+@dataclass(frozen=True)
+class CompressedWaveform:
+    """A fully compressed waveform (both channels) plus its binding."""
+
+    name: str
+    gate: str
+    qubits: Tuple[int, ...]
+    dt: float
+    i_channel: CompressedChannel
+    q_channel: CompressedChannel
+
+    def __post_init__(self) -> None:
+        if self.i_channel.n_windows != self.q_channel.n_windows:
+            raise CompressionError("I and Q channels must have equal window counts")
+
+    @property
+    def variant(self) -> str:
+        return self.i_channel.variant
+
+    @property
+    def window_size(self) -> int:
+        return self.i_channel.window_size
+
+    @property
+    def n_windows(self) -> int:
+        return self.i_channel.n_windows
+
+    @property
+    def original_samples(self) -> int:
+        return self.i_channel.original_length
+
+    # -- storage accounting --------------------------------------------------
+
+    @property
+    def window_words(self) -> Tuple[int, ...]:
+        """Per-window occupancy: max of the two channels (Section IV-C)."""
+        return tuple(
+            max(i.n_words, q.n_words)
+            for i, q in zip(self.i_channel.windows, self.q_channel.windows)
+        )
+
+    @property
+    def worst_case_window_words(self) -> int:
+        """The uniform memory width for this waveform (Fig 11's max)."""
+        return max(self.window_words)
+
+    def stored_words(self, packing: str = "uniform") -> int:
+        """Stored words per channel under the given packing.
+
+        ``"uniform"`` (RFSoC, Section V-A): every window padded to the
+        waveform's worst case.  ``"variable"`` (ASIC, Section VII-D):
+        windows at true occupancy.
+        """
+        if packing == "uniform":
+            return self.n_windows * self.worst_case_window_words
+        if packing == "variable":
+            return sum(self.window_words)
+        raise CompressionError(f"unknown packing {packing!r}")
+
+    def compression_ratio(self, packing: str = "uniform") -> float:
+        """R = original samples / stored words (per channel; the I+Q
+        factor of two cancels)."""
+        return compression_ratio(self.original_samples, self.stored_words(packing))
+
+    @property
+    def stored_bits(self) -> int:
+        """Total compressed footprint (both channels, uniform packing,
+        16-bit words)."""
+        return 2 * 16 * self.stored_words("uniform")
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Everything a caller needs after compressing one waveform."""
+
+    compressed: CompressedWaveform
+    reconstructed: Waveform
+    mse: float
+    threshold: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uniform-packing ratio (the paper's headline R)."""
+        return self.compressed.compression_ratio("uniform")
+
+    @property
+    def compression_ratio_variable(self) -> float:
+        return self.compressed.compression_ratio("variable")
+
+
+# ---------------------------------------------------------------------------
+# Channel-level codec.
+# ---------------------------------------------------------------------------
+
+
+def compress_channel(
+    codes: np.ndarray,
+    window_size: int,
+    variant: str,
+    threshold: float,
+    max_coefficients: int = 0,
+) -> CompressedChannel:
+    """Compress one int16 channel into encoded windows.
+
+    Args:
+        codes: Quantized samples (int16 range).
+        window_size: Window length; for DCT-N pass the channel length.
+        variant: One of :data:`VARIANTS`.
+        threshold: Hard threshold in coefficient units.
+        max_coefficients: If positive, additionally keep only the k
+            largest-magnitude coefficients per window.  This enforces a
+            hard uniform memory width of ``k + 1`` words (Section V-A's
+            fixed input-buffer design) at the cost of extra distortion
+            -- the mechanism behind Fig 15's WS=8 fidelity losses.
+    """
+    _check_variant(variant)
+    if max_coefficients < 0:
+        raise CompressionError(
+            f"max_coefficients must be >= 0, got {max_coefficients}"
+        )
+    codes = np.asarray(codes, dtype=np.int64)
+    blocks = split_windows(codes, window_size)
+    encoded: List[EncodedWindow] = []
+    for block in blocks:
+        coeffs = _forward(block, variant)
+        kept = hard_threshold(coeffs, threshold)
+        if max_coefficients and np.count_nonzero(kept) > max_coefficients:
+            order = np.argsort(np.abs(kept))
+            kept[order[: kept.size - max_coefficients]] = 0
+        encoded.append(rle_encode_window(kept))
+    return CompressedChannel(
+        windows=tuple(encoded),
+        variant=variant,
+        window_size=window_size,
+        original_length=int(codes.size),
+    )
+
+
+def decompress_channel(channel: CompressedChannel) -> np.ndarray:
+    """Reconstruct the int16 sample codes of one channel."""
+    blocks = []
+    for window in channel.windows:
+        coeffs = np.zeros(channel.window_size, dtype=np.int64)
+        expanded = _expand_window(window, channel.window_size)
+        coeffs[: expanded.size] = expanded
+        blocks.append(_inverse(coeffs, channel.variant))
+    return merge_windows(np.asarray(blocks), channel.original_length)
+
+
+def _expand_window(window: EncodedWindow, window_size: int) -> np.ndarray:
+    if window.window_size != window_size:
+        raise CompressionError(
+            f"window decodes to {window.window_size} samples, expected {window_size}"
+        )
+    from repro.transforms.rle import rle_decode_window
+
+    return rle_decode_window(window)
+
+
+# ---------------------------------------------------------------------------
+# Waveform-level API.
+# ---------------------------------------------------------------------------
+
+
+def compress_waveform(
+    waveform: Waveform,
+    window_size: int = 16,
+    variant: str = "int-DCT-W",
+    threshold: float = DEFAULT_THRESHOLD,
+    max_coefficients: int = 0,
+) -> CompressionResult:
+    """Compress a waveform and report reconstruction quality.
+
+    Args:
+        waveform: The pulse to compress.
+        window_size: DCT window (8/16/32); ignored for DCT-N, which uses
+            the full waveform length.
+        variant: "DCT-N", "DCT-W" or "int-DCT-W".
+        threshold: Hard threshold in integer coefficient units.
+        max_coefficients: Optional per-window top-k cap (see
+            :func:`compress_channel`).
+
+    Returns:
+        A :class:`CompressionResult` carrying the compressed form, the
+        decompressed (as-played) waveform, MSE and R.
+    """
+    _check_variant(variant)
+    if variant == "DCT-N":
+        window_size = waveform.n_samples
+    elif window_size not in SUPPORTED_SIZES:
+        raise CompressionError(
+            f"window size {window_size} not in {SUPPORTED_SIZES}"
+        )
+    if threshold < 0:
+        raise CompressionError(f"threshold must be >= 0, got {threshold}")
+    i_codes, q_codes = waveform.to_fixed_point()
+    i_channel = compress_channel(
+        i_codes, window_size, variant, threshold, max_coefficients
+    )
+    q_channel = compress_channel(
+        q_codes, window_size, variant, threshold, max_coefficients
+    )
+    compressed = CompressedWaveform(
+        name=waveform.name,
+        gate=waveform.gate,
+        qubits=waveform.qubits,
+        dt=waveform.dt,
+        i_channel=i_channel,
+        q_channel=q_channel,
+    )
+    reconstructed = decompress_waveform(compressed)
+    return CompressionResult(
+        compressed=compressed,
+        reconstructed=reconstructed,
+        mse=mean_squared_error(waveform.samples, reconstructed.samples),
+        threshold=threshold,
+    )
+
+
+def decompress_waveform(compressed: CompressedWaveform) -> Waveform:
+    """Reconstruct the playable waveform from its compressed form.
+
+    This is the functional model of the hardware decompression pipeline;
+    :mod:`repro.microarch.pipeline_sim` produces bit-identical samples
+    cycle by cycle.
+    """
+    i_codes = decompress_channel(compressed.i_channel)
+    q_codes = decompress_channel(compressed.q_channel)
+    return Waveform.from_fixed_point(
+        np.clip(i_codes, -32768, 32767).astype(np.int16),
+        np.clip(q_codes, -32768, 32767).astype(np.int16),
+        dt=compressed.dt,
+        name=f"{compressed.name}~{compressed.variant}",
+        gate=compressed.gate,
+        qubits=compressed.qubits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transforms with a common 16-bit fixed-point convention.
+#
+# Stored coefficients approximate ``DCT(x) / sqrt(N)``, which is bounded
+# by ``max|x|`` (Cauchy-Schwarz), so every window fits 16-bit storage.
+# The integer path realizes the same convention through the HEVC forward
+# shift of ``6 + log2(N)`` bits.
+# ---------------------------------------------------------------------------
+
+
+def _forward(block: np.ndarray, variant: str) -> np.ndarray:
+    n = block.size
+    if variant == "int-DCT-W":
+        if n not in SUPPORTED_SIZES:
+            raise CompressionError(
+                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
+            )
+        return int_dct(block).astype(np.int64)
+    matrix = dct_matrix(n)
+    coeffs = (matrix @ block.astype(np.float64)) / math.sqrt(n)
+    return np.rint(coeffs).astype(np.int64)
+
+
+def _inverse(coeffs: np.ndarray, variant: str) -> np.ndarray:
+    n = coeffs.size
+    if variant == "int-DCT-W":
+        if n not in SUPPORTED_SIZES:
+            raise CompressionError(
+                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
+            )
+        return int_idct(coeffs).astype(np.int64)
+    matrix = dct_matrix(n)
+    samples = matrix.T @ (coeffs.astype(np.float64) * math.sqrt(n))
+    return np.rint(samples).astype(np.int64)
+
+
+def _check_variant(variant: str) -> None:
+    if variant not in VARIANTS:
+        raise CompressionError(
+            f"unknown variant {variant!r}; expected one of {VARIANTS}"
+        )
+
+
+def forward_transform(block: np.ndarray, variant: str) -> np.ndarray:
+    """Public forward transform in the common 16-bit convention.
+
+    The cycle-level microarchitecture reuses this so the hardware model
+    is bit-identical to the functional codec.
+    """
+    _check_variant(variant)
+    return _forward(np.asarray(block, dtype=np.int64), variant)
+
+
+def inverse_transform(coeffs: np.ndarray, variant: str) -> np.ndarray:
+    """Public inverse transform (what the IDCT engine computes)."""
+    _check_variant(variant)
+    return _inverse(np.asarray(coeffs, dtype=np.int64), variant)

@@ -1,0 +1,53 @@
+"""Windowing helpers shared by the compression pipelines.
+
+The windowed DCT (DCT-W / int-DCT-W) splits a waveform channel into
+fixed-size windows, zero-padding the tail (Section IV-C).  DCT-N treats
+the whole waveform as a single window.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["split_windows", "merge_windows", "n_windows"]
+
+
+def n_windows(length: int, window_size: int) -> int:
+    """Window count covering ``length`` samples (ceil division)."""
+    if length < 1:
+        raise CompressionError(f"need at least one sample, got {length}")
+    if window_size < 1:
+        raise CompressionError(f"window size must be >= 1, got {window_size}")
+    return -(-length // window_size)
+
+
+def split_windows(values: np.ndarray, window_size: int) -> np.ndarray:
+    """Reshape a 1-D integer channel into ``(n_windows, window_size)``.
+
+    The tail window is zero-padded; callers record the original length
+    so :func:`merge_windows` can truncate.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise CompressionError(f"expected a 1-D channel, got {values.shape}")
+    count = n_windows(values.size, window_size)
+    padded = np.zeros(count * window_size, dtype=values.dtype)
+    padded[: values.size] = values
+    return padded.reshape(count, window_size)
+
+
+def merge_windows(blocks: np.ndarray, original_length: int) -> np.ndarray:
+    """Flatten windows back to a channel, dropping the zero padding."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2:
+        raise CompressionError(f"expected (n, ws) windows, got {blocks.shape}")
+    flat = blocks.reshape(-1)
+    if original_length > flat.size:
+        raise CompressionError(
+            f"original length {original_length} exceeds decoded {flat.size}"
+        )
+    return flat[:original_length]

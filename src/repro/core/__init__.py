@@ -1,0 +1,42 @@
+"""COMPAQT core: compiler, fidelity-aware and adaptive compression,
+controller and scalability models."""
+
+from repro.core.compiler import (
+    CompaqtCompiler,
+    CompressedPulseLibrary,
+    GateCompressionStats,
+)
+from repro.core.fidelity_aware import fidelity_aware_compress, DEFAULT_TARGET_MSE
+from repro.core.adaptive import (
+    adaptive_compress,
+    AdaptiveCompressionResult,
+    RepeatSegment,
+    WindowSegment,
+)
+from repro.core.scalability import (
+    RfsocModel,
+    QICK_CLOCK_RATIO,
+    QICK_BASELINE_QUBITS,
+    qubit_gain,
+    qubits_supported,
+    logical_qubits_supported,
+)
+from repro.core.controller import QubitController
+
+__all__ = [
+    "CompaqtCompiler",
+    "CompressedPulseLibrary",
+    "GateCompressionStats",
+    "fidelity_aware_compress",
+    "DEFAULT_TARGET_MSE",
+    "adaptive_compress",
+    "AdaptiveCompressionResult",
+    "RepeatSegment",
+    "WindowSegment",
+    "RfsocModel",
+    "QICK_CLOCK_RATIO",
+    "QICK_BASELINE_QUBITS",
+    "qubit_gain",
+    "qubits_supported",
+    "logical_qubits_supported",
+]

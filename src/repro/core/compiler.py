@@ -1,0 +1,205 @@
+"""The COMPAQT compiler module (Fig 6's software half).
+
+At the end of every calibration cycle the compiler walks the device's
+pulse library, compresses each waveform (optionally with the
+fidelity-aware threshold search of Algorithm 1), and emits a
+:class:`CompressedPulseLibrary` -- the image that gets loaded into the
+controller's compressed waveform memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError, DeviceError
+from repro.compression.pipeline import (
+    CompressionResult,
+    DEFAULT_THRESHOLD,
+    compress_waveform,
+)
+from repro.core.fidelity_aware import DEFAULT_TARGET_MSE, fidelity_aware_compress
+from repro.pulses.library import PulseLibrary
+from repro.pulses.waveform import Waveform
+
+__all__ = ["CompaqtCompiler", "CompressedPulseLibrary", "GateCompressionStats"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class GateCompressionStats:
+    """Aggregate compression statistics for one gate type."""
+
+    gate: str
+    count: int
+    min_ratio: float
+    max_ratio: float
+    mean_ratio: float
+    mean_mse: float
+
+
+@dataclass
+class CompressedPulseLibrary:
+    """The compressed waveform-memory image for one device.
+
+    Produced by :class:`CompaqtCompiler`; consumed by the controller
+    model and the microarchitecture simulator.
+    """
+
+    device_name: str
+    window_size: int
+    variant: str
+    _entries: Dict[_Key, CompressionResult] = field(default_factory=dict)
+
+    def add(self, key: _Key, result: CompressionResult) -> None:
+        self._entries[(key[0], tuple(key[1]))] = result
+
+    def result(self, gate: str, qubits: Tuple[int, ...]) -> CompressionResult:
+        try:
+            return self._entries[(gate, tuple(qubits))]
+        except KeyError:
+            raise DeviceError(
+                f"no compressed waveform for {gate!r} on {tuple(qubits)}"
+            ) from None
+
+    def waveform(self, gate: str, qubits: Tuple[int, ...]) -> Waveform:
+        """The decompressed (as-played) waveform for a gate."""
+        return self.result(gate, qubits).reconstructed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[_Key, CompressionResult]]:
+        return iter(self._entries.items())
+
+    def keys(self) -> List[_Key]:
+        return list(self._entries.keys())
+
+    # -- aggregate metrics ---------------------------------------------------
+
+    @property
+    def ratios(self) -> np.ndarray:
+        """Per-waveform uniform-packing compression ratios."""
+        return np.array([r.compression_ratio for _k, r in self], dtype=float)
+
+    @property
+    def overall_ratio(self) -> float:
+        """Library-level R: total old size / total new size (Fig 7b)."""
+        original = sum(r.compressed.original_samples for _k, r in self)
+        stored = sum(r.compressed.stored_words("uniform") for _k, r in self)
+        if stored == 0:
+            raise CompressionError("empty compressed library")
+        return original / stored
+
+    @property
+    def overall_ratio_variable(self) -> float:
+        """Library-level R under variable (ASIC) packing."""
+        original = sum(r.compressed.original_samples for _k, r in self)
+        stored = sum(r.compressed.stored_words("variable") for _k, r in self)
+        return original / max(1, stored)
+
+    @property
+    def mean_mse(self) -> float:
+        return float(np.mean([r.mse for _k, r in self]))
+
+    @property
+    def max_mse(self) -> float:
+        return float(np.max([r.mse for _k, r in self]))
+
+    @property
+    def worst_case_window_words(self) -> int:
+        """Worst per-window occupancy across the library (Fig 11's cap)."""
+        return max(r.compressed.worst_case_window_words for _k, r in self)
+
+    def gate_stats(self, gate: str) -> GateCompressionStats:
+        ratios = [
+            r.compression_ratio for (g, _q), r in self if g == gate
+        ]
+        mses = [r.mse for (g, _q), r in self if g == gate]
+        if not ratios:
+            raise DeviceError(f"no compressed waveforms for gate {gate!r}")
+        return GateCompressionStats(
+            gate=gate,
+            count=len(ratios),
+            min_ratio=min(ratios),
+            max_ratio=max(ratios),
+            mean_ratio=float(np.mean(ratios)),
+            mean_mse=float(np.mean(mses)),
+        )
+
+    def qubit_gate_ratio(self, gate: str, qubit: int) -> float:
+        """Mean ratio of ``gate`` pulses touching ``qubit`` (Fig 14 bars).
+
+        For two-qubit gates this averages over every directed pair the
+        qubit participates in, matching the paper's per-qubit CNOT bars.
+        """
+        ratios = [
+            r.compression_ratio
+            for (g, qubits), r in self
+            if g == gate and qubit in qubits
+        ]
+        if not ratios:
+            raise DeviceError(f"qubit {qubit} has no {gate!r} waveforms")
+        return float(np.mean(ratios))
+
+
+class CompaqtCompiler:
+    """Compile-time waveform compressor (one configuration, many pulses).
+
+    Args:
+        window_size: DCT window (8/16/32; ignored by DCT-N).
+        variant: "DCT-N", "DCT-W" or "int-DCT-W".
+        threshold: Fixed hard threshold (coefficient codes) when
+            fidelity-aware search is off.
+        fidelity_aware: Enable Algorithm 1's per-pulse threshold search.
+        target_mse: Algorithm 1's ε.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 16,
+        variant: str = "int-DCT-W",
+        threshold: float = DEFAULT_THRESHOLD,
+        fidelity_aware: bool = False,
+        target_mse: float = DEFAULT_TARGET_MSE,
+        max_coefficients: int = 0,
+    ) -> None:
+        self.window_size = window_size
+        self.variant = variant
+        self.threshold = threshold
+        self.fidelity_aware = fidelity_aware
+        self.target_mse = target_mse
+        self.max_coefficients = max_coefficients
+
+    def compile_waveform(self, waveform: Waveform) -> CompressionResult:
+        """Compress a single pulse under this configuration."""
+        if self.fidelity_aware:
+            return fidelity_aware_compress(
+                waveform,
+                target_mse=self.target_mse,
+                window_size=self.window_size,
+                variant=self.variant,
+            )
+        return compress_waveform(
+            waveform,
+            window_size=self.window_size,
+            variant=self.variant,
+            threshold=self.threshold,
+            max_coefficients=self.max_coefficients,
+        )
+
+    def compile_library(self, library: PulseLibrary) -> CompressedPulseLibrary:
+        """Compress every entry of a device's pulse library."""
+        if len(library) == 0:
+            raise CompressionError("cannot compile an empty pulse library")
+        compressed = CompressedPulseLibrary(
+            device_name=library.device_name,
+            window_size=self.window_size,
+            variant=self.variant,
+        )
+        for key in library.keys():
+            compressed.add(key, self.compile_waveform(library.waveform(*key)))
+        return compressed

@@ -1,0 +1,150 @@
+"""Controller scalability models (Fig 5d, Table V, Fig 17b, Section V-C).
+
+Two constraints bound how many qubits one RFSoC can drive:
+
+- **capacity**: total on-chip memory / per-qubit waveform footprint;
+- **bandwidth**: every concurrently driven qubit needs a dedicated set of
+  interleaved BRAMs to match the DAC rate.
+
+The bandwidth constraint binds first (Fig 5d's 5x drop).  COMPAQT's
+decompression engine divides the per-stream BRAM count by the
+compression gain, which multiplies the supportable qubit count
+(Table V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.compression.packing import (
+    brams_per_stream_compaqt,
+    brams_per_stream_uncompressed,
+)
+
+__all__ = [
+    "RfsocModel",
+    "QICK_CLOCK_RATIO",
+    "QICK_BASELINE_QUBITS",
+    "qubit_gain",
+    "qubits_supported",
+    "logical_qubits_supported",
+]
+
+#: QICK's DAC runs 16x faster than the FPGA fabric (Section III-A).
+QICK_CLOCK_RATIO = 16
+
+#: "The ratio between the DAC and FPGA was 16x in QICK due to which it
+#: can theoretically support about 36 qubits."
+QICK_BASELINE_QUBITS = 36
+
+
+@dataclass(frozen=True)
+class RfsocModel:
+    """Resource model of one RFSoC control board.
+
+    Defaults reproduce the paper's reference lines: 7.56 MB of on-chip
+    memory (BRAM + URAM, Fig 5a) and 866 GB/s of peak internal memory
+    bandwidth (Fig 5b, footnote 1: 1260 BRAMs at the fabric clock).
+
+    Attributes:
+        n_brams: Block RAM + UltraRAM count treated uniformly.
+        bram_port_bits: Effective read-port width per block.
+        fabric_clock_hz: FPGA fabric clock.
+        capacity_bytes: Total on-chip waveform storage.
+        dac_rate_hz: On-chip DAC sampling rate (6 GS/s parts).
+        dac_sample_bits: Bits per DAC sample (I+Q stream).
+        streams_per_qubit: Concurrent waveform streams per driven qubit
+            (1: drive and readout share, since they never overlap on a
+            single qubit).
+    """
+
+    n_brams: int = 1260
+    bram_port_bits: int = 18
+    fabric_clock_hz: float = 0.305e9
+    capacity_bytes: float = 7.56e6
+    dac_rate_hz: float = 6.0e9
+    dac_sample_bits: int = 32
+    streams_per_qubit: int = 1
+
+    @property
+    def internal_bandwidth_bytes(self) -> float:
+        """Peak BRAM read bandwidth (Fig 5b's 866 GB/s line)."""
+        return self.n_brams * self.bram_port_bits * self.fabric_clock_hz / 8
+
+    @property
+    def per_qubit_bandwidth_bytes(self) -> float:
+        """Waveform bandwidth to drive one qubit concurrently (one
+        6 GS/s x 32-bit I+Q stream = 24 GB/s)."""
+        return self.dac_rate_hz * self.dac_sample_bits / 8 * self.streams_per_qubit
+
+    def max_qubits_capacity(self, bytes_per_qubit: float) -> int:
+        """Qubits supportable if only capacity mattered (Fig 5d left)."""
+        if bytes_per_qubit <= 0:
+            raise ReproError(f"bytes_per_qubit must be positive, got {bytes_per_qubit}")
+        return int(self.capacity_bytes // bytes_per_qubit)
+
+    def max_qubits_bandwidth(self) -> int:
+        """Qubits supportable under the bandwidth wall (Fig 5d right)."""
+        return int(self.internal_bandwidth_bytes // self.per_qubit_bandwidth_bytes)
+
+
+def qubit_gain(
+    window_size: int,
+    clock_ratio: int = QICK_CLOCK_RATIO,
+    worst_case_words: int = 3,
+) -> float:
+    """Qubit-count multiplier of COMPAQT over the uncompressed baseline.
+
+    The gain is the BRAM-per-stream reduction (Table V):
+
+    - WS=16, 3 words: 16 / 3 = 5.33x
+    - WS=8,  3 words: 16 / 6 = 2.66x
+
+    and it holds whenever ``clock_ratio`` is a multiple of the window
+    size (Section V-C).
+    """
+    baseline = brams_per_stream_uncompressed(clock_ratio)
+    compressed = brams_per_stream_compaqt(clock_ratio, window_size, worst_case_words)
+    return baseline / compressed
+
+
+def qubits_supported(
+    window_size: int = 0,
+    clock_ratio: int = QICK_CLOCK_RATIO,
+    worst_case_words: int = 3,
+    baseline_qubits: int = QICK_BASELINE_QUBITS,
+) -> int:
+    """Concurrent qubits a QICK-class controller can drive.
+
+    ``window_size=0`` selects the uncompressed baseline.  With the QICK
+    anchor of 36 qubits: WS=8 -> 95, WS=16 -> 191 (Section V-C).
+    """
+    if window_size == 0:
+        return baseline_qubits
+    gain = qubit_gain(window_size, clock_ratio, worst_case_words)
+    return int(baseline_qubits * gain)
+
+
+def logical_qubits_supported(
+    physical_per_logical: int,
+    window_size: int = 0,
+    clock_ratio: int = QICK_CLOCK_RATIO,
+    worst_case_words: int = 3,
+    baseline_qubits: int = QICK_BASELINE_QUBITS,
+) -> int:
+    """Surface-code logical qubits per controller (Fig 17b).
+
+    Args:
+        physical_per_logical: Patch size, e.g. 17 (rotated d=3) or 25.
+        window_size: 0 for uncompressed, else the COMPAQT window.
+    """
+    if physical_per_logical < 1:
+        raise ReproError(
+            f"patch size must be >= 1 qubit, got {physical_per_logical}"
+        )
+    physical = qubits_supported(
+        window_size, clock_ratio, worst_case_words, baseline_qubits
+    )
+    return physical // physical_per_logical

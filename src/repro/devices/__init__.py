@@ -1,0 +1,46 @@
+"""Synthetic device models (IBM heavy-hex family, Google grid, fluxonium)."""
+
+from repro.devices.topology import (
+    CouplingMap,
+    linear_topology,
+    grid_topology,
+    heavy_hex_rows,
+    FALCON_27_EDGES,
+    GUADALUPE_16_EDGES,
+)
+from repro.devices.backend import DeviceModel, QubitCalibration, EdgeCalibration
+from repro.devices.ibm import ibm_device, IBM_DEVICE_NAMES, IBM_SAMPLING_RATE, IBM_DT
+from repro.devices.google import google_device, GOOGLE_SAMPLING_RATE, GOOGLE_DT
+from repro.devices.fluxonium import fluxonium_device, FLUXONIUM_DT, FLUXONIUM_GATES
+from repro.devices.multiqubit_gates import (
+    itoffoli_waveform,
+    toffoli_waveform,
+    ccz_waveform,
+    complex_gate_library,
+)
+
+__all__ = [
+    "CouplingMap",
+    "linear_topology",
+    "grid_topology",
+    "heavy_hex_rows",
+    "FALCON_27_EDGES",
+    "GUADALUPE_16_EDGES",
+    "DeviceModel",
+    "QubitCalibration",
+    "EdgeCalibration",
+    "ibm_device",
+    "IBM_DEVICE_NAMES",
+    "IBM_SAMPLING_RATE",
+    "IBM_DT",
+    "google_device",
+    "GOOGLE_SAMPLING_RATE",
+    "GOOGLE_DT",
+    "fluxonium_device",
+    "FLUXONIUM_DT",
+    "FLUXONIUM_GATES",
+    "itoffoli_waveform",
+    "toffoli_waveform",
+    "ccz_waveform",
+    "complex_gate_library",
+]

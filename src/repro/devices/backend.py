@@ -1,0 +1,233 @@
+"""Device models: per-qubit calibrations and pulse-library synthesis.
+
+A :class:`DeviceModel` plays the role of an IBM/Google backend object:
+it owns a coupling map, per-qubit and per-edge calibration data, and
+synthesizes the full waveform inventory (:meth:`DeviceModel.pulse_library`)
+that the COMPAQT compiler compresses.
+
+Every qubit gets *unique* pulse parameters (drawn from a seeded RNG), so
+the libraries show the per-qubit diversity of Fig 4 and the per-qubit
+compression scatter of Fig 14 -- the paper's point that waveform memory
+cannot be shared across qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.devices.topology import CouplingMap
+from repro.pulses.envelopes import drag, gaussian_square
+from repro.pulses.library import PulseLibrary
+from repro.pulses.waveform import Waveform
+
+__all__ = ["QubitCalibration", "EdgeCalibration", "DeviceModel"]
+
+
+@dataclass(frozen=True)
+class QubitCalibration:
+    """Calibrated single-qubit and readout pulse parameters.
+
+    Durations and widths are in samples; amplitudes are in DAC full-scale
+    units (<= 1).
+    """
+
+    qubit: int
+    frequency: float  # Hz, resonant drive frequency
+    anharmonicity: float  # Hz, transmon anharmonicity (negative)
+    x_duration: int
+    x_amp: float
+    x_sigma: float
+    x_beta: float
+    sx_amp: float
+    sx_beta: float
+    meas_duration: int
+    meas_amp: float
+    meas_sigma: float
+    meas_width: int
+
+
+@dataclass(frozen=True)
+class EdgeCalibration:
+    """Calibrated cross-resonance pulse for one *directed* qubit pair."""
+
+    control: int
+    target: int
+    duration: int
+    amp: float
+    sigma: float
+    width: int
+    phase: float  # radians; rotates the envelope into I+jQ
+
+
+class DeviceModel:
+    """A synthetic superconducting device with a full pulse inventory.
+
+    Args:
+        name: Device identifier (e.g. ``"ibm_guadalupe"``).
+        topology: Qubit coupling map.
+        dt: Sample period in seconds (1 / DAC rate).
+        qubit_calibrations: One :class:`QubitCalibration` per qubit.
+        edge_calibrations: One :class:`EdgeCalibration` per directed edge.
+        sample_bits: Bits per stored complex sample (32 for IBM:
+            16-bit I + 16-bit Q), used by capacity accounting.
+        single_qubit_gates: Names of calibrated 1Q pulse gates.
+        two_qubit_gate: Name of the calibrated 2Q pulse gate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        topology: CouplingMap,
+        dt: float,
+        qubit_calibrations: Sequence[QubitCalibration],
+        edge_calibrations: Dict[Tuple[int, int], EdgeCalibration],
+        sample_bits: int = 32,
+        single_qubit_gates: Tuple[str, ...] = ("x", "sx"),
+        two_qubit_gate: str = "cx",
+    ) -> None:
+        if len(qubit_calibrations) != topology.n_qubits:
+            raise DeviceError(
+                f"{name}: {len(qubit_calibrations)} calibrations for "
+                f"{topology.n_qubits} qubits"
+            )
+        self.name = name
+        self.topology = topology
+        self.dt = float(dt)
+        self.sample_bits = int(sample_bits)
+        self.single_qubit_gates = tuple(single_qubit_gates)
+        self.two_qubit_gate = two_qubit_gate
+        self._qubit_cals = {cal.qubit: cal for cal in qubit_calibrations}
+        self._edge_cals = dict(edge_calibrations)
+        self._library: Optional[PulseLibrary] = None
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        return self.topology.n_qubits
+
+    @property
+    def sampling_rate(self) -> float:
+        """DAC sampling rate fs in samples/second."""
+        return 1.0 / self.dt
+
+    @property
+    def basis_gates(self) -> Tuple[str, ...]:
+        """Physical + virtual basis: calibrated pulses plus virtual RZ."""
+        return self.single_qubit_gates + ("rz", self.two_qubit_gate)
+
+    def qubit_calibration(self, qubit: int) -> QubitCalibration:
+        try:
+            return self._qubit_cals[qubit]
+        except KeyError:
+            raise DeviceError(f"{self.name}: no calibration for qubit {qubit}") from None
+
+    def edge_calibration(self, control: int, target: int) -> EdgeCalibration:
+        try:
+            return self._edge_cals[(control, target)]
+        except KeyError:
+            raise DeviceError(
+                f"{self.name}: no CR calibration for edge ({control}, {target})"
+            ) from None
+
+    # -- durations ---------------------------------------------------------
+
+    def gate_duration_samples(self, gate: str, qubits: Tuple[int, ...]) -> int:
+        """Pulse length in samples for ``gate`` on ``qubits``.
+
+        Virtual RZ gates take zero time (software Z, Section II-A).
+        """
+        if gate == "rz":
+            return 0
+        if gate in self.single_qubit_gates:
+            return self.qubit_calibration(qubits[0]).x_duration
+        if gate == self.two_qubit_gate:
+            return self.edge_calibration(*qubits).duration
+        if gate == "measure":
+            return self.qubit_calibration(qubits[0]).meas_duration
+        raise DeviceError(f"{self.name}: unknown gate {gate!r}")
+
+    def gate_duration(self, gate: str, qubits: Tuple[int, ...]) -> float:
+        """Pulse length in seconds."""
+        return self.gate_duration_samples(gate, qubits) * self.dt
+
+    # -- pulse synthesis ----------------------------------------------------
+
+    def pulse_library(self) -> PulseLibrary:
+        """The device's full waveform inventory (built once, cached).
+
+        Contains one waveform per (1Q gate, qubit), one per directed
+        coupled pair for the 2Q gate, and one readout pulse per qubit --
+        the same inventory Section III's capacity model sums over.
+        """
+        if self._library is None:
+            self._library = self._build_library()
+        return self._library
+
+    def _build_library(self) -> PulseLibrary:
+        library = PulseLibrary(device_name=self.name)
+        for qubit in range(self.n_qubits):
+            cal = self.qubit_calibration(qubit)
+            library.add(
+                Waveform(
+                    name=f"x_q{qubit}",
+                    samples=drag(cal.x_duration, cal.x_amp, cal.x_sigma, cal.x_beta),
+                    dt=self.dt,
+                    gate="x",
+                    qubits=(qubit,),
+                )
+            )
+            library.add(
+                Waveform(
+                    name=f"sx_q{qubit}",
+                    samples=drag(cal.x_duration, cal.sx_amp, cal.x_sigma, cal.sx_beta),
+                    dt=self.dt,
+                    gate="sx",
+                    qubits=(qubit,),
+                )
+            )
+            library.add(
+                Waveform(
+                    name=f"measure_q{qubit}",
+                    samples=gaussian_square(
+                        cal.meas_duration, cal.meas_amp, cal.meas_sigma, cal.meas_width
+                    ),
+                    dt=self.dt,
+                    gate="measure",
+                    qubits=(qubit,),
+                )
+            )
+        for (control, target), cal in sorted(self._edge_cals.items()):
+            envelope = gaussian_square(cal.duration, cal.amp, cal.sigma, cal.width)
+            rotated = envelope * np.exp(1j * cal.phase)
+            library.add(
+                Waveform(
+                    name=f"{self.two_qubit_gate}_q{control}_q{target}",
+                    samples=rotated,
+                    dt=self.dt,
+                    gate=self.two_qubit_gate,
+                    qubits=(control, target),
+                )
+            )
+        return library
+
+    # -- capacity accounting (Section III) ----------------------------------
+
+    def memory_per_qubit_bytes(self) -> float:
+        """Average uncompressed waveform memory per qubit device.
+
+        This is the paper's "18KB per qubit" estimate for IBM machines:
+        1Q gates + directed CR pulses + readout, averaged over qubits.
+        """
+        return self.pulse_library().total_bytes / self.n_qubits
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceModel(name={self.name!r}, qubits={self.n_qubits}, "
+            f"fs={self.sampling_rate / 1e9:.2f} GS/s)"
+        )

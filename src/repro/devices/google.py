@@ -1,0 +1,81 @@
+"""Synthetic Google-style device (Table I's second row).
+
+Grid connectivity, 1 GS/s DACs, very short gates (25 ns 1Q, ~30 ns 2Q),
+long 500 ns readout, 28-bit samples.  Used by the capacity/bandwidth
+scaling study (Fig 5a) -- Google's per-qubit memory footprint (~3 KB) is
+much smaller than IBM's because the gates are shorter and the DAC slower.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.backend import DeviceModel, EdgeCalibration, QubitCalibration
+from repro.devices.topology import grid_topology
+
+__all__ = ["google_device", "GOOGLE_SAMPLING_RATE", "GOOGLE_DT"]
+
+GOOGLE_SAMPLING_RATE = 1.0e9
+GOOGLE_DT = 1.0 / GOOGLE_SAMPLING_RATE
+
+_X_DURATION = 25  # 25 ns
+_TQ_DURATION = 32  # ~30 ns iSWAP-family flat-top
+_MEAS_DURATION = 500  # 500 ns readout
+
+
+def google_device(
+    rows: int = 6, cols: int = 9, seed: Optional[int] = None
+) -> DeviceModel:
+    """Build a Sycamore-like grid device (default 54 qubits).
+
+    Args:
+        rows: Grid rows.
+        cols: Grid columns.
+        seed: Calibration RNG seed (defaults to a stable hash).
+    """
+    topology = grid_topology(rows, cols)
+    rng_seed = seed if seed is not None else zlib.crc32(f"google{rows}x{cols}".encode())
+    rng = np.random.default_rng(rng_seed)
+    qubit_cals = []
+    for qubit in range(topology.n_qubits):
+        amp = float(np.clip(rng.normal(0.45, 0.05), 0.2, 0.8))
+        qubit_cals.append(
+            QubitCalibration(
+                qubit=qubit,
+                frequency=float(rng.uniform(5.5e9, 6.8e9)),
+                anharmonicity=float(rng.normal(-210e6, 10e6)),
+                x_duration=_X_DURATION,
+                x_amp=amp,
+                x_sigma=_X_DURATION / 4,
+                x_beta=float(rng.normal(-0.4, 0.2)),
+                sx_amp=amp / 2,
+                sx_beta=float(rng.normal(-0.4, 0.2)),
+                meas_duration=_MEAS_DURATION,
+                meas_amp=float(np.clip(rng.normal(0.35, 0.05), 0.15, 0.6)),
+                meas_sigma=20.0,
+                meas_width=_MEAS_DURATION - 80,
+            )
+        )
+    edge_cals: Dict[Tuple[int, int], EdgeCalibration] = {}
+    for control, target in sorted(topology.directed_edges):
+        edge_cals[(control, target)] = EdgeCalibration(
+            control=control,
+            target=target,
+            duration=_TQ_DURATION,
+            amp=float(np.clip(rng.normal(0.5, 0.08), 0.2, 0.9)),
+            sigma=4.0,
+            width=_TQ_DURATION - 16,
+            phase=float(rng.uniform(-np.pi, np.pi)),
+        )
+    return DeviceModel(
+        name=f"google_{rows}x{cols}",
+        topology=topology,
+        dt=GOOGLE_DT,
+        qubit_calibrations=qubit_cals,
+        edge_calibrations=edge_cals,
+        sample_bits=28,
+        two_qubit_gate="iswap",
+    )

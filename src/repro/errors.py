@@ -1,0 +1,33 @@
+"""Exception hierarchy for the COMPAQT reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompressionError(ReproError):
+    """A waveform could not be compressed or decompressed.
+
+    Raised for invalid window sizes, corrupt encoded streams, or when
+    fidelity-aware compression cannot satisfy the requested error target.
+    """
+
+
+class DeviceError(ReproError):
+    """A device model was queried for something it does not have.
+
+    Raised for unknown device names, out-of-range qubit indices, or gates
+    missing from a device's basis set.
+    """
+
+
+class ScheduleError(ReproError):
+    """A circuit could not be scheduled onto a device."""
+
+
+class SimulationError(ReproError):
+    """A quantum simulation received invalid inputs."""

@@ -1,0 +1,59 @@
+"""Microarchitecture models: decompression pipeline, memory, resources,
+timing and power."""
+
+from repro.microarch.memory import BankedChannelMemory, MemoryStats
+from repro.microarch.rle_decoder import RleDecoder
+from repro.microarch.idct_engine import IdctEngine, MULT_ADD_EQUIVALENT
+from repro.microarch.dac import DacBuffer
+from repro.microarch.pipeline_sim import (
+    StreamReport,
+    DecompressionPipeline,
+    BaselineStreamer,
+)
+from repro.microarch.resources import (
+    ResourceEstimate,
+    QICK_BASELINE_RESOURCES,
+    ZCU7EV_TOTALS,
+    idct_resources,
+    ClockModel,
+)
+from repro.microarch.power import SramModel, PowerBreakdown, CryoControllerPower
+from repro.microarch.sequencer import (
+    SeqOp,
+    SeqInstruction,
+    PulseProgram,
+    assemble_schedule,
+    ExecutionTrace,
+    ControllerExecutor,
+)
+from repro.microarch.fdm import FdmPlan, FdmMixer, max_fdm_channels, plan_fdm
+
+__all__ = [
+    "BankedChannelMemory",
+    "MemoryStats",
+    "RleDecoder",
+    "IdctEngine",
+    "MULT_ADD_EQUIVALENT",
+    "DacBuffer",
+    "StreamReport",
+    "DecompressionPipeline",
+    "BaselineStreamer",
+    "ResourceEstimate",
+    "QICK_BASELINE_RESOURCES",
+    "ZCU7EV_TOTALS",
+    "idct_resources",
+    "ClockModel",
+    "SramModel",
+    "PowerBreakdown",
+    "CryoControllerPower",
+    "SeqOp",
+    "SeqInstruction",
+    "PulseProgram",
+    "assemble_schedule",
+    "ExecutionTrace",
+    "ControllerExecutor",
+    "FdmPlan",
+    "FdmMixer",
+    "max_fdm_channels",
+    "plan_fdm",
+]

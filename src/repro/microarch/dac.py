@@ -1,0 +1,70 @@
+"""DAC streaming model.
+
+The DAC consumes ``clock_ratio`` samples per fabric cycle (its clock is
+that much faster than the FPGA fabric).  The buffer model checks the
+decompression pipeline can sustain that rate -- the signal-integrity
+requirement of Section II-B -- and reports underruns otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["DacBuffer"]
+
+
+@dataclass
+class DacBuffer:
+    """A FIFO between the decompression pipeline and the DAC.
+
+    Producer: ``push`` whole decoded windows each fabric cycle.
+    Consumer: ``drain`` exactly ``clock_ratio`` samples per fabric cycle
+    once streaming starts.
+
+    Attributes:
+        clock_ratio: DAC samples consumed per fabric cycle.
+        underruns: Cycles where the DAC needed samples the pipeline had
+            not yet produced.
+    """
+
+    clock_ratio: int
+    underruns: int = 0
+    _fifo: List[int] = field(default_factory=list)
+    _streamed: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.clock_ratio < 1:
+            raise ReproError(f"clock ratio must be >= 1, got {self.clock_ratio}")
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def streamed(self) -> np.ndarray:
+        """Everything the DAC has consumed so far, in order."""
+        return np.asarray(self._streamed, dtype=np.int64)
+
+    def push(self, samples: np.ndarray) -> None:
+        """Producer side: append one decoded window (or repeat burst)."""
+        self._fifo.extend(int(s) for s in np.asarray(samples).ravel())
+
+    def drain_cycle(self) -> int:
+        """Consumer side: take up to ``clock_ratio`` samples; returns the
+        number actually delivered and records an underrun if short."""
+        take = min(self.clock_ratio, len(self._fifo))
+        if take < self.clock_ratio:
+            self.underruns += 1
+        self._streamed.extend(self._fifo[:take])
+        del self._fifo[:take]
+        return take
+
+    def drain_all(self) -> None:
+        """Flush the FIFO at end of pulse (partial final cycle is fine)."""
+        self._streamed.extend(self._fifo)
+        self._fifo.clear()

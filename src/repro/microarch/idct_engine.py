@@ -1,0 +1,83 @@
+"""The IDCT engine (stage 2 of Fig 10's pipeline).
+
+One engine inverts one coefficient window per fabric cycle.  The
+int-DCT-W engine is multiplierless -- its dataflow is shifts and adds
+only (Section V-B) -- which is why its latency is a single cycle and its
+critical-path cost is low (Fig 16).  Sample output is bit-identical to
+:func:`repro.compression.pipeline.inverse_transform`; a test cross-checks
+it against the pure shift-add reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.compression.pipeline import inverse_transform
+from repro.transforms.csd import OpCount
+from repro.transforms.integer_dct import idct_adder_depth, idct_op_counts
+
+__all__ = ["IdctEngine"]
+
+
+@dataclass
+class IdctEngine:
+    """An N-point inverse-transform unit with operation accounting.
+
+    Attributes:
+        window_size: Transform length N.
+        variant: "int-DCT-W" (shift-add) or "DCT-W" (multipliers).
+        windows_processed: Invocation counter (one per fabric cycle).
+    """
+
+    window_size: int
+    variant: str = "int-DCT-W"
+    windows_processed: int = 0
+    _ops: OpCount = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("int-DCT-W", "DCT-W"):
+            raise CompressionError(
+                f"IDCT engine variant must be windowed, got {self.variant!r}"
+            )
+        self._ops = idct_op_counts(self.window_size, self.variant)
+
+    @property
+    def op_counts(self) -> OpCount:
+        """Hardware ops of one engine instance (Table IV)."""
+        return self._ops
+
+    @property
+    def adder_depth(self) -> int:
+        """Combinational depth in adder levels (feeds the clock model)."""
+        return idct_adder_depth(self.window_size, self.variant)
+
+    @property
+    def ops_per_window(self) -> int:
+        """Dynamic add-equivalent operations per inverted window.
+
+        A multiplier counts as :data:`MULT_ADD_EQUIVALENT` adds; used by
+        the ASIC power model.
+        """
+        return (
+            self._ops.adders
+            + self._ops.shifters * 0  # shifts are wiring
+            + self._ops.multipliers * MULT_ADD_EQUIVALENT
+        )
+
+    def invert(self, coeffs: np.ndarray) -> np.ndarray:
+        """Invert one window of coefficients into time-domain samples."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        if coeffs.size != self.window_size:
+            raise CompressionError(
+                f"engine is {self.window_size}-point, got {coeffs.size} coefficients"
+            )
+        self.windows_processed += 1
+        return inverse_transform(coeffs, self.variant)
+
+
+#: Dynamic-energy weight of one real multiplier relative to one adder
+#: (16-bit array multiplier ~ 16 adder rows, ~half active on average).
+MULT_ADD_EQUIVALENT = 8

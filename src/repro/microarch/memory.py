@@ -1,0 +1,96 @@
+"""Banked compressed waveform memory (Fig 12).
+
+Stores one compressed waveform channel striped across banks so that one
+whole compressed window (the uniform width) can be fetched per fabric
+cycle.  Read counting feeds the bandwidth-gain numbers and the ASIC
+power model (every avoided read is saved energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.compression.pipeline import CompressedChannel
+from repro.transforms.rle import TAG_COEFF, MemoryWord
+
+__all__ = ["BankedChannelMemory", "MemoryStats"]
+
+
+@dataclass
+class MemoryStats:
+    """Access accounting for one banked memory instance."""
+
+    reads: int = 0
+    reads_per_bank: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, bank: int, count: int = 1) -> None:
+        self.reads += count
+        self.reads_per_bank[bank] = self.reads_per_bank.get(bank, 0) + count
+
+
+class BankedChannelMemory:
+    """One channel of compressed waveform memory, striped across banks.
+
+    Window ``w``'s words occupy per-bank address ``w`` in banks
+    ``0..width-1``; windows shorter than the uniform width are padded
+    with zero-coefficient words (Fig 12c).
+
+    Args:
+        channel: The compressed channel to load.
+        width: Uniform window width in words; defaults to the channel's
+            worst case.
+    """
+
+    def __init__(self, channel: CompressedChannel, width: int = 0) -> None:
+        self.channel = channel
+        self.width = width or channel.worst_case_words
+        if self.width < channel.worst_case_words:
+            raise CompressionError(
+                f"width {self.width} below channel worst case "
+                f"{channel.worst_case_words}"
+            )
+        self.stats = MemoryStats()
+        self._banks: List[List[MemoryWord]] = [[] for _ in range(self.width)]
+        for window in channel.windows:
+            words = window.to_words()
+            words += [MemoryWord(TAG_COEFF, 0)] * (self.width - len(words))
+            for bank, word in enumerate(words):
+                self._banks[bank].append(word)
+
+    @property
+    def n_banks(self) -> int:
+        return self.width
+
+    @property
+    def n_windows(self) -> int:
+        return self.channel.n_windows
+
+    @property
+    def words_per_bank(self) -> int:
+        return self.n_windows
+
+    @property
+    def total_words(self) -> int:
+        """Stored footprint in words (uniform packing)."""
+        return self.n_windows * self.width
+
+    def fetch_window(self, window: int) -> List[MemoryWord]:
+        """Read all words of one window -- one access per bank, one
+        fabric cycle."""
+        if not 0 <= window < self.n_windows:
+            raise CompressionError(
+                f"window {window} outside 0..{self.n_windows - 1}"
+            )
+        words = []
+        for bank in range(self.width):
+            self.stats.record(bank)
+            words.append(self._banks[bank][window])
+        return words
+
+    def useful_words(self) -> int:
+        """Words that carry payload (excludes uniform-width padding)."""
+        return self.channel.stored_words_variable

@@ -1,0 +1,139 @@
+"""Cryogenic ASIC power models (Figs 18 and 19, Section VII-D).
+
+Stands in for Destiny/CACTI (SRAM) and Synopsys DC + TSMC 40nm (IDCT
+engine).  The SRAM model follows the CACTI shape -- read energy grows
+with the square root of capacity (wordline/bitline length), leakage
+linearly -- with constants calibrated so the uncompressed baseline
+dissipates ~14 mW of memory power at the IBM sample rate, matching
+Fig 18's left bar.  The claims we reproduce are *relative* (memory
+power divided by the compression factor, IDCT overhead small, adaptive
+bypass on top), and those ratios are insensitive to the absolute
+calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.microarch.idct_engine import IdctEngine
+
+__all__ = ["SramModel", "PowerBreakdown", "CryoControllerPower"]
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """Analytic SRAM read-energy / leakage model (Destiny-style).
+
+    ``E_read(C) = e0 + e1 * sqrt(C / 1KB)`` picojoules,
+    ``P_leak(C) = leak_mw_per_kb * C``.
+    """
+
+    e0_pj: float = 0.5
+    e1_pj: float = 0.61
+    leak_mw_per_kb: float = 0.005
+
+    def read_energy_pj(self, capacity_bytes: float) -> float:
+        """Energy of one word read from an SRAM of this capacity."""
+        if capacity_bytes <= 0:
+            raise ReproError(f"capacity must be positive, got {capacity_bytes}")
+        return self.e0_pj + self.e1_pj * math.sqrt(capacity_bytes / 1e3)
+
+    def leakage_mw(self, capacity_bytes: float) -> float:
+        return self.leak_mw_per_kb * capacity_bytes / 1e3
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component controller power in milliwatts (Fig 18's stacks)."""
+
+    dac_mw: float
+    memory_mw: float
+    idct_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.dac_mw + self.memory_mw + self.idct_mw
+
+
+@dataclass(frozen=True)
+class CryoControllerPower:
+    """Power model of one qubit's control slice in a cryo-CMOS ASIC.
+
+    Attributes:
+        sample_rate_hz: DAC (and therefore sample-stream) rate.
+        sram: SRAM energy model.
+        dac_mw: DAC power (Fig 18 uses a 2 mW reference).
+        add_energy_pj: Dynamic energy of one 16-bit add at 40 nm.
+    """
+
+    sample_rate_hz: float = 4.54e9
+    sram: SramModel = SramModel()
+    dac_mw: float = 2.0
+    add_energy_pj: float = 0.02
+
+    # -- component powers ----------------------------------------------------
+
+    def memory_power_mw(
+        self, capacity_bytes: float, words_per_second: float
+    ) -> float:
+        """Dynamic + leakage power of the waveform SRAM."""
+        if words_per_second < 0:
+            raise ReproError(f"negative access rate: {words_per_second}")
+        dynamic = self.sram.read_energy_pj(capacity_bytes) * words_per_second * 1e-9
+        return dynamic + self.sram.leakage_mw(capacity_bytes)
+
+    def idct_power_mw(
+        self, window_size: int, variant: str = "int-DCT-W", duty: float = 1.0
+    ) -> float:
+        """IDCT engine power at full streaming rate times ``duty``.
+
+        The engine inverts ``sample_rate / window_size`` windows per
+        second per channel (two channels).
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ReproError(f"duty must be in [0, 1], got {duty}")
+        engine = IdctEngine(window_size, variant)
+        windows_per_second = 2 * self.sample_rate_hz / window_size
+        ops_per_second = engine.ops_per_window * windows_per_second * duty
+        return ops_per_second * self.add_energy_pj * 1e-9
+
+    # -- whole-controller scenarios (Fig 18 / Fig 19) -------------------------
+
+    def uncompressed(self, capacity_bytes: float = 18e3) -> PowerBreakdown:
+        """Baseline: every sample read from SRAM (one 32-bit I+Q word
+        per DAC sample)."""
+        words_per_second = self.sample_rate_hz
+        return PowerBreakdown(
+            dac_mw=self.dac_mw,
+            memory_mw=self.memory_power_mw(capacity_bytes, words_per_second),
+            idct_mw=0.0,
+        )
+
+    def compaqt(
+        self,
+        compression_ratio: float,
+        window_size: int,
+        variant: str = "int-DCT-W",
+        capacity_bytes: float = 18e3,
+        memory_duty: float = 1.0,
+        idct_duty: float = 1.0,
+    ) -> PowerBreakdown:
+        """COMPAQT: smaller SRAM read ``R``x less often, plus the engine.
+
+        ``memory_duty`` / ``idct_duty`` model adaptive decompression
+        (Fig 19): during a flat-top plateau neither the memory nor the
+        IDCT engine is active, so the duty is the non-plateau fraction.
+        """
+        if compression_ratio < 1.0:
+            raise ReproError(
+                f"compression ratio must be >= 1, got {compression_ratio}"
+            )
+        compressed_capacity = capacity_bytes / compression_ratio
+        words_per_second = self.sample_rate_hz / compression_ratio * memory_duty
+        return PowerBreakdown(
+            dac_mw=self.dac_mw,
+            memory_mw=self.memory_power_mw(compressed_capacity, words_per_second),
+            idct_mw=self.idct_power_mw(window_size, variant, duty=idct_duty),
+        )

@@ -1,0 +1,135 @@
+"""FPGA resource and timing models (Table VIII, Fig 16).
+
+The paper synthesizes the int-DCT-W IDCT engines with Vivado on the
+Xilinx zc7u7ev; offline we derive LUT/FF counts and achievable clock
+from the *actual* operation graph of our engines:
+
+- LUTs scale with adder count times datapath width (a W-bit ripple/carry
+  adder maps to ~W LUTs, fractionally discounted by carry chains);
+  multipliers in the DCT-W engine cost ~W^2/2 LUT equivalents;
+- FFs are the pipeline I/O registers (coefficients in, samples out);
+- achievable clock follows the combinational depth in adder levels plus
+  a fixed routing overhead.
+
+The three model constants below were calibrated once against the
+paper's published Table VIII / Fig 16 rows; the benches print our model
+output next to the paper values so the deviation is always visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.transforms.csd import OpCount
+from repro.transforms.integer_dct import idct_adder_depth, idct_op_counts
+
+__all__ = [
+    "ResourceEstimate",
+    "QICK_BASELINE_RESOURCES",
+    "ZCU7EV_TOTALS",
+    "idct_resources",
+    "ClockModel",
+]
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT/FF usage of one module."""
+
+    luts: int
+    flipflops: int
+
+    def utilization(self, totals: "ResourceEstimate") -> "tuple[float, float]":
+        """(LUT%, FF%) of the given device totals."""
+        return (
+            100.0 * self.luts / totals.luts,
+            100.0 * self.flipflops / totals.flipflops,
+        )
+
+
+#: QICK single-qubit control baseline synthesized on the zc7u7ev
+#: (Table VIII row 1).
+QICK_BASELINE_RESOURCES = ResourceEstimate(luts=3386, flipflops=6448)
+
+#: Xilinx zc7u7ev totals (Table VIII's percentages).
+ZCU7EV_TOTALS = ResourceEstimate(luts=230400, flipflops=460800)
+
+#: Calibrated LUTs per adder bit (carry chains pack tighter than 1.0).
+_LUT_PER_ADDER_BIT = 0.62
+
+#: Calibrated LUT cost of one W-bit multiplier, per bit^2.
+_LUT_PER_MULT_BIT2 = 0.5
+
+#: Fixed control/FSM overhead per engine.
+_CONTROL_LUTS = 40
+_CONTROL_FFS = 10
+
+
+def idct_resources(
+    window_size: int, variant: str = "int-DCT-W", datapath_bits: int = 16
+) -> ResourceEstimate:
+    """LUT/FF estimate for one N-point IDCT engine.
+
+    Derived from the engine's real operation graph
+    (:func:`repro.transforms.integer_dct.idct_op_counts`); constants are
+    calibrated to Table VIII.
+    """
+    if datapath_bits < 1:
+        raise ReproError(f"datapath width must be >= 1 bit, got {datapath_bits}")
+    ops: OpCount = idct_op_counts(window_size, variant)
+    luts = (
+        ops.adders * datapath_bits * _LUT_PER_ADDER_BIT
+        + ops.multipliers * datapath_bits**2 * _LUT_PER_MULT_BIT2
+        + _CONTROL_LUTS
+    )
+    # Registers: N input coefficients and N output samples per engine,
+    # at datapath width, plus control state.
+    flipflops = 2 * window_size * datapath_bits + _CONTROL_FFS
+    return ResourceEstimate(luts=int(round(luts)), flipflops=int(round(flipflops)))
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Achievable fabric clock with an unpipelined IDCT engine inline.
+
+    ``T = routing_overhead_ns + depth * adder_level_ns (+ mult_penalty)``
+    and ``fmax = min(baseline, 1/T)``.  Pipelined engines restore the
+    baseline clock (Section VII-C: the int-DCT-W engine "can be
+    pipelined to enable a design with no clock frequency degradation").
+
+    Attributes:
+        baseline_fmax_hz: QICK's 294 MHz synthesis result.
+        adder_level_ns: Delay per adder level (LUT + local route).
+        routing_overhead_ns: Fixed insertion overhead of the engine.
+        multiplier_penalty_ns: Extra global routing per multiplier stage
+            (DCT-W only).
+    """
+
+    baseline_fmax_hz: float = 294e6
+    adder_level_ns: float = 0.35
+    routing_overhead_ns: float = 1.95
+    multiplier_penalty_ns: float = 0.30
+
+    def engine_delay_ns(self, window_size: int, variant: str = "int-DCT-W") -> float:
+        depth = idct_adder_depth(window_size, variant)
+        delay = self.routing_overhead_ns + depth * self.adder_level_ns
+        if variant == "DCT-W":
+            delay += self.multiplier_penalty_ns
+        return delay
+
+    def fmax_hz(
+        self, window_size: int, variant: str = "int-DCT-W", pipelined: bool = False
+    ) -> float:
+        """Achievable clock with the engine inserted in the QICK path."""
+        if pipelined:
+            return self.baseline_fmax_hz
+        engine_hz = 1e9 / self.engine_delay_ns(window_size, variant)
+        return min(self.baseline_fmax_hz, engine_hz)
+
+    def normalized_fmax(
+        self, window_size: int, variant: str = "int-DCT-W", pipelined: bool = False
+    ) -> float:
+        """Fig 16's normalized frequency (baseline = 1.0)."""
+        return self.fmax_hz(window_size, variant, pipelined) / self.baseline_fmax_hz

@@ -1,0 +1,78 @@
+"""Cycle-level RLE decoder (stage 1 of Fig 10's pipeline).
+
+Consumes the tagged words of one compressed window and emits the full
+coefficient vector: coefficients pass through, the zero-run codeword
+expands to zeros, and uniform-width padding after the codeword is
+checked and dropped.  Latency is one fabric cycle per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.transforms.rle import TAG_COEFF, TAG_REPEAT, TAG_ZERO_RUN, MemoryWord
+
+__all__ = ["RleDecoder"]
+
+
+@dataclass
+class RleDecoder:
+    """Stateless per-window decoder with access accounting.
+
+    Attributes:
+        window_size: Coefficients per decoded window.
+        windows_decoded: Cycle counter (one window per cycle).
+        zeros_expanded: Total zeros materialized from codewords -- the
+            "free" bandwidth COMPAQT mines.
+    """
+
+    window_size: int
+    windows_decoded: int = 0
+    zeros_expanded: int = 0
+
+    def decode(self, words: Sequence[MemoryWord]) -> np.ndarray:
+        """Decode one window's words into ``window_size`` coefficients.
+
+        Raises:
+            CompressionError: On malformed streams -- payload after the
+                codeword, repeat words (those bypass this stage), or a
+                length mismatch.
+        """
+        coeffs: List[int] = []
+        run_seen = False
+        for word in words:
+            if run_seen:
+                # Uniform-width padding; must be inert.
+                if word.tag != TAG_COEFF or word.value != 0:
+                    raise CompressionError(
+                        f"payload word {word} after zero-run codeword"
+                    )
+                continue
+            if word.tag == TAG_COEFF:
+                coeffs.append(word.value)
+                if len(coeffs) == self.window_size:
+                    run_seen = True  # remaining words are padding
+            elif word.tag == TAG_ZERO_RUN:
+                if word.value < 1:
+                    raise CompressionError(f"empty zero run in {word}")
+                self.zeros_expanded += word.value
+                coeffs.extend([0] * word.value)
+                run_seen = True
+            elif word.tag == TAG_REPEAT:
+                raise CompressionError(
+                    "repeat codewords bypass the RLE/IDCT pipeline "
+                    "(adaptive decompression, Fig 13)"
+                )
+            else:
+                raise CompressionError(f"unknown word tag {word.tag}")
+        if len(coeffs) != self.window_size:
+            raise CompressionError(
+                f"window decoded to {len(coeffs)} coefficients, "
+                f"expected {self.window_size}"
+            )
+        self.windows_decoded += 1
+        return np.asarray(coeffs, dtype=np.int64)

@@ -1,0 +1,246 @@
+"""Pulse sequencer, instruction buffer and controller executor (Fig 6).
+
+The COMPAQT microarchitecture block diagram has three pieces we model
+here on top of the decompression pipeline:
+
+- a **pulse program**: the instruction stream the host loads into the
+  controller's instruction buffer (PLAY / DELAY / SYNC / END);
+- an **assembler** that lowers an ASAP :class:`Schedule` into one
+  instruction stream per output channel (each qubit's drive line);
+- a **sequencer/executor** that runs the program cycle-accurately:
+  every PLAY triggers the decompression pipeline for that gate's
+  compressed waveform, DELAY emits idle samples, and the per-channel
+  sample streams are stitched together exactly as the DACs would see
+  them.
+
+Two-qubit (cross-resonance) gates occupy *two* channels: the CR drive
+on the control qubit's line and the matching cancellation tone on the
+target's line -- the same two-stream accounting the bandwidth profiler
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.circuits.schedule import Schedule
+
+if TYPE_CHECKING:  # avoid the core <-> microarch import cycle
+    from repro.core.controller import QubitController
+
+__all__ = [
+    "SeqOp",
+    "SeqInstruction",
+    "PulseProgram",
+    "assemble_schedule",
+    "ExecutionTrace",
+    "ControllerExecutor",
+]
+
+
+class SeqOp:
+    """Sequencer opcodes."""
+
+    PLAY = "play"
+    DELAY = "delay"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class SeqInstruction:
+    """One instruction in a channel's stream.
+
+    Attributes:
+        opcode: :class:`SeqOp` member.
+        duration: Samples this instruction occupies on the channel.
+        gate: For PLAY, the gate whose waveform is fetched.
+        qubits: For PLAY, the library key's qubit tuple.
+    """
+
+    opcode: str
+    duration: int = 0
+    gate: str = ""
+    qubits: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.opcode not in (SeqOp.PLAY, SeqOp.DELAY, SeqOp.END):
+            raise ScheduleError(f"unknown sequencer opcode {self.opcode!r}")
+        if self.duration < 0:
+            raise ScheduleError(f"negative duration: {self.duration}")
+        if self.opcode == SeqOp.PLAY and not self.gate:
+            raise ScheduleError("PLAY requires a gate binding")
+
+
+@dataclass
+class PulseProgram:
+    """Per-channel instruction streams plus program metadata.
+
+    Channels are qubit drive lines, keyed by qubit index.
+    """
+
+    name: str
+    channels: Dict[int, List[SeqInstruction]] = field(default_factory=dict)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(len(stream) for stream in self.channels.values())
+
+    def channel_duration(self, channel: int) -> int:
+        """Samples a channel's stream occupies (END excluded)."""
+        return sum(inst.duration for inst in self.channels.get(channel, []))
+
+    @property
+    def makespan(self) -> int:
+        if not self.channels:
+            return 0
+        return max(self.channel_duration(c) for c in self.channels)
+
+    def instruction_buffer_bytes(self, bytes_per_instruction: int = 8) -> int:
+        """Footprint of the instruction buffer (Fig 6's ``Inst. Buffer``)."""
+        return self.n_instructions * bytes_per_instruction
+
+
+def assemble_schedule(schedule: Schedule, name: str = "program") -> PulseProgram:
+    """Lower an ASAP schedule to per-channel sequencer streams.
+
+    Every scheduled gate becomes a PLAY on each of its qubits' channels
+    (preceded by the DELAY that aligns it to its start time); channel
+    streams end with END.
+
+    Raises:
+        ScheduleError: If a channel would need to play two pulses at
+            once (the schedule is malformed).
+    """
+    channels: Dict[int, List[SeqInstruction]] = {}
+    cursor: Dict[int, int] = {}
+    for entry in sorted(schedule.entries, key=lambda e: (e.start, e.qubits)):
+        if entry.duration == 0:
+            continue  # virtual RZ: frame update, no channel time
+        for qubit in entry.qubits:
+            stream = channels.setdefault(qubit, [])
+            position = cursor.get(qubit, 0)
+            if entry.start < position:
+                raise ScheduleError(
+                    f"channel {qubit} overlap: pulse at {entry.start} "
+                    f"but channel busy until {position}"
+                )
+            if entry.start > position:
+                stream.append(
+                    SeqInstruction(SeqOp.DELAY, duration=entry.start - position)
+                )
+            stream.append(
+                SeqInstruction(
+                    SeqOp.PLAY,
+                    duration=entry.duration,
+                    gate=entry.gate,
+                    qubits=entry.qubits,
+                )
+            )
+            cursor[qubit] = entry.stop
+    for stream in channels.values():
+        stream.append(SeqInstruction(SeqOp.END))
+    return PulseProgram(name=name, channels=channels)
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of executing a pulse program on the controller.
+
+    Attributes:
+        i_streams / q_streams: Per-channel stitched sample streams (the
+            exact DAC inputs, idle samples are zero).
+        bram_reads: Total compressed-memory reads across all PLAYs.
+        idct_windows: Total windows inverted.
+        plays: PLAY instructions executed.
+        baseline_reads: Reads an uncompressed memory would have needed
+            (one word per sample per channel).
+    """
+
+    program: PulseProgram
+    i_streams: Dict[int, np.ndarray]
+    q_streams: Dict[int, np.ndarray]
+    bram_reads: int = 0
+    idct_windows: int = 0
+    plays: int = 0
+    baseline_reads: int = 0
+
+    @property
+    def bandwidth_gain(self) -> float:
+        """Streamed samples per memory word over the whole program."""
+        if self.bram_reads == 0:
+            return float("inf")
+        return self.baseline_reads / self.bram_reads
+
+    def channel_utilization(self, channel: int) -> float:
+        """Fraction of a channel's timeline carrying non-idle samples."""
+        stream = self.i_streams.get(channel)
+        if stream is None or stream.size == 0:
+            return 0.0
+        busy = sum(
+            inst.duration
+            for inst in self.program.channels[channel]
+            if inst.opcode == SeqOp.PLAY
+        )
+        return busy / stream.size
+
+
+class ControllerExecutor:
+    """Executes pulse programs against a :class:`QubitController`.
+
+    Every PLAY streams the gate's compressed waveform through the
+    cycle-level decompression pipeline; the resulting samples are placed
+    at the instruction's position in the channel stream.
+    """
+
+    def __init__(self, controller: "QubitController") -> None:
+        self.controller = controller
+
+    def run(self, program: PulseProgram) -> ExecutionTrace:
+        """Execute all channels; returns the stitched DAC streams."""
+        makespan = program.makespan
+        trace = ExecutionTrace(
+            program=program,
+            i_streams={},
+            q_streams={},
+        )
+        for channel, stream in sorted(program.channels.items()):
+            i_out = np.zeros(makespan, dtype=np.int64)
+            q_out = np.zeros(makespan, dtype=np.int64)
+            position = 0
+            for inst in stream:
+                if inst.opcode == SeqOp.END:
+                    break
+                if inst.opcode == SeqOp.DELAY:
+                    position += inst.duration
+                    continue
+                report = self.controller.play(inst.gate, inst.qubits)
+                if report.n_samples != inst.duration:
+                    raise ScheduleError(
+                        f"waveform for {inst.gate!r} on {inst.qubits} is "
+                        f"{report.n_samples} samples, instruction says "
+                        f"{inst.duration}"
+                    )
+                i_out[position : position + inst.duration] = report.i_samples
+                q_out[position : position + inst.duration] = report.q_samples
+                trace.bram_reads += report.bram_reads
+                trace.idct_windows += report.idct_windows
+                trace.baseline_reads += 2 * report.n_samples
+                trace.plays += 1
+                position += inst.duration
+            trace.i_streams[channel] = i_out
+            trace.q_streams[channel] = q_out
+        return trace
+
+    def run_circuit(
+        self, schedule: Schedule, name: str = "circuit"
+    ) -> ExecutionTrace:
+        """Assemble and execute a schedule in one call."""
+        return self.run(assemble_schedule(schedule, name=name))

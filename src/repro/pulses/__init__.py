@@ -1,0 +1,35 @@
+"""Waveform synthesis: envelopes, fixed-point samples, pulse libraries."""
+
+from repro.pulses.envelopes import (
+    gaussian,
+    lifted_gaussian,
+    drag,
+    gaussian_square,
+    cosine_tapered,
+    constant,
+)
+from repro.pulses.quantization import (
+    SAMPLE_BITS,
+    FULL_SCALE,
+    quantize,
+    dequantize,
+    quantize_iq,
+)
+from repro.pulses.waveform import Waveform
+from repro.pulses.library import PulseLibrary
+
+__all__ = [
+    "gaussian",
+    "lifted_gaussian",
+    "drag",
+    "gaussian_square",
+    "cosine_tapered",
+    "constant",
+    "SAMPLE_BITS",
+    "FULL_SCALE",
+    "quantize",
+    "dequantize",
+    "quantize_iq",
+    "Waveform",
+    "PulseLibrary",
+]

@@ -1,0 +1,140 @@
+"""Pulse envelope generators for superconducting qubit control.
+
+These are the waveform families used by IBM/Google control stacks and
+referenced throughout the paper (Section II-A):
+
+- :func:`gaussian` / :func:`lifted_gaussian`: symmetric bell shapes for
+  simple single-qubit gates;
+- :func:`drag`: Derivative Removal by Adiabatic Gate -- the standard
+  single-qubit pulse (Fig 8's input waveform).  The quadrature component
+  is the scaled derivative of the in-phase Gaussian, so it *crosses
+  zero* at the pulse center, which is what defeats the delta-compression
+  baseline (Fig 7a);
+- :func:`gaussian_square`: flat-top pulse with Gaussian ramps, used for
+  cross-resonance two-qubit gates and readout (Fig 13a);
+- :func:`cosine_tapered` and :func:`constant`: additional families used
+  by the fluxonium device model and tests.
+
+All generators return complex ``float64`` arrays (I = real part,
+Q = imaginary part) with magnitudes in [-1, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gaussian",
+    "lifted_gaussian",
+    "drag",
+    "gaussian_square",
+    "cosine_tapered",
+    "constant",
+]
+
+
+def _check_duration(duration: int) -> None:
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1 sample, got {duration}")
+
+
+def gaussian(duration: int, amp: float, sigma: float) -> np.ndarray:
+    """Plain Gaussian envelope (not lifted; edges are non-zero).
+
+    Args:
+        duration: Length in samples.
+        amp: Peak amplitude.
+        sigma: Standard deviation in samples.
+    """
+    _check_duration(duration)
+    t = np.arange(duration, dtype=np.float64)
+    center = (duration - 1) / 2
+    return (amp * np.exp(-0.5 * ((t - center) / sigma) ** 2)).astype(np.complex128)
+
+
+def lifted_gaussian(duration: int, amp: float, sigma: float) -> np.ndarray:
+    """Gaussian lifted so the first/last samples sit exactly at zero.
+
+    This matches Qiskit Pulse's ``Gaussian``: subtract the value one
+    sample outside the window and rescale, which keeps the spectrum
+    tight (no step discontinuity at the edges).
+    """
+    _check_duration(duration)
+    t = np.arange(duration, dtype=np.float64)
+    center = (duration - 1) / 2
+    body = np.exp(-0.5 * ((t - center) / sigma) ** 2)
+    edge = np.exp(-0.5 * ((-1 - center) / sigma) ** 2)
+    lifted = (body - edge) / (1.0 - edge)
+    return (amp * lifted).astype(np.complex128)
+
+
+def drag(duration: int, amp: float, sigma: float, beta: float) -> np.ndarray:
+    """DRAG pulse: lifted Gaussian I, derivative Q (zero-crossing).
+
+    Args:
+        duration: Length in samples.
+        amp: Peak in-phase amplitude.
+        sigma: Gaussian width in samples.
+        beta: DRAG coefficient; Q(t) = beta * dI/dt (per-sample units).
+    """
+    _check_duration(duration)
+    i_part = lifted_gaussian(duration, amp, sigma).real
+    t = np.arange(duration, dtype=np.float64)
+    center = (duration - 1) / 2
+    # d/dt of the (unlifted) Gaussian; the lift constant differentiates
+    # away.  Same convention as Qiskit Pulse's Drag.
+    q_part = beta * (-(t - center) / sigma**2) * amp * np.exp(
+        -0.5 * ((t - center) / sigma) ** 2
+    )
+    return i_part + 1j * q_part
+
+
+def gaussian_square(
+    duration: int, amp: float, sigma: float, width: int
+) -> np.ndarray:
+    """Flat-top pulse: Gaussian rise, constant plateau, Gaussian fall.
+
+    Args:
+        duration: Total length in samples.
+        amp: Plateau amplitude.
+        sigma: Ramp Gaussian width in samples.
+        width: Plateau length in samples; ramps split the remainder.
+    """
+    _check_duration(duration)
+    if not 0 <= width <= duration:
+        raise ValueError(f"width {width} outside [0, {duration}]")
+    ramp_total = duration - width
+    rise_len = ramp_total // 2
+    fall_len = ramp_total - rise_len
+    envelope = np.full(duration, float(amp), dtype=np.float64)
+    if rise_len:
+        rise = lifted_gaussian(2 * rise_len, amp, sigma).real[:rise_len]
+        envelope[:rise_len] = rise
+    if fall_len:
+        fall = lifted_gaussian(2 * fall_len, amp, sigma).real[fall_len:]
+        envelope[duration - fall_len :] = fall
+    return envelope.astype(np.complex128)
+
+
+def cosine_tapered(duration: int, amp: float, taper_fraction: float = 0.5) -> np.ndarray:
+    """Tukey-style envelope: raised-cosine ramps around a flat center.
+
+    ``taper_fraction=1`` gives a pure Hann window; smaller values grow
+    the flat plateau.  Used by the fluxonium pulse family.
+    """
+    _check_duration(duration)
+    if not 0.0 < taper_fraction <= 1.0:
+        raise ValueError(f"taper_fraction must be in (0, 1], got {taper_fraction}")
+    t = np.arange(duration, dtype=np.float64)
+    envelope = np.full(duration, float(amp), dtype=np.float64)
+    edge = max(1, int(taper_fraction * duration / 2))
+    ramp = 0.5 * (1 - np.cos(np.pi * (t[:edge] + 0.5) / edge))
+    envelope[:edge] = amp * ramp
+    envelope[duration - edge :] = amp * ramp[::-1]
+    return envelope.astype(np.complex128)
+
+
+def constant(duration: int, amp: float) -> np.ndarray:
+    """Rectangular envelope (the degenerate flat-top)."""
+    _check_duration(duration)
+    return np.full(duration, complex(amp), dtype=np.complex128)

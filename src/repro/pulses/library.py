@@ -1,0 +1,99 @@
+"""Pulse libraries: the device-wide waveform inventory.
+
+A :class:`PulseLibrary` is what the waveform memory holds -- one entry
+per (gate, qubit-tuple) pair.  Section III's capacity model is a sum
+over exactly this inventory, and the COMPAQT compiler walks it entry by
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import DeviceError
+from repro.pulses.waveform import Waveform
+
+__all__ = ["PulseLibrary"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass
+class PulseLibrary:
+    """An ordered collection of waveforms keyed by (gate, qubits).
+
+    Attributes:
+        device_name: The device these pulses were "calibrated" for.
+    """
+
+    device_name: str = ""
+    _entries: Dict[_Key, Waveform] = field(default_factory=dict)
+
+    def add(self, waveform: Waveform) -> None:
+        """Insert (or replace) the entry for ``(waveform.gate, waveform.qubits)``."""
+        if not waveform.gate:
+            raise DeviceError(f"waveform {waveform.name!r} has no gate binding")
+        self._entries[(waveform.gate, tuple(waveform.qubits))] = waveform
+
+    def waveform(self, gate: str, qubits: Tuple[int, ...]) -> Waveform:
+        """Look up one waveform; raises :class:`DeviceError` if missing."""
+        key = (gate, tuple(qubits))
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise DeviceError(
+                f"no waveform for gate {gate!r} on qubits {tuple(qubits)} "
+                f"in library {self.device_name!r}"
+            ) from None
+
+    def __contains__(self, key: _Key) -> bool:
+        return (key[0], tuple(key[1])) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Waveform]:
+        return iter(self._entries.values())
+
+    def keys(self) -> List[_Key]:
+        return list(self._entries.keys())
+
+    def gates(self) -> List[str]:
+        """Distinct gate names present, in insertion order."""
+        seen: Dict[str, None] = {}
+        for gate, _qubits in self._entries:
+            seen.setdefault(gate, None)
+        return list(seen)
+
+    def for_gate(self, gate: str) -> List[Waveform]:
+        """All waveforms implementing ``gate``."""
+        return [w for (g, _q), w in self._entries.items() if g == gate]
+
+    def for_qubit(self, qubit: int) -> List[Waveform]:
+        """All waveforms touching ``qubit`` (1Q, 2Q, readout)."""
+        return [w for (_g, qubits), w in self._entries.items() if qubit in qubits]
+
+    # -- memory accounting ---------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        """Sum of sample counts across all entries."""
+        return sum(w.n_samples for w in self)
+
+    @property
+    def total_bits(self) -> int:
+        """Uncompressed footprint of the whole library in bits."""
+        return sum(w.memory_bits for w in self)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+    def subset(self, keys: List[_Key]) -> "PulseLibrary":
+        """A new library restricted to ``keys`` (used for per-circuit
+        working sets, e.g. the qft-4 inventory of Fig 7b)."""
+        out = PulseLibrary(device_name=self.device_name)
+        for key in keys:
+            out.add(self.waveform(*key))
+        return out

@@ -1,0 +1,39 @@
+"""Fixed-point sample quantization.
+
+Waveform memory stores 16-bit I and 16-bit Q per sample (32 bits total,
+Table I's ``Ns`` for IBM).  Envelopes are synthesized in float and
+quantized once at compile time; all compression operates on the integer
+samples, exactly as COMPAQT's software module would.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SAMPLE_BITS", "FULL_SCALE", "quantize", "dequantize", "quantize_iq"]
+
+#: Bits per channel (I or Q).
+SAMPLE_BITS = 16
+
+#: Integer value representing amplitude 1.0.
+FULL_SCALE = (1 << (SAMPLE_BITS - 1)) - 1  # 32767
+
+
+def quantize(values: np.ndarray, full_scale: int = FULL_SCALE) -> np.ndarray:
+    """Map floats in [-1, 1] to int16 codes (round-to-nearest, saturating)."""
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.rint(values * full_scale)
+    return np.clip(codes, -full_scale - 1, full_scale).astype(np.int16)
+
+
+def dequantize(codes: np.ndarray, full_scale: int = FULL_SCALE) -> np.ndarray:
+    """Map int16 codes back to floats (inverse of :func:`quantize`)."""
+    return np.asarray(codes, dtype=np.float64) / full_scale
+
+
+def quantize_iq(samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split complex samples into quantized (I, Q) int16 channels."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    return quantize(samples.real), quantize(samples.imag)

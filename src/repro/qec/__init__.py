@@ -1,0 +1,25 @@
+"""Surface-code substrate: patches and syndrome-extraction circuits."""
+
+from repro.qec.surface_code import (
+    Stabilizer,
+    SurfaceCodePatch,
+    rotated_surface_code,
+    unrotated_surface_code,
+)
+from repro.qec.syndrome import (
+    syndrome_circuit,
+    syndrome_schedule,
+    patch_coupling_map,
+    peak_concurrent_fraction,
+)
+
+__all__ = [
+    "Stabilizer",
+    "SurfaceCodePatch",
+    "rotated_surface_code",
+    "unrotated_surface_code",
+    "syndrome_circuit",
+    "syndrome_schedule",
+    "patch_coupling_map",
+    "peak_concurrent_fraction",
+]

@@ -1,0 +1,190 @@
+"""Surface-code patches (paper Section VII-C, Figs 5c and 17).
+
+Two layouts, matching the paper's benchmarks:
+
+- **rotated** distance-d patch: ``d^2`` data + ``d^2 - 1`` ancilla
+  qubits (d=3 -> the 17-qubit "surface-17");
+- **unrotated (planar)** distance-d patch on a ``(2d-1) x (2d-1)``
+  grid: d=3 -> 25 qubits ("surface-25"), d=5 -> 81 ("surface-81").
+
+Each patch knows its stabilizers (type, ancilla, ordered data
+neighbors), from which :mod:`repro.qec.syndrome` builds the
+syndrome-extraction circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Stabilizer", "SurfaceCodePatch", "rotated_surface_code", "unrotated_surface_code"]
+
+Coord = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """One weight-2/4 check: an ancilla and its data-qubit supports.
+
+    ``data`` is ordered by interaction round (N, W, E, S order for
+    Z-type; N, E, W, S for X-type -- the standard schedule that avoids
+    hook errors); ``None`` entries mean the plaquette has no neighbor
+    in that round (boundary checks).
+    """
+
+    kind: str  # "X" or "Z"
+    ancilla: int
+    data: Tuple[Optional[int], ...]
+
+    @property
+    def weight(self) -> int:
+        return sum(1 for d in self.data if d is not None)
+
+
+@dataclass(frozen=True)
+class SurfaceCodePatch:
+    """A laid-out surface-code patch."""
+
+    name: str
+    distance: int
+    layout: str  # "rotated" or "unrotated"
+    data_qubits: Tuple[int, ...]
+    stabilizers: Tuple[Stabilizer, ...]
+    coords: Dict[int, Coord]
+
+    @property
+    def n_data(self) -> int:
+        return len(self.data_qubits)
+
+    @property
+    def n_ancilla(self) -> int:
+        return len(self.stabilizers)
+
+    @property
+    def n_qubits(self) -> int:
+        return self.n_data + self.n_ancilla
+
+    @property
+    def x_stabilizers(self) -> List[Stabilizer]:
+        return [s for s in self.stabilizers if s.kind == "X"]
+
+    @property
+    def z_stabilizers(self) -> List[Stabilizer]:
+        return [s for s in self.stabilizers if s.kind == "Z"]
+
+    def couplings(self) -> List[Tuple[int, int]]:
+        """Ancilla-data couplings (the lattice the controller drives)."""
+        edges = set()
+        for stab in self.stabilizers:
+            for d in stab.data:
+                if d is not None:
+                    edges.add(tuple(sorted((stab.ancilla, d))))
+        return sorted(edges)
+
+
+def rotated_surface_code(distance: int = 3) -> SurfaceCodePatch:
+    """Rotated patch: d^2 data + (d^2 - 1) ancillas (17 qubits at d=3)."""
+    _check_distance(distance)
+    d = distance
+    data_index: Dict[Coord, int] = {}
+    coords: Dict[int, Coord] = {}
+    next_id = 0
+    for r in range(d):
+        for c in range(d):
+            data_index[(r, c)] = next_id
+            coords[next_id] = (float(r), float(c))
+            next_id += 1
+    stabilizers: List[Stabilizer] = []
+    for r in range(-1, d):
+        for c in range(-1, d):
+            corners = [(r, c), (r, c + 1), (r + 1, c), (r + 1, c + 1)]
+            present = [data_index.get(p) for p in corners if p in data_index]
+            if len(present) < 2:
+                continue
+            kind = "X" if (r + c) % 2 == 0 else "Z"
+            if len(present) == 2:
+                # Boundary half-plaquettes: X on top/bottom, Z on sides.
+                on_top_bottom = r == -1 or r == d - 1
+                if on_top_bottom and kind != "X":
+                    continue
+                if not on_top_bottom and kind != "Z":
+                    continue
+            # Interaction order over the four corner slots (NW, NE, SW,
+            # SE): X uses N,E,W,S-ish zigzag, Z the transpose -- here we
+            # keep slot order and let absent corners be None.
+            slots = [data_index.get(p) for p in corners]
+            if kind == "Z":
+                slots = [slots[0], slots[2], slots[1], slots[3]]
+            ancilla = next_id
+            coords[ancilla] = (r + 0.5, c + 0.5)
+            next_id += 1
+            stabilizers.append(Stabilizer(kind, ancilla, tuple(slots)))
+    patch = SurfaceCodePatch(
+        name=f"surface-{d * d + d * d - 1}",
+        distance=d,
+        layout="rotated",
+        data_qubits=tuple(range(d * d)),
+        stabilizers=tuple(stabilizers),
+        coords=coords,
+    )
+    _check_counts(patch, d * d, d * d - 1)
+    return patch
+
+
+def unrotated_surface_code(distance: int = 3) -> SurfaceCodePatch:
+    """Planar patch on a (2d-1)x(2d-1) grid (25 at d=3, 81 at d=5)."""
+    _check_distance(distance)
+    size = 2 * distance - 1
+    index: Dict[Coord, int] = {}
+    coords: Dict[int, Coord] = {}
+    next_id = 0
+    for r in range(size):
+        for c in range(size):
+            index[(r, c)] = next_id
+            coords[next_id] = (float(r), float(c))
+            next_id += 1
+    data = [index[(r, c)] for r in range(size) for c in range(size) if (r + c) % 2 == 0]
+    stabilizers: List[Stabilizer] = []
+    for r in range(size):
+        for c in range(size):
+            if (r + c) % 2 == 0:
+                continue
+            # Ancilla site: X-type on even rows, Z-type on odd rows.
+            kind = "X" if r % 2 == 0 else "Z"
+            neighbors = [
+                index.get((r - 1, c)),  # N
+                index.get((r, c - 1)),  # W
+                index.get((r, c + 1)),  # E
+                index.get((r + 1, c)),  # S
+            ]
+            if kind == "X":
+                neighbors = [neighbors[0], neighbors[2], neighbors[1], neighbors[3]]
+            stabilizers.append(
+                Stabilizer(kind, index[(r, c)], tuple(neighbors))
+            )
+    patch = SurfaceCodePatch(
+        name=f"surface-{size * size}",
+        distance=distance,
+        layout="unrotated",
+        data_qubits=tuple(data),
+        stabilizers=tuple(stabilizers),
+        coords=coords,
+    )
+    expected_data = distance**2 + (distance - 1) ** 2
+    _check_counts(patch, expected_data, size * size - expected_data)
+    return patch
+
+
+def _check_distance(distance: int) -> None:
+    if distance < 2:
+        raise ReproError(f"code distance must be >= 2, got {distance}")
+
+
+def _check_counts(patch: SurfaceCodePatch, data: int, ancilla: int) -> None:
+    if patch.n_data != data or patch.n_ancilla != ancilla:
+        raise ReproError(
+            f"{patch.name}: built {patch.n_data} data / {patch.n_ancilla} "
+            f"ancillas, expected {data} / {ancilla}"
+        )

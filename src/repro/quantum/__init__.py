@@ -1,0 +1,88 @@
+"""Quantum simulation substrate: statevector, pulses, Cliffords, RB."""
+
+from repro.quantum.gates import gate_unitary, zx_rotation
+from repro.quantum.states import (
+    zero_state,
+    basis_state,
+    apply_unitary,
+    probabilities,
+    sample_counts,
+    bitstring_of_index,
+)
+from repro.quantum.noise import NoiseModel, IBM_LIKE_NOISE, NOISELESS
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.pulse_sim import (
+    single_qubit_unitary,
+    cross_resonance_unitary,
+    calibrate_scale,
+    gate_error_unitary,
+    compression_error_map,
+    TARGET_ANGLES,
+)
+from repro.quantum.cliffords import (
+    CliffordGroup,
+    one_qubit_cliffords,
+    two_qubit_cliffords,
+)
+from repro.quantum.rb import (
+    RBConfig,
+    RBResult,
+    run_two_qubit_rb,
+    fit_rb_decay,
+    rb_errors_from_gate_errors,
+)
+from repro.quantum.fidelity import (
+    total_variation_distance,
+    tvd_fidelity,
+    hellinger_fidelity,
+    normalized_fidelity,
+    average_gate_fidelity,
+    distribution_from_array,
+)
+from repro.quantum.qutrit import (
+    qutrit_unitary,
+    leakage_of,
+    qubit_block_angle,
+    calibrate_qutrit_scale,
+    pulse_leakage,
+)
+
+__all__ = [
+    "gate_unitary",
+    "zx_rotation",
+    "zero_state",
+    "basis_state",
+    "apply_unitary",
+    "probabilities",
+    "sample_counts",
+    "bitstring_of_index",
+    "NoiseModel",
+    "IBM_LIKE_NOISE",
+    "NOISELESS",
+    "StatevectorSimulator",
+    "single_qubit_unitary",
+    "cross_resonance_unitary",
+    "calibrate_scale",
+    "gate_error_unitary",
+    "compression_error_map",
+    "TARGET_ANGLES",
+    "CliffordGroup",
+    "one_qubit_cliffords",
+    "two_qubit_cliffords",
+    "RBConfig",
+    "RBResult",
+    "run_two_qubit_rb",
+    "fit_rb_decay",
+    "rb_errors_from_gate_errors",
+    "total_variation_distance",
+    "tvd_fidelity",
+    "hellinger_fidelity",
+    "normalized_fidelity",
+    "average_gate_fidelity",
+    "distribution_from_array",
+    "qutrit_unitary",
+    "leakage_of",
+    "qubit_block_angle",
+    "calibrate_qutrit_scale",
+    "pulse_leakage",
+]

@@ -1,0 +1,138 @@
+"""Clifford groups for randomized benchmarking.
+
+Built by breadth-first search over generator sets, with unitaries
+deduplicated up to global phase: 24 single-qubit Cliffords from {H, S}
+and 11520 two-qubit Cliffords from {H0, H1, S0, S1, CX}.  Each element
+stores its shortest generator word, which the RB driver replays through
+the noisy simulator (H costs one physical SX pulse, S is a virtual Z,
+CX is the physical two-qubit pulse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.quantum import gates
+
+__all__ = [
+    "CliffordGroup",
+    "one_qubit_cliffords",
+    "two_qubit_cliffords",
+    "GENERATORS_1Q",
+    "GENERATORS_2Q",
+]
+
+GENERATORS_1Q: Tuple[Tuple[str, np.ndarray], ...] = (
+    ("h", gates.H),
+    ("s", gates.S),
+)
+
+GENERATORS_2Q: Tuple[Tuple[str, np.ndarray], ...] = (
+    ("h0", np.kron(gates.H, gates.I2)),
+    ("h1", np.kron(gates.I2, gates.H)),
+    ("s0", np.kron(gates.S, gates.I2)),
+    ("s1", np.kron(gates.I2, gates.S)),
+    ("cx", gates.CX),
+)
+
+
+def _phase_canonical_key(unitary: np.ndarray) -> bytes:
+    """Hashable key invariant under global phase."""
+    flat = unitary.ravel()
+    pivot = flat[np.argmax(np.abs(flat) > 1e-8)]
+    normalized = flat * (pivot.conjugate() / abs(pivot))
+    # ``+ 0.0`` collapses IEEE -0.0 to +0.0 so byte keys compare equal.
+    return (np.round(normalized, 6) + 0.0).tobytes()
+
+
+@dataclass(frozen=True)
+class CliffordGroup:
+    """A finite unitary group with generator words.
+
+    Attributes:
+        unitaries: One matrix per element (phase-representative).
+        words: Shortest generator word per element, in circuit order.
+        generator_names: Names usable in words.
+    """
+
+    unitaries: Tuple[np.ndarray, ...]
+    words: Tuple[Tuple[str, ...], ...]
+    generator_names: Tuple[str, ...]
+    _index: Dict[bytes, int]
+
+    def __len__(self) -> int:
+        return len(self.unitaries)
+
+    def index_of(self, unitary: np.ndarray) -> int:
+        """Element index of a unitary (up to global phase)."""
+        try:
+            return self._index[_phase_canonical_key(unitary)]
+        except KeyError:
+            raise SimulationError("unitary is not in the Clifford group") from None
+
+    def inverse_index(self, element: int) -> int:
+        """Index of the inverse element."""
+        return self.index_of(self.unitaries[element].conj().T)
+
+    def random_element(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, len(self)))
+
+    @property
+    def mean_word_length(self) -> float:
+        return float(np.mean([len(w) for w in self.words]))
+
+    @property
+    def mean_cx_count(self) -> float:
+        """Average physical CX gates per element (2Q group only)."""
+        return float(np.mean([w.count("cx") for w in self.words]))
+
+
+def _bfs_group(
+    generators: Tuple[Tuple[str, np.ndarray], ...], expected_order: int
+) -> CliffordGroup:
+    dim = generators[0][1].shape[0]
+    identity = np.eye(dim, dtype=complex)
+    index: Dict[bytes, int] = {_phase_canonical_key(identity): 0}
+    unitaries: List[np.ndarray] = [identity]
+    words: List[Tuple[str, ...]] = [()]
+    frontier = [0]
+    while frontier:
+        next_frontier: List[int] = []
+        for element in frontier:
+            for name, generator in generators:
+                candidate = generator @ unitaries[element]
+                key = _phase_canonical_key(candidate)
+                if key in index:
+                    continue
+                index[key] = len(unitaries)
+                unitaries.append(candidate)
+                words.append(words[element] + (name,))
+                next_frontier.append(len(unitaries) - 1)
+        frontier = next_frontier
+    if len(unitaries) != expected_order:
+        raise SimulationError(
+            f"Clifford BFS found {len(unitaries)} elements, expected {expected_order}"
+        )
+    return CliffordGroup(
+        unitaries=tuple(unitaries),
+        words=tuple(words),
+        generator_names=tuple(name for name, _g in generators),
+        _index=index,
+    )
+
+
+@lru_cache(maxsize=1)
+def one_qubit_cliffords() -> CliffordGroup:
+    """The 24-element single-qubit Clifford group."""
+    return _bfs_group(GENERATORS_1Q, 24)
+
+
+@lru_cache(maxsize=1)
+def two_qubit_cliffords() -> CliffordGroup:
+    """The 11520-element two-qubit Clifford group (built once, ~1 s)."""
+    return _bfs_group(GENERATORS_2Q, 11520)

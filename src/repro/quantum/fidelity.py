@@ -1,0 +1,106 @@
+"""Fidelity metrics (paper Equation 3 and Section VII-B).
+
+The paper scores application benchmarks with Total Variational Distance
+between ideal and measured output distributions, ``F = 1 - TVD``; QAOA
+benchmarks use a normalized (polarization-rescaled) fidelity so that a
+maximally mixed outcome scores 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.quantum.states import bitstring_of_index
+
+__all__ = [
+    "distribution_from_array",
+    "total_variation_distance",
+    "tvd_fidelity",
+    "hellinger_fidelity",
+    "normalized_fidelity",
+    "average_gate_fidelity",
+]
+
+Distribution = Mapping[str, float]
+
+
+def distribution_from_array(probs: np.ndarray) -> Dict[str, float]:
+    """Convert a probability vector to a bitstring-keyed distribution."""
+    probs = np.asarray(probs, dtype=float)
+    n = probs.size.bit_length() - 1
+    if 2**n != probs.size:
+        raise SimulationError(f"length {probs.size} is not a power of two")
+    return {
+        bitstring_of_index(i, n): float(p) for i, p in enumerate(probs) if p > 0
+    }
+
+
+def _as_distribution(dist: Union[Distribution, np.ndarray]) -> Distribution:
+    if isinstance(dist, np.ndarray):
+        return distribution_from_array(dist)
+    return dist
+
+
+def total_variation_distance(
+    p: Union[Distribution, np.ndarray], q: Union[Distribution, np.ndarray]
+) -> float:
+    """TVD(P, Q) = 0.5 * sum |P(x) - Q(x)| over the union support."""
+    p = _as_distribution(p)
+    q = _as_distribution(q)
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def tvd_fidelity(
+    ideal: Union[Distribution, np.ndarray], measured: Union[Distribution, np.ndarray]
+) -> float:
+    """Paper Equation 3: F(P, Q) = 1 - TVD(P, Q)."""
+    return 1.0 - total_variation_distance(ideal, measured)
+
+
+def hellinger_fidelity(
+    p: Union[Distribution, np.ndarray], q: Union[Distribution, np.ndarray]
+) -> float:
+    """Classical Hellinger fidelity (sum of sqrt(p*q))^2."""
+    p = _as_distribution(p)
+    q = _as_distribution(q)
+    keys = set(p) | set(q)
+    overlap = sum(math.sqrt(p.get(k, 0.0) * q.get(k, 0.0)) for k in keys)
+    return overlap**2
+
+
+def normalized_fidelity(
+    ideal: Union[Distribution, np.ndarray],
+    measured: Union[Distribution, np.ndarray],
+    n_qubits: int,
+) -> float:
+    """Polarization-rescaled fidelity (Lubinski et al. [43]).
+
+    Rescales so the uniform (fully depolarized) distribution scores 0
+    and the ideal distribution scores 1; used for the QAOA rows of
+    Fig 15.  Clipped below at 0.
+    """
+    ideal = _as_distribution(ideal)
+    measured = _as_distribution(measured)
+    uniform = {
+        bitstring_of_index(i, n_qubits): 1.0 / 2**n_qubits
+        for i in range(2**n_qubits)
+    }
+    raw = hellinger_fidelity(ideal, measured)
+    floor = hellinger_fidelity(ideal, uniform)
+    if floor >= 1.0:
+        return 1.0  # ideal *is* uniform; any outcome matches
+    return max(0.0, (raw - floor) / (1.0 - floor))
+
+
+def average_gate_fidelity(u: np.ndarray, v: np.ndarray) -> float:
+    """Average gate fidelity between two unitaries of dimension d."""
+    if u.shape != v.shape or u.shape[0] != u.shape[1]:
+        raise SimulationError(f"shape mismatch: {u.shape} vs {v.shape}")
+    d = u.shape[0]
+    overlap = abs(np.trace(u.conj().T @ v)) ** 2
+    return float((overlap + d) / (d * (d + 1)))

@@ -1,0 +1,173 @@
+"""Gate unitaries.
+
+Matrix conventions: for a two-qubit gate on (control, target) the
+control is the *first* tensor factor.  ``gate_unitary`` resolves a
+circuit instruction name + params to its matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "CX",
+    "CZ",
+    "SWAP",
+    "ISWAP",
+    "CCX",
+    "rx",
+    "ry",
+    "rz",
+    "cp",
+    "rzz",
+    "u3",
+    "zx_rotation",
+    "gate_unitary",
+]
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+CCX = np.eye(8, dtype=complex)
+CCX[6, 6] = CCX[7, 7] = 0
+CCX[6, 7] = CCX[7, 6] = 1
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(phi: float) -> np.ndarray:
+    """Rotation about Z by ``phi`` (the virtual-Z gate)."""
+    return np.array(
+        [[np.exp(-1j * phi / 2), 0], [0, np.exp(1j * phi / 2)]], dtype=complex
+    )
+
+
+def cp(lam: float) -> np.ndarray:
+    """Controlled phase."""
+    return np.diag([1, 1, 1, np.exp(1j * lam)]).astype(complex)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """ZZ interaction exp(-i theta/2 Z@Z) (QAOA's cost gate)."""
+    phase = np.exp(-1j * theta / 2)
+    return np.diag([phase, phase.conjugate(), phase.conjugate(), phase]).astype(
+        complex
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit rotation (IBM U convention)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def zx_rotation(theta: float) -> np.ndarray:
+    """exp(-i theta/2 Z@X): the cross-resonance interaction.
+
+    ``zx_rotation(pi/2)`` is the maximally entangling CR gate IBM builds
+    CNOTs from.
+    """
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    block_plus = np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    block_minus = np.array([[c, 1j * s], [1j * s, c]], dtype=complex)
+    out = np.zeros((4, 4), dtype=complex)
+    out[:2, :2] = block_plus
+    out[2:, 2:] = block_minus
+    return out
+
+
+_FIXED = {
+    "i": I2,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "cx": CX,
+    "cz": CZ,
+    "swap": SWAP,
+    "iswap": ISWAP,
+    "ccx": CCX,
+}
+
+_PARAMETRIC = {
+    "rx": rx,
+    "ry": ry,
+    "rz": rz,
+    "cp": cp,
+    "rzz": rzz,
+    "u3": u3,
+}
+
+
+def gate_unitary(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Resolve an instruction to its unitary matrix.
+
+    Raises:
+        SimulationError: For unknown names or wrong parameter counts.
+    """
+    if name in _FIXED:
+        if params:
+            raise SimulationError(f"gate {name!r} takes no parameters")
+        return _FIXED[name]
+    if name in _PARAMETRIC:
+        try:
+            return _PARAMETRIC[name](*params)
+        except TypeError:
+            raise SimulationError(
+                f"gate {name!r} got wrong parameter count: {params}"
+            ) from None
+    raise SimulationError(f"unknown gate {name!r}")

@@ -1,0 +1,125 @@
+"""Statevector circuit simulation (ideal and Monte Carlo noisy).
+
+This is the reproduction's stand-in for running circuits on IBM
+hardware: the same transpiled circuits the scheduler sees are executed
+here, with optional depolarizing/readout noise and optional *coherent*
+per-gate error unitaries derived from decompressed waveforms
+(:mod:`repro.quantum.pulse_sim`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.circuits.circuit import Circuit
+from repro.quantum.gates import gate_unitary
+from repro.quantum.noise import NOISELESS, NoiseModel
+from repro.quantum.states import (
+    apply_unitary,
+    probabilities,
+    sample_counts,
+    zero_state,
+)
+
+__all__ = ["StatevectorSimulator", "GateErrorMap"]
+
+#: Coherent error unitaries keyed by (gate name, qubits); the special
+#: key ("*", ()) applies to every physical gate of matching arity.
+GateErrorMap = Mapping[Tuple[str, Tuple[int, ...]], np.ndarray]
+
+#: Gates that are software-only and therefore noise-free.
+_VIRTUAL_GATES = frozenset({"rz", "i"})
+
+
+class StatevectorSimulator:
+    """Runs :class:`Circuit` objects on a dense statevector.
+
+    Args:
+        noise: Stochastic noise model (defaults to noiseless).
+        gate_errors: Optional coherent error unitaries appended after
+            matching gates -- this is how compressed-waveform distortion
+            enters the simulation.
+        seed: RNG seed for Monte Carlo trajectories and sampling.
+    """
+
+    def __init__(
+        self,
+        noise: NoiseModel = NOISELESS,
+        gate_errors: Optional[GateErrorMap] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.noise = noise
+        self.gate_errors = dict(gate_errors or {})
+        self._rng = np.random.default_rng(seed)
+
+    # -- core execution ---------------------------------------------------
+
+    def final_state(self, circuit: Circuit, trajectory: bool = False) -> np.ndarray:
+        """Run the circuit's gates (measurements ignored) to a state.
+
+        Args:
+            circuit: The circuit to run.
+            trajectory: Sample one stochastic noise trajectory (for
+                Monte Carlo); False gives the ideal coherent evolution
+                (gate errors still applied if configured).
+        """
+        state = zero_state(circuit.n_qubits)
+        for inst in circuit.gate_instructions:
+            state = apply_unitary(
+                state, gate_unitary(inst.name, inst.params), inst.qubits
+            )
+            state = self._apply_gate_error(state, inst.name, inst.qubits)
+            if trajectory and inst.name not in _VIRTUAL_GATES:
+                state = self.noise.apply_after_gate(state, inst.qubits, self._rng)
+        return state
+
+    def ideal_distribution(self, circuit: Circuit) -> np.ndarray:
+        """Noise-free output probabilities over measured bitstrings."""
+        ideal = StatevectorSimulator()
+        return probabilities(ideal.final_state(circuit))
+
+    def sample(self, circuit: Circuit, shots: int) -> Dict[str, int]:
+        """Monte Carlo sampling with noise trajectories.
+
+        Each trajectory is reused for a batch of shots (standard
+        variance/runtime tradeoff); readout error is applied per shot.
+        """
+        if shots < 1:
+            raise SimulationError(f"shots must be >= 1, got {shots}")
+        if self.noise.is_noiseless and not self.gate_errors:
+            state = self.final_state(circuit)
+            return sample_counts(state, shots, self._rng)
+        batch = max(1, shots // 64)
+        counts: Dict[str, int] = {}
+        remaining = shots
+        while remaining > 0:
+            take = min(batch, remaining)
+            state = self.final_state(circuit, trajectory=True)
+            for key, value in sample_counts(
+                state, take, self._rng, readout_flip=self.noise.readout
+            ).items():
+                counts[key] = counts.get(key, 0) + value
+            remaining -= take
+        return counts
+
+    def distribution(self, circuit: Circuit, shots: int) -> Dict[str, float]:
+        """Empirical output distribution from :meth:`sample`."""
+        counts = self.sample(circuit, shots)
+        return {key: value / shots for key, value in counts.items()}
+
+    # -- internals -----------------------------------------------------------
+
+    def _apply_gate_error(
+        self, state: np.ndarray, name: str, qubits: Tuple[int, ...]
+    ) -> np.ndarray:
+        if not self.gate_errors or name in _VIRTUAL_GATES:
+            return state
+        error = self.gate_errors.get((name, qubits))
+        if error is None:
+            error = self.gate_errors.get((name, ()))
+        if error is None:
+            return state
+        return apply_unitary(state, error, qubits)

@@ -1,0 +1,117 @@
+"""Statevector primitives.
+
+States live as rank-n tensors of shape ``(2,) * n``; qubit ``q`` is
+tensor axis ``q``.  Flattened indices therefore read as bitstrings
+``q0 q1 ... q_{n-1}`` with qubit 0 most significant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "zero_state",
+    "basis_state",
+    "apply_unitary",
+    "probabilities",
+    "sample_counts",
+    "bitstring_of_index",
+]
+
+
+def zero_state(n_qubits: int) -> np.ndarray:
+    """|0...0> as a flat complex vector of length 2**n."""
+    if n_qubits < 1:
+        raise SimulationError(f"need at least 1 qubit, got {n_qubits}")
+    state = np.zeros(2**n_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(bits: str) -> np.ndarray:
+    """Computational basis state from a bitstring like ``"0101"``."""
+    if not bits or any(b not in "01" for b in bits):
+        raise SimulationError(f"invalid bitstring {bits!r}")
+    index = int(bits, 2)
+    state = np.zeros(2 ** len(bits), dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def apply_unitary(
+    state: np.ndarray, unitary: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a k-qubit unitary to the given qubits of a flat state."""
+    n = state.size.bit_length() - 1
+    if 2**n != state.size:
+        raise SimulationError(f"state length {state.size} is not a power of two")
+    k = len(qubits)
+    if unitary.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"unitary shape {unitary.shape} does not match {k} qubits"
+        )
+    for q in qubits:
+        if not 0 <= q < n:
+            raise SimulationError(f"qubit {q} outside 0..{n - 1}")
+    tensor = state.reshape((2,) * n)
+    axes = list(qubits)
+    # Contract the unitary's input indices against the targeted axes.
+    tensor = np.tensordot(
+        unitary.reshape((2,) * (2 * k)), tensor, axes=(range(k, 2 * k), axes)
+    )
+    # tensordot leaves the unitary's output indices first, followed by
+    # the untouched axes in their original relative order; move each
+    # axis back to its home position.
+    current_homes = axes + [a for a in range(n) if a not in axes]
+    tensor = np.moveaxis(tensor, range(n), current_homes)
+    return tensor.reshape(-1)
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Measurement probabilities in the computational basis."""
+    probs = np.abs(state) ** 2
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise SimulationError(f"state is not normalized (sum p = {total:.6f})")
+    return probs / total
+
+
+def bitstring_of_index(index: int, n_qubits: int) -> str:
+    """Bitstring label (qubit 0 first) for a flat state index."""
+    return format(index, f"0{n_qubits}b")
+
+
+def sample_counts(
+    state: np.ndarray,
+    shots: int,
+    rng: Optional[np.random.Generator] = None,
+    readout_flip: float = 0.0,
+) -> Dict[str, int]:
+    """Sample measurement outcomes, optionally with readout error.
+
+    Args:
+        state: Flat statevector.
+        shots: Number of samples.
+        rng: Random generator (fresh default if omitted).
+        readout_flip: Per-qubit symmetric assignment-error probability.
+    """
+    if shots < 1:
+        raise SimulationError(f"shots must be >= 1, got {shots}")
+    rng = rng or np.random.default_rng()
+    n = state.size.bit_length() - 1
+    probs = probabilities(state)
+    outcomes = rng.choice(probs.size, size=shots, p=probs)
+    counts: Dict[str, int] = {}
+    if readout_flip > 0.0:
+        flips = rng.random((shots, n)) < readout_flip
+        weights = 2 ** np.arange(n - 1, -1, -1)
+        flip_masks = (flips * weights).sum(axis=1)
+        outcomes = outcomes ^ flip_masks.astype(outcomes.dtype)
+    for outcome in outcomes:
+        key = bitstring_of_index(int(outcome), n)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,231 @@
+"""Canonical signed-digit (CSD) decomposition of constant multipliers.
+
+The int-DCT-W decompression engine replaces every fixed/floating-point
+multiplier with shift-and-add networks (Section V-B, Table IV).  This
+module provides:
+
+- :func:`csd_digits`: the minimal signed-digit form of an integer, i.e.
+  ``c == sum(sign << shift)`` with no two adjacent non-zero digits;
+- :func:`shift_add_multiply`: a bit-exact multiplierless product used by
+  the hardware-faithful IDCT reference path;
+- :func:`multiplier_cost` and :func:`shared_multiplier_cost`: adder /
+  shifter counts for one constant and for a constant bank with greedy
+  common-subexpression sharing (how Table IV's counts arise).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OpCount",
+    "csd_digits",
+    "shift_add_multiply",
+    "multiplier_cost",
+    "shared_multiplier_cost",
+]
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Hardware operation tally for a dataflow graph.
+
+    Attributes:
+        multipliers: True two-input multipliers (zero for int-DCT-W).
+        adders: Two-input adders/subtractors.
+        shifters: Constant-shift units (free wiring in an ASIC, but the
+            paper counts them for FPGA mapping, so we do too).
+    """
+
+    multipliers: int = 0
+    adders: int = 0
+    shifters: int = 0
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            self.multipliers + other.multipliers,
+            self.adders + other.adders,
+            self.shifters + other.shifters,
+        )
+
+
+@lru_cache(maxsize=4096)
+def csd_digits(value: int) -> Tuple[Tuple[int, int], ...]:
+    """Return the CSD form of ``value`` as ``((shift, sign), ...)``.
+
+    The canonical signed-digit representation is the unique minimal-weight
+    radix-2 form with digits in {-1, 0, +1} and no two adjacent non-zero
+    digits.  ``sum(sign << shift) == value`` always holds.
+
+    Example:
+        >>> csd_digits(89)          # 89 = 1 - 8 - 32 + 128
+        ((0, 1), (3, -1), (5, -1), (7, 1))
+    """
+    if value == 0:
+        return ()
+    sign = 1 if value > 0 else -1
+    magnitude = abs(value)
+    digits: List[Tuple[int, int]] = []
+    shift = 0
+    while magnitude:
+        if magnitude & 1:
+            # If the low two bits look like ...11, emit -1 and carry;
+            # this is what removes adjacent non-zero digits.
+            digit = 2 - (magnitude & 3)
+            digits.append((shift, digit * sign))
+            magnitude -= digit
+        magnitude >>= 1
+        shift += 1
+    return tuple(digits)
+
+
+def shift_add_multiply(x: "int | np.ndarray", constant: int) -> "int | np.ndarray":
+    """Compute ``constant * x`` using only shifts and additions.
+
+    This is the bit-exact operation the multiplierless IDCT engine
+    performs; the test suite asserts it equals plain multiplication for
+    every constant in the integer-DCT matrices.
+    """
+    digits = csd_digits(constant)
+    if not digits:
+        return x * 0
+    total = None
+    for shift, sign in digits:
+        term = x << shift if isinstance(x, int) else np.left_shift(x, shift)
+        term = term if sign > 0 else -term
+        total = term if total is None else total + term
+    return total
+
+
+def multiplier_cost(constant: int) -> OpCount:
+    """Adder/shifter count to multiply one input by ``constant`` via CSD.
+
+    A CSD form with ``k`` non-zero digits needs ``k - 1`` adders; every
+    digit with a non-zero shift needs a shifter.  Powers of two cost a
+    single shifter and no adders.
+    """
+    digits = csd_digits(abs(constant))
+    if not digits:
+        return OpCount()
+    adders = len(digits) - 1
+    shifters = sum(1 for shift, _sign in digits if shift > 0)
+    return OpCount(multipliers=0, adders=adders, shifters=shifters)
+
+
+def shared_multiplier_cost(constants: Sequence[int]) -> OpCount:
+    """Cost of computing ``{c * x for c in constants}`` for one input ``x``.
+
+    Applies greedy two-term common-subexpression elimination (Hartley's
+    algorithm): repeatedly extract the most frequent signed digit *pair*
+    (normalized to relative shift) across all remaining expressions and
+    materialize it once.  This is the standard technique hardware IDCT
+    implementations use to reach the adder counts quoted in Table IV.
+    """
+    expressions = _initial_expressions(constants)
+    shared_adders = 0
+    next_symbol = 1
+    while True:
+        pair, occurrences = _most_frequent_pair(expressions)
+        if pair is None or occurrences < 2:
+            break
+        shared_adders += 1  # build the shared two-term subexpression once
+        expressions = _substitute_pair(expressions, pair, next_symbol)
+        next_symbol += 1
+    # Each remaining expression of k terms needs k - 1 adders.
+    final_adders = sum(max(0, len(terms) - 1) for terms in expressions)
+    shifters = _count_shifters(expressions)
+    return OpCount(
+        multipliers=0, adders=shared_adders + final_adders, shifters=shifters
+    )
+
+
+# ---------------------------------------------------------------------------
+# CSE internals.  Expressions are lists of terms; each term is
+# (shift, sign, symbol) where symbol 0 is the input x and symbols > 0 are
+# shared subexpressions created by substitution.
+# ---------------------------------------------------------------------------
+
+_Term = Tuple[int, int, int]
+
+
+def _initial_expressions(constants: Iterable[int]) -> List[List[_Term]]:
+    expressions = []
+    for constant in constants:
+        digits = csd_digits(abs(int(constant)))
+        expressions.append([(shift, sign, 0) for shift, sign in digits])
+    return expressions
+
+
+def _pair_key(a: _Term, b: _Term) -> Tuple[int, int, int, int, int]:
+    """Normalize a term pair so equal shapes at different shifts match."""
+    (sa, ga, ya), (sb, gb, yb) = sorted((a, b))
+    base = sa
+    # Normalize signs so that (+,-) and (-,+) variants of the same shape
+    # collapse; keep the relative sign only.
+    rel_sign = ga * gb
+    return (sb - base, rel_sign, ya, yb, 0 if ga > 0 else 1)
+
+
+def _most_frequent_pair(expressions: List[List[_Term]]):
+    counts: Counter = Counter()
+    witnesses: Dict[Tuple, Tuple[_Term, _Term]] = {}
+    for terms in expressions:
+        seen_in_expr = set()
+        for i in range(len(terms)):
+            for j in range(i + 1, len(terms)):
+                key = _pair_key(terms[i], terms[j])
+                if key in seen_in_expr:
+                    continue  # count each shape once per expression
+                seen_in_expr.add(key)
+                counts[key] += 1
+                witnesses.setdefault(key, tuple(sorted((terms[i], terms[j]))))
+    if not counts:
+        return None, 0
+    key, occurrences = counts.most_common(1)[0]
+    return witnesses[key], occurrences
+
+
+def _substitute_pair(
+    expressions: List[List[_Term]], pair: Tuple[_Term, _Term], symbol: int
+) -> List[List[_Term]]:
+    """Replace every occurrence of ``pair``'s shape with a fresh symbol."""
+    (sa, ga, ya), (sb, gb, yb) = sorted(pair)
+    shape = _pair_key((sa, ga, ya), (sb, gb, yb))
+    result = []
+    for terms in expressions:
+        terms = list(terms)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(terms)):
+                for j in range(i + 1, len(terms)):
+                    if _pair_key(terms[i], terms[j]) == shape:
+                        lo, hi = sorted((terms[i], terms[j]))
+                        base_shift, base_sign = lo[0], lo[1]
+                        replacement = (base_shift, base_sign, symbol)
+                        terms = [
+                            t for k, t in enumerate(terms) if k not in (i, j)
+                        ]
+                        terms.append(replacement)
+                        changed = True
+                        break
+                if changed:
+                    break
+        result.append(terms)
+    return result
+
+
+def _count_shifters(expressions: List[List[_Term]]) -> int:
+    """Count distinct (symbol, shift) pairs with shift > 0 across the bank."""
+    needed = {
+        (symbol, shift)
+        for terms in expressions
+        for shift, _sign, symbol in terms
+        if shift > 0
+    }
+    return len(needed)

@@ -1,0 +1,43 @@
+"""Coefficient thresholding (the lossy step of the compression pipeline).
+
+The DCT concentrates waveform energy in the first few coefficients;
+thresholding zeroes everything below a magnitude cutoff so that RLE can
+fold the tail into one codeword (Section IV-C, Fig 8).  The threshold is
+the knob Algorithm 1 (fidelity-aware compression) tunes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hard_threshold", "trailing_zero_run", "kept_coefficients"]
+
+
+def hard_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
+    """Zero every element with ``|value| < threshold``; returns a copy.
+
+    A threshold of 0 keeps everything (lossless apart from integer
+    rounding).
+    """
+    values = np.asarray(values)
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    out = values.copy()
+    out[np.abs(out) < threshold] = 0
+    return out
+
+
+def trailing_zero_run(values: np.ndarray) -> int:
+    """Length of the zero run at the end of ``values``."""
+    values = np.asarray(values)
+    nonzero = np.flatnonzero(values)
+    if nonzero.size == 0:
+        return int(values.size)
+    return int(values.size - nonzero[-1] - 1)
+
+
+def kept_coefficients(values: np.ndarray) -> int:
+    """Number of stored words after tail RLE (prefix length + codeword)."""
+    values = np.asarray(values)
+    run = trailing_zero_run(values)
+    return int(values.size - run + (1 if run else 0))

@@ -1,0 +1,101 @@
+"""Tests for the Section III scaling models and report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import (
+    GOOGLE_PARAMS,
+    IBM_PARAMS,
+    bandwidth_curve,
+    bandwidth_per_qubit,
+    capacity_curve,
+    format_number,
+    memory_capacity_per_qubit,
+    render_table,
+    total_windows,
+    window_occupancy_histogram,
+)
+from repro.core import CompaqtCompiler
+from repro.devices import ibm_device
+
+
+class TestCapacityModel:
+    def test_ibm_18kb_per_qubit(self):
+        """Table I: IBM needs ~18 KB of waveform memory per qubit."""
+        capacity = memory_capacity_per_qubit(IBM_PARAMS)
+        assert capacity == pytest.approx(18e3, rel=0.05)
+
+    def test_google_3kb_per_qubit(self):
+        """Table I: Google needs ~3 KB per qubit."""
+        capacity = memory_capacity_per_qubit(GOOGLE_PARAMS)
+        assert capacity == pytest.approx(3e3, rel=0.3)
+
+    def test_coupler_overhead_scales(self):
+        plain = memory_capacity_per_qubit(IBM_PARAMS)
+        loaded = memory_capacity_per_qubit(IBM_PARAMS, include_couplers=True)
+        assert loaded == pytest.approx(plain * IBM_PARAMS.coupler_overhead)
+
+    def test_capacity_curve_linear(self):
+        qubits, capacity = capacity_curve(IBM_PARAMS, 200)
+        assert capacity[0] == 0
+        assert capacity[100] == pytest.approx(capacity[200] / 2)
+
+    def test_200_qubits_exceed_rfsoc_capacity(self):
+        """Fig 5a: the IBM curve crosses 7.56 MB near 200 qubits."""
+        _q, capacity = capacity_curve(IBM_PARAMS, 250)
+        crossing = int(np.argmax(capacity > 7.56e6))
+        assert 150 <= crossing <= 250
+
+
+class TestBandwidthModel:
+    def test_ibm_stream_bandwidth(self):
+        """BW = fs * Ns: 4.54 GS/s x 32 bits ~ 18 GB/s per qubit."""
+        assert bandwidth_per_qubit(IBM_PARAMS) == pytest.approx(18.16e9, rel=0.01)
+
+    def test_hundred_qubits_need_terabytes(self):
+        """Section I: concurrent control of 100+ qubits needs ~2 TB/s."""
+        _q, bandwidth = bandwidth_curve(IBM_PARAMS, 120)
+        assert bandwidth[100] > 1.5e12
+
+    def test_invalid_qubits(self):
+        with pytest.raises(ReproError):
+            bandwidth_curve(IBM_PARAMS, 0)
+
+
+class TestHistogram:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return CompaqtCompiler(window_size=16).compile_library(
+            ibm_device("bogota").pulse_library()
+        )
+
+    def test_fig11_max_three_words(self, compiled):
+        histogram = window_occupancy_histogram(compiled)
+        assert max(histogram) <= 3
+
+    def test_histogram_counts_all_windows(self, compiled):
+        histogram = window_occupancy_histogram(compiled)
+        assert sum(histogram.values()) == total_windows(compiled)
+
+    def test_two_word_windows_dominate(self, compiled):
+        """Most windows are 1 coefficient + codeword (the flat-top
+        bodies of CR and readout pulses)."""
+        histogram = window_occupancy_histogram(compiled)
+        assert histogram[2] > histogram[3]
+
+
+class TestReport:
+    def test_render_basic(self):
+        table = render_table("T", ["a", "bb"], [[1, 2.5], [10, 0.001]])
+        assert "== T ==" in table
+        assert "bb" in table
+
+    def test_format_number(self):
+        assert format_number(3) == "3"
+        assert format_number(2.5) == "2.5"
+        assert format_number(1.23456e-7) == "1.23e-07"
+        assert format_number("x") == "x"
+
+    def test_note_rendered(self):
+        assert "note:" in render_table("T", ["a"], [[1]], note="hello")

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.device == "guadalupe"
+        assert args.window_size == 16
+        assert args.variant == "int-DCT-W"
+
+    def test_bad_window_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--window-size", "12"])
+
+
+class TestCommands:
+    def test_devices_lists_catalog(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "ibm_bogota" in out
+        assert "ibm_washington" in out
+
+    def test_report_runs(self, capsys):
+        assert main(["report", "--device", "bogota"]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert "worst window: 3 words" in out
+
+    def test_report_fidelity_aware(self, capsys):
+        assert main(["report", "--device", "bogota", "--fidelity-aware"]) == 0
+        assert "fidelity-aware" in capsys.readouterr().out
+
+    def test_scalability(self, capsys):
+        assert main(["scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "192" in out  # WS=16 qubits
+        assert "5.33x" in out

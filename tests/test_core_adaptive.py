@@ -1,0 +1,85 @@
+"""Tests for adaptive (flat-top bypass) compression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.core import adaptive_compress, RepeatSegment, WindowSegment
+from repro.compression import compress_waveform
+from repro.pulses import Waveform, drag, gaussian_square, constant
+
+
+def _flat_top(n=1360, width=1104):
+    return Waveform(
+        "cr", gaussian_square(n, 0.3, 64, width), dt=1 / 4.54e9, gate="cx",
+        qubits=(0, 1),
+    )
+
+
+class TestAdaptiveFlatTop:
+    def test_plateau_found_and_bypassed(self):
+        result = adaptive_compress(_flat_top())
+        repeats = [s for s in result.segments if isinstance(s, RepeatSegment)]
+        assert len(repeats) == 1
+        assert result.bypass_fraction > 0.5
+
+    def test_reconstruction_quality(self):
+        result = adaptive_compress(_flat_top())
+        assert result.mse < 1e-5
+        assert result.reconstructed.n_samples == 1360
+
+    def test_plateau_reconstructed_exactly(self):
+        wf = _flat_top()
+        result = adaptive_compress(wf)
+        repeat = next(s for s in result.segments if isinstance(s, RepeatSegment))
+        i_codes, _ = wf.to_fixed_point()
+        # the plateau value is the exact quantized sample
+        assert repeat.i_value in i_codes
+
+    def test_fewer_words_than_plain_compression(self):
+        """Fig 19's premise: the plateau costs one codeword instead of
+        one window per 16 samples."""
+        wf = _flat_top()
+        plain = compress_waveform(wf, window_size=16).compressed.stored_words("uniform")
+        adaptive = adaptive_compress(wf).stored_words
+        assert adaptive < plain / 2
+
+    def test_idct_windows_only_for_ramps(self):
+        result = adaptive_compress(_flat_top())
+        total_windows = 1360 // 16
+        assert result.idct_windows < total_windows / 2
+
+    def test_pure_constant_pulse_single_repeat(self):
+        wf = Waveform("dc", constant(320, 0.25), dt=1e-9, gate="x", qubits=(0,))
+        result = adaptive_compress(wf)
+        assert result.bypass_fraction == 1.0
+        assert result.stored_words == 1
+
+    def test_100ns_flat_top_fig19_case(self):
+        """Fig 19 uses a 100 ns flat-top: bypass should dominate."""
+        n = 448  # ~100 ns at 4.54 GS/s, multiple of 16
+        wf = Waveform(
+            "ft", gaussian_square(n, 0.4, 16, n - 128), dt=1 / 4.54e9, gate="cx",
+            qubits=(0, 1),
+        )
+        result = adaptive_compress(wf)
+        assert result.bypass_fraction > 0.5
+
+
+class TestAdaptiveFallback:
+    def test_drag_pulse_has_no_plateau(self):
+        wf = Waveform("x", drag(144, 0.18, 36, -0.5), dt=1e-9, gate="x", qubits=(0,))
+        result = adaptive_compress(wf)
+        assert result.bypass_samples == 0
+        assert len(result.segments) == 1
+        assert isinstance(result.segments[0], WindowSegment)
+
+    def test_fallback_matches_plain_pipeline_quality(self):
+        wf = Waveform("x", drag(144, 0.18, 36, -0.5), dt=1e-9, gate="x", qubits=(0,))
+        adaptive = adaptive_compress(wf, threshold=128)
+        plain = compress_waveform(wf, threshold=128)
+        assert adaptive.mse == pytest.approx(plain.mse, rel=1e-9)
+
+    def test_invalid_min_plateau_rejected(self):
+        with pytest.raises(CompressionError):
+            adaptive_compress(_flat_top(), min_plateau_windows=0)

@@ -1,0 +1,106 @@
+"""Tests for the COMPAQT compiler module and fidelity-aware search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError, DeviceError
+from repro.core import CompaqtCompiler, fidelity_aware_compress
+from repro.devices import ibm_device
+from repro.pulses import Waveform, drag
+
+
+@pytest.fixture(scope="module")
+def bogota():
+    return ibm_device("bogota")
+
+
+@pytest.fixture(scope="module")
+def compiled(bogota):
+    return CompaqtCompiler(window_size=16).compile_library(bogota.pulse_library())
+
+
+class TestCompiledLibrary:
+    def test_every_entry_compiled(self, bogota, compiled):
+        assert len(compiled) == len(bogota.pulse_library())
+
+    def test_lookup_and_missing(self, compiled):
+        result = compiled.result("x", (0,))
+        assert result.compression_ratio > 1
+        with pytest.raises(DeviceError):
+            compiled.result("x", (99,))
+
+    def test_overall_ratio_in_paper_band(self, compiled):
+        """Table VII: average R ~ 6.3-6.5 at WS=16 across IBM machines."""
+        assert 5.0 <= compiled.overall_ratio_variable <= 8.5
+
+    def test_min_ratio_is_the_sx_floor(self, compiled):
+        """Table VII: minimum R = 5.33 (the short SX pulse)."""
+        assert compiled.ratios.min() >= 4.5
+        assert compiled.ratios.min() <= 6.0
+
+    def test_worst_case_window_is_three_words(self, compiled):
+        """Fig 11: at most 3 samples per window across the library."""
+        assert compiled.worst_case_window_words == 3
+
+    def test_mse_band(self, compiled):
+        """Fig 7c: MSE between ~1e-7 and ~1e-5."""
+        assert compiled.mean_mse < 1e-5
+        assert compiled.max_mse < 5e-5
+
+    def test_gate_stats(self, compiled):
+        stats = compiled.gate_stats("cx")
+        assert stats.count == 8  # bogota: 4 undirected edges, directed
+        assert stats.min_ratio <= stats.mean_ratio <= stats.max_ratio
+        with pytest.raises(DeviceError):
+            compiled.gate_stats("toffoli")
+
+    def test_qubit_gate_ratio(self, compiled):
+        """Fig 14's bars: per-qubit basis-gate ratios ~ 5-8x."""
+        for q in range(5):
+            assert 4.0 <= compiled.qubit_gate_ratio("sx", q) <= 9.0
+        with pytest.raises(DeviceError):
+            compiled.qubit_gate_ratio("cx", 99)
+
+    def test_decompressed_waveform_close_to_original(self, bogota, compiled):
+        original = bogota.pulse_library().waveform("x", (1,))
+        played = compiled.waveform("x", (1,))
+        assert original.mse(played) < 1e-4
+
+    def test_empty_library_rejected(self):
+        from repro.pulses import PulseLibrary
+
+        with pytest.raises(CompressionError):
+            CompaqtCompiler().compile_library(PulseLibrary())
+
+
+class TestFidelityAware:
+    def _waveform(self):
+        return Waveform(
+            "x_q0", drag(144, 0.18, 36, -0.7), dt=1 / 4.54e9, gate="x", qubits=(0,)
+        )
+
+    def test_meets_target(self):
+        result = fidelity_aware_compress(self._waveform(), target_mse=1e-7)
+        assert result.mse <= 1e-7
+
+    def test_looser_target_compresses_harder(self):
+        tight = fidelity_aware_compress(self._waveform(), target_mse=1e-8)
+        loose = fidelity_aware_compress(self._waveform(), target_mse=1e-4)
+        assert loose.compression_ratio_variable >= tight.compression_ratio_variable
+        assert loose.threshold >= tight.threshold
+
+    def test_impossible_target_raises(self):
+        """Algorithm 1 returns -1 when no threshold can meet epsilon;
+        the quantization floor makes 1e-15 unreachable."""
+        with pytest.raises(CompressionError):
+            fidelity_aware_compress(self._waveform(), target_mse=1e-15)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(CompressionError):
+            fidelity_aware_compress(self._waveform(), target_mse=0.0)
+
+    def test_compiler_fidelity_aware_mode(self, bogota):
+        compiler = CompaqtCompiler(fidelity_aware=True, target_mse=1e-6)
+        library = bogota.pulse_library().subset([("x", (0,)), ("cx", (0, 1))])
+        compiled = compiler.compile_library(library)
+        assert compiled.max_mse <= 1e-6

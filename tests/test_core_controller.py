@@ -1,0 +1,54 @@
+"""Integration tests for the end-to-end QubitController."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompaqtCompiler
+from repro.core.controller import QubitController
+from repro.devices import ibm_device
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return QubitController(ibm_device("bogota"))
+
+
+class TestController:
+    def test_library_compiled_on_construction(self, controller):
+        assert len(controller.library) == 23
+
+    def test_play_streams_exact_samples(self, controller):
+        """The controller's cycle-level stream equals the compiled
+        library's reconstruction."""
+        report = controller.play("x", (0,))
+        played = controller.played_waveform("x", (0,))
+        i_codes, q_codes = played.to_fixed_point()
+        np.testing.assert_array_equal(report.i_samples, i_codes.astype(np.int64))
+        np.testing.assert_array_equal(report.q_samples, q_codes.astype(np.int64))
+
+    def test_bandwidth_gain_is_5_33(self, controller):
+        """Fig 2b / Table V: WS=16, 3-word windows, 16x clock ratio."""
+        assert controller.brams_per_stream == 3
+        assert controller.bandwidth_gain == pytest.approx(16 / 3)
+
+    def test_compaqt_reads_less_than_baseline(self, controller):
+        compaqt = controller.play("cx", (0, 1))
+        baseline = controller.play_uncompressed("cx", (0, 1))
+        assert compaqt.bram_reads < baseline.bram_reads / 4
+
+    def test_ws8_uses_six_brams(self):
+        controller = QubitController(
+            ibm_device("bogota"), CompaqtCompiler(window_size=8)
+        )
+        assert controller.brams_per_stream == 6
+        assert controller.bandwidth_gain == pytest.approx(16 / 6)
+
+    def test_bank_layouts_cover_library(self, controller):
+        layouts = controller.bank_layouts()
+        assert len(layouts) == len(controller.library)
+        assert all(layout.n_banks >= 1 for layout in layouts.values())
+
+    def test_played_waveform_close_to_original(self, controller):
+        original = controller.device.pulse_library().waveform("measure", (2,))
+        played = controller.played_waveform("measure", (2,))
+        assert original.mse(played) < 1e-4

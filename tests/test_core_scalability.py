@@ -1,0 +1,76 @@
+"""Tests for the RFSoC scalability model (Fig 5d, Table V, Fig 17b)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.core import (
+    RfsocModel,
+    QICK_BASELINE_QUBITS,
+    logical_qubits_supported,
+    qubit_gain,
+    qubits_supported,
+)
+
+
+class TestTableV:
+    def test_ws8_gain(self):
+        assert qubit_gain(8) == pytest.approx(16 / 6)  # 2.66x
+
+    def test_ws16_gain(self):
+        assert qubit_gain(16) == pytest.approx(16 / 3)  # 5.33x
+
+    def test_qick_absolute_qubits(self):
+        """Section V-C: 36 -> ~95 (WS=8) -> ~191 (WS=16)."""
+        assert qubits_supported(0) == 36
+        assert 90 <= qubits_supported(8) <= 100
+        assert 185 <= qubits_supported(16) <= 195
+
+    def test_gain_independent_of_multiple_ratio(self):
+        """Table V holds when the clock ratio is a multiple of WS."""
+        assert qubit_gain(16, clock_ratio=32) == pytest.approx(32 / 6)
+        assert qubit_gain(8, clock_ratio=32) == pytest.approx(32 / 12)
+
+
+class TestRfsocModel:
+    def test_reference_bandwidth(self):
+        """Fig 5b: max internal RFSoC bandwidth ~ 866 GB/s."""
+        model = RfsocModel()
+        assert model.internal_bandwidth_bytes == pytest.approx(866e9, rel=0.01)
+
+    def test_reference_capacity(self):
+        """Fig 5a: RFSoC capacity line at 7.56 MB."""
+        assert RfsocModel().capacity_bytes == pytest.approx(7.56e6)
+
+    def test_fig5d_five_x_drop(self):
+        """Capacity alone supports >200 qubits; bandwidth limits to <40."""
+        model = RfsocModel()
+        by_capacity = model.max_qubits_capacity(bytes_per_qubit=37e3)
+        by_bandwidth = model.max_qubits_bandwidth()
+        assert by_capacity > 200
+        assert by_bandwidth < 40
+        assert by_capacity / by_bandwidth > 4.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ReproError):
+            RfsocModel().max_qubits_capacity(0)
+
+
+class TestLogicalQubits:
+    def test_fig17b_surface17(self):
+        """d=3 rotated patch: 2 -> 5 -> 11 logical qubits."""
+        assert logical_qubits_supported(17, 0) == 2
+        assert logical_qubits_supported(17, 8) == 5
+        assert logical_qubits_supported(17, 16) == 11
+
+    def test_fig17b_surface25(self):
+        assert logical_qubits_supported(25, 0) == 1
+        assert logical_qubits_supported(25, 16) == 7
+
+    def test_gain_is_about_5x(self):
+        base = logical_qubits_supported(17, 0)
+        compressed = logical_qubits_supported(17, 16)
+        assert compressed / base >= 5
+
+    def test_invalid_patch_rejected(self):
+        with pytest.raises(ReproError):
+            logical_qubits_supported(0, 16)

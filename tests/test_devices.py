@@ -1,0 +1,197 @@
+"""Tests for topologies and synthetic device models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.devices import (
+    CouplingMap,
+    FALCON_27_EDGES,
+    IBM_DEVICE_NAMES,
+    ccz_waveform,
+    complex_gate_library,
+    fluxonium_device,
+    google_device,
+    grid_topology,
+    heavy_hex_rows,
+    ibm_device,
+    itoffoli_waveform,
+    linear_topology,
+    toffoli_waveform,
+)
+
+
+class TestCouplingMap:
+    def test_linear(self):
+        topo = linear_topology(5)
+        assert topo.n_qubits == 5
+        assert len(topo.edges) == 4
+        assert topo.neighbors(2) == [1, 3]
+        assert topo.degree(0) == 1
+
+    def test_grid(self):
+        topo = grid_topology(3, 4)
+        assert topo.n_qubits == 12
+        assert len(topo.edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert topo.are_coupled(0, 1)
+        assert topo.are_coupled(0, 4)
+        assert not topo.are_coupled(0, 5)
+
+    def test_directed_edges_double(self):
+        topo = linear_topology(4)
+        assert len(topo.directed_edges) == 2 * len(topo.edges)
+
+    def test_shortest_path(self):
+        topo = linear_topology(6)
+        assert topo.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(DeviceError):
+            CouplingMap(n_qubits=2, edges=((0, 2),))
+        with pytest.raises(DeviceError):
+            CouplingMap(n_qubits=2, edges=((1, 1),))
+
+    def test_unknown_qubit_rejected(self):
+        with pytest.raises(DeviceError):
+            linear_topology(3).neighbors(7)
+
+    def test_mean_degree(self):
+        assert linear_topology(3).mean_degree == pytest.approx(4 / 3)
+
+
+class TestHeavyHex:
+    def test_falcon_27_shape(self):
+        topo = CouplingMap(n_qubits=27, edges=FALCON_27_EDGES)
+        assert topo.n_qubits == 27
+        assert max(topo.degree(q) for q in range(27)) <= 3
+        assert topo.is_connected()
+
+    def test_hummingbird_65(self):
+        topo = heavy_hex_rows(5, 11)
+        assert topo.n_qubits == 65
+        assert topo.is_connected()
+        assert max(topo.degree(q) for q in range(65)) <= 3
+
+    def test_eagle_127(self):
+        topo = heavy_hex_rows(7, 15)
+        assert topo.n_qubits == 127
+        assert topo.is_connected()
+        assert max(topo.degree(q) for q in range(127)) <= 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DeviceError):
+            heavy_hex_rows(1, 11)
+
+
+class TestIbmDevices:
+    def test_catalog_sizes(self):
+        expected = {
+            "bogota": 5,
+            "lima": 5,
+            "guadalupe": 16,
+            "toronto": 27,
+            "hanoi": 27,
+            "montreal": 27,
+            "mumbai": 27,
+            "brooklyn": 65,
+            "washington": 127,
+        }
+        for name, n in expected.items():
+            assert ibm_device(name).n_qubits == n
+
+    def test_name_prefixes_accepted(self):
+        assert ibm_device("ibmq_bogota").name == "ibm_bogota"
+        assert ibm_device("IBM_GUADALUPE").n_qubits == 16
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(DeviceError):
+            ibm_device("atlantis")
+
+    def test_deterministic_calibrations(self):
+        a = ibm_device("bogota").pulse_library()
+        b = ibm_device("bogota").pulse_library()
+        wa = a.waveform("x", (2,))
+        wb = b.waveform("x", (2,))
+        np.testing.assert_array_equal(wa.samples, wb.samples)
+
+    def test_qubits_have_unique_pulses(self):
+        """Fig 4: every qubit's pi-pulse differs."""
+        lib = ibm_device("guadalupe").pulse_library()
+        shapes = [lib.waveform("x", (q,)).samples for q in range(16)]
+        for i in range(16):
+            for j in range(i + 1, 16):
+                assert not np.array_equal(shapes[i], shapes[j])
+
+    def test_memory_per_qubit_near_18kb(self):
+        """Table I: ~18 KB of waveform memory per qubit on IBM."""
+        device = ibm_device("guadalupe")
+        assert 14e3 <= device.memory_per_qubit_bytes() <= 22e3
+
+    def test_library_inventory(self):
+        device = ibm_device("bogota")  # linear, 4 undirected edges
+        lib = device.pulse_library()
+        # 5 x + 5 sx + 5 measure + 8 directed cx
+        assert len(lib) == 23
+
+    def test_gate_durations(self):
+        device = ibm_device("bogota")
+        assert device.gate_duration_samples("rz", (0,)) == 0
+        assert device.gate_duration_samples("x", (0,)) == 144
+        assert device.gate_duration("x", (0,)) == pytest.approx(144 / 4.54e9)
+        assert device.gate_duration_samples("cx", (0, 1)) % 16 == 0
+        with pytest.raises(DeviceError):
+            device.gate_duration_samples("h", (0,))
+
+    def test_cr_missing_edge_raises(self):
+        device = ibm_device("bogota")
+        with pytest.raises(DeviceError):
+            device.edge_calibration(0, 4)
+
+    def test_sampling_rate(self):
+        assert ibm_device("bogota").sampling_rate == pytest.approx(4.54e9)
+
+    def test_waveform_amplitudes_valid(self):
+        lib = ibm_device("lima").pulse_library()
+        for wf in lib:
+            assert np.max(np.abs(wf.samples)) <= 1.0 + 1e-9
+
+
+class TestOtherDevices:
+    def test_google_device(self):
+        device = google_device()
+        assert device.n_qubits == 54
+        assert device.sampling_rate == pytest.approx(1e9)
+        assert device.sample_bits == 28
+        assert device.two_qubit_gate == "iswap"
+        assert device.gate_duration_samples("x", (0,)) == 25
+
+    def test_google_memory_per_qubit_small(self):
+        """Table I: Google needs ~3 KB/qubit (short gates, slow DAC)."""
+        device = google_device()
+        assert device.memory_per_qubit_bytes() < 8e3
+
+    def test_fluxonium_library(self):
+        device = fluxonium_device(3)
+        lib = device.pulse_library()
+        assert len(lib) == 12  # 4 gates x 3 qubits
+        for wf in lib:
+            assert np.max(np.abs(wf.samples)) <= 1.0 + 1e-9
+
+    def test_complex_gates(self):
+        waves = complex_gate_library()
+        assert [w.gate for w in waves] == ["itoffoli", "toffoli", "ccz"]
+        for wf in waves:
+            assert wf.qubits == (0, 1, 2)
+            assert np.max(np.abs(wf.samples)) <= 1.0 + 1e-9
+
+    def test_complex_gates_deterministic(self):
+        np.testing.assert_array_equal(
+            toffoli_waveform().samples, toffoli_waveform().samples
+        )
+        np.testing.assert_array_equal(ccz_waveform().samples, ccz_waveform().samples)
+
+    def test_itoffoli_is_flat_top(self):
+        wf = itoffoli_waveform()
+        mags = np.abs(wf.samples)
+        center = mags[wf.n_samples // 2 - 50 : wf.n_samples // 2 + 50]
+        assert np.ptp(center) < 1e-9

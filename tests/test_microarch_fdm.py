@@ -1,0 +1,82 @@
+"""Tests for the frequency-division multiplexing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.microarch import FdmMixer, max_fdm_channels, plan_fdm
+from repro.pulses import gaussian_square
+
+
+class TestCapacityArithmetic:
+    def test_six_gs_dac_fits_several_channels(self):
+        """A 6 GS/s DAC (3 GHz Nyquist) fits ~7 channels at 300+100 MHz."""
+        assert max_fdm_channels(6.0e9) == 7
+
+    def test_tighter_channels_fit_more(self):
+        wide = max_fdm_channels(6.0e9, channel_bandwidth_hz=300e6)
+        narrow = max_fdm_channels(6.0e9, channel_bandwidth_hz=100e6)
+        assert narrow > wide
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ReproError):
+            max_fdm_channels(0)
+
+
+class TestPlanning:
+    def test_carriers_spaced_and_bounded(self):
+        plan = plan_fdm([0, 1, 2, 3], dac_rate_hz=6.0e9)
+        spacings = np.diff(plan.carriers_hz)
+        assert np.all(spacings == spacings[0])
+        assert max(plan.carriers_hz) < 3.0e9  # inside Nyquist
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            plan_fdm(list(range(20)), dac_rate_hz=6.0e9)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ReproError):
+            plan_fdm([])
+
+    def test_headroom_shared(self):
+        assert plan_fdm([0, 1, 2, 3]).amplitude_headroom == pytest.approx(0.25)
+
+
+class TestMixer:
+    def _envelopes(self, plan, n=4096):
+        env = gaussian_square(n, 0.9, 64, n - 256)
+        return {q: env for q in plan.qubits}
+
+    def test_combined_stream_bounded(self):
+        plan = plan_fdm([0, 1, 2])
+        stream = FdmMixer(plan).combine(self._envelopes(plan))
+        assert np.max(np.abs(stream)) <= 1.0
+
+    def test_spectrum_peaks_at_carriers(self):
+        """Each qubit's energy lands at its assigned IF carrier."""
+        plan = plan_fdm([0, 1, 2])
+        stream = FdmMixer(plan).combine(self._envelopes(plan))
+        spectrum = np.abs(np.fft.rfft(stream))
+        freqs = np.fft.rfftfreq(stream.size, d=1 / plan.dac_rate_hz)
+        for carrier in plan.carriers_hz:
+            window = (freqs > carrier - 50e6) & (freqs < carrier + 50e6)
+            outside = (freqs > carrier + 150e6) & (freqs < carrier + 250e6)
+            assert spectrum[window].max() > 10 * spectrum[outside].max()
+
+    def test_missing_envelope_rejected(self):
+        plan = plan_fdm([0, 1])
+        with pytest.raises(ReproError):
+            FdmMixer(plan).combine({0: np.zeros(64, dtype=complex)})
+
+    def test_length_mismatch_rejected(self):
+        plan = plan_fdm([0, 1])
+        with pytest.raises(ReproError):
+            FdmMixer(plan).combine(
+                {0: np.zeros(64, dtype=complex), 1: np.zeros(32, dtype=complex)}
+            )
+
+    def test_memory_streams_still_per_qubit(self):
+        """The paper's FDM caveat: one DAC, but the waveform memory
+        still generates every multiplexed qubit's stream."""
+        plan = plan_fdm([0, 1, 2, 3, 4])
+        assert FdmMixer(plan).memory_streams_required() == 5

@@ -1,0 +1,75 @@
+"""Tests for the banked compressed waveform memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.compression import compress_waveform
+from repro.microarch import BankedChannelMemory
+from repro.pulses import Waveform, gaussian_square
+from repro.transforms import TAG_COEFF, TAG_ZERO_RUN
+
+
+@pytest.fixture()
+def channel():
+    wf = Waveform(
+        "cr", gaussian_square(320, 0.3, 16, 256), dt=1e-9, gate="cx", qubits=(0, 1)
+    )
+    return compress_waveform(wf, window_size=16).compressed.i_channel
+
+
+class TestBankedMemory:
+    def test_dimensions(self, channel):
+        memory = BankedChannelMemory(channel)
+        assert memory.n_banks == channel.worst_case_words
+        assert memory.n_windows == channel.n_windows
+        assert memory.total_words == memory.n_banks * memory.n_windows
+
+    def test_fetch_counts_one_access_per_bank(self, channel):
+        memory = BankedChannelMemory(channel)
+        memory.fetch_window(0)
+        memory.fetch_window(1)
+        assert memory.stats.reads == 2 * memory.n_banks
+        assert all(v == 2 for v in memory.stats.reads_per_bank.values())
+
+    def test_fetched_words_roundtrip_through_decoder(self, channel):
+        from repro.microarch import RleDecoder
+        from repro.compression import decompress_channel
+        from repro.compression.pipeline import inverse_transform
+
+        memory = BankedChannelMemory(channel)
+        decoder = RleDecoder(channel.window_size)
+        samples = []
+        for w in range(memory.n_windows):
+            coeffs = decoder.decode(memory.fetch_window(w))
+            samples.append(inverse_transform(coeffs, channel.variant))
+        flat = np.concatenate(samples)[: channel.original_length]
+        np.testing.assert_array_equal(flat, decompress_channel(channel))
+
+    def test_padding_words_are_inert(self, channel):
+        memory = BankedChannelMemory(channel)
+        for w in range(memory.n_windows):
+            words = memory.fetch_window(w)
+            seen_run = False
+            for word in words:
+                if word.tag == TAG_ZERO_RUN:
+                    seen_run = True
+                elif seen_run:
+                    assert word.tag == TAG_COEFF and word.value == 0
+
+    def test_width_override(self, channel):
+        memory = BankedChannelMemory(channel, width=channel.worst_case_words + 2)
+        assert memory.n_banks == channel.worst_case_words + 2
+
+    def test_width_below_worst_case_rejected(self, channel):
+        with pytest.raises(CompressionError):
+            BankedChannelMemory(channel, width=1)
+
+    def test_out_of_range_window_rejected(self, channel):
+        memory = BankedChannelMemory(channel)
+        with pytest.raises(CompressionError):
+            memory.fetch_window(memory.n_windows)
+
+    def test_useful_words_excludes_padding(self, channel):
+        memory = BankedChannelMemory(channel)
+        assert memory.useful_words() <= memory.total_words

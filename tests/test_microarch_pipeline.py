@@ -1,0 +1,191 @@
+"""Tests for the cycle-level decompression pipeline (Fig 10 / Fig 13b)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.compression import compress_waveform, decompress_waveform
+from repro.core import adaptive_compress
+from repro.microarch import (
+    BaselineStreamer,
+    DacBuffer,
+    DecompressionPipeline,
+    IdctEngine,
+    RleDecoder,
+)
+from repro.pulses import Waveform, drag, gaussian_square
+from repro.transforms import (
+    TAG_COEFF,
+    TAG_REPEAT,
+    TAG_ZERO_RUN,
+    EncodedWindow,
+    MemoryWord,
+    rle_encode_window,
+)
+
+
+def _drag_wf():
+    return Waveform(
+        "x_q0", drag(144, 0.18, 36, -0.7), dt=1 / 4.54e9, gate="x", qubits=(0,)
+    )
+
+
+def _flat_wf():
+    return Waveform(
+        "cr", gaussian_square(1360, 0.3, 64, 1104), dt=1 / 4.54e9, gate="cx",
+        qubits=(0, 1),
+    )
+
+
+class TestRleDecoderUnit:
+    def test_decode_matches_encode(self):
+        window = rle_encode_window([500, -20] + [0] * 14)
+        decoder = RleDecoder(16)
+        out = decoder.decode(window.to_words())
+        np.testing.assert_array_equal(out, [500, -20] + [0] * 14)
+        assert decoder.zeros_expanded == 14
+
+    def test_padding_after_codeword_ignored(self):
+        words = EncodedWindow((7,), 15).to_words() + [MemoryWord(TAG_COEFF, 0)]
+        out = RleDecoder(16).decode(words)
+        assert out[0] == 7
+        assert out.size == 16
+
+    def test_payload_after_codeword_rejected(self):
+        words = EncodedWindow((7,), 15).to_words() + [MemoryWord(TAG_COEFF, 3)]
+        with pytest.raises(CompressionError):
+            RleDecoder(16).decode(words)
+
+    def test_repeat_word_rejected(self):
+        with pytest.raises(CompressionError):
+            RleDecoder(16).decode([MemoryWord(TAG_REPEAT, 16, 5)])
+
+    def test_short_window_rejected(self):
+        with pytest.raises(CompressionError):
+            RleDecoder(16).decode([MemoryWord(TAG_COEFF, 1)])
+
+    def test_empty_zero_run_rejected(self):
+        with pytest.raises(CompressionError):
+            RleDecoder(16).decode([MemoryWord(TAG_ZERO_RUN, 0)])
+
+
+class TestIdctEngineUnit:
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CompressionError):
+            IdctEngine(16).invert(np.zeros(8))
+
+    def test_counts_invocations(self):
+        engine = IdctEngine(8)
+        engine.invert(np.zeros(8))
+        engine.invert(np.zeros(8))
+        assert engine.windows_processed == 2
+
+    def test_int_variant_multiplierless(self):
+        assert IdctEngine(16).op_counts.multipliers == 0
+
+    def test_dct_w_variant_has_multipliers(self):
+        assert IdctEngine(8, "DCT-W").op_counts.multipliers == 11
+
+    def test_dct_n_rejected(self):
+        with pytest.raises(CompressionError):
+            IdctEngine(16, "DCT-N")
+
+
+class TestDacBuffer:
+    def test_underrun_detection(self):
+        dac = DacBuffer(clock_ratio=16)
+        dac.push(np.arange(8))
+        assert dac.drain_cycle() == 8
+        assert dac.underruns == 1
+
+    def test_streams_in_order(self):
+        dac = DacBuffer(clock_ratio=4)
+        dac.push(np.arange(4))
+        dac.push(np.arange(4, 8))
+        dac.drain_cycle()
+        dac.drain_cycle()
+        np.testing.assert_array_equal(dac.streamed, np.arange(8))
+
+
+class TestPipelineStreaming:
+    @pytest.mark.parametrize("wf_factory", [_drag_wf, _flat_wf])
+    @pytest.mark.parametrize("ws", [8, 16])
+    def test_stream_bit_identical_to_codec(self, wf_factory, ws):
+        """The headline hardware-model check: cycle-level streaming equals
+        the functional decompressor sample for sample."""
+        compressed = compress_waveform(wf_factory(), window_size=ws).compressed
+        report = DecompressionPipeline(16).stream(compressed)
+        reference = decompress_waveform(compressed)
+        i_codes, q_codes = reference.to_fixed_point()
+        np.testing.assert_array_equal(report.i_samples, i_codes.astype(np.int64))
+        np.testing.assert_array_equal(report.q_samples, q_codes.astype(np.int64))
+
+    def test_no_underruns_at_matched_rate(self):
+        compressed = compress_waveform(_flat_wf(), window_size=16).compressed
+        report = DecompressionPipeline(16).stream(compressed)
+        assert report.sustains_dac
+
+    def test_bandwidth_gain_over_5x(self):
+        """Fig 2b: ~5x more DAC samples per memory word at WS=16."""
+        compressed = compress_waveform(_flat_wf(), window_size=16).compressed
+        report = DecompressionPipeline(16).stream(compressed)
+        assert report.bandwidth_gain >= 5.0
+
+    def test_baseline_gain_is_one(self):
+        wf = _flat_wf()
+        i_codes, q_codes = wf.to_fixed_point()
+        report = BaselineStreamer(16).stream(
+            i_codes.astype(np.int64), q_codes.astype(np.int64)
+        )
+        assert report.bandwidth_gain == pytest.approx(1.0)
+
+    def test_compaqt_reads_far_fewer_words(self):
+        wf = _flat_wf()
+        compressed = compress_waveform(wf, window_size=16).compressed
+        compaqt = DecompressionPipeline(16).stream(compressed)
+        i_codes, q_codes = wf.to_fixed_point()
+        baseline = BaselineStreamer(16).stream(
+            i_codes.astype(np.int64), q_codes.astype(np.int64)
+        )
+        assert compaqt.bram_reads * 4 < baseline.bram_reads
+
+    def test_rle_zeros_account_for_expansion(self):
+        compressed = compress_waveform(_flat_wf(), window_size=16).compressed
+        report = DecompressionPipeline(16).stream(compressed)
+        # decoded samples = stored payload words + expanded zeros (I+Q)
+        stored_payload = (
+            compressed.i_channel.stored_words_variable
+            + compressed.q_channel.stored_words_variable
+        )
+        n_codewords = sum(
+            1 for w in compressed.i_channel.windows if w.zero_run > 0
+        ) + sum(1 for w in compressed.q_channel.windows if w.zero_run > 0)
+        decoded = 2 * compressed.n_windows * compressed.window_size
+        assert (
+            stored_payload - n_codewords + report.rle_zeros_expanded == decoded
+        )
+
+
+class TestAdaptiveStreaming:
+    def test_adaptive_stream_matches_reconstruction(self):
+        adaptive = adaptive_compress(_flat_wf())
+        report = DecompressionPipeline(16).stream_adaptive(adaptive)
+        i_codes, q_codes = adaptive.reconstructed.to_fixed_point()
+        np.testing.assert_array_equal(report.i_samples, i_codes.astype(np.int64))
+        np.testing.assert_array_equal(report.q_samples, q_codes.astype(np.int64))
+
+    def test_bypass_counted(self):
+        adaptive = adaptive_compress(_flat_wf())
+        report = DecompressionPipeline(16).stream_adaptive(adaptive)
+        assert report.bypass_samples == adaptive.bypass_samples
+        assert report.bypass_samples > 0
+
+    def test_adaptive_reads_fewer_than_plain(self):
+        """Fig 19: the plateau requires no memory traffic."""
+        wf = _flat_wf()
+        plain = DecompressionPipeline(16).stream(
+            compress_waveform(wf, window_size=16).compressed
+        )
+        adaptive = DecompressionPipeline(16).stream_adaptive(adaptive_compress(wf))
+        assert adaptive.bram_reads < plain.bram_reads / 2
+        assert adaptive.idct_windows < plain.idct_windows / 2

@@ -1,0 +1,141 @@
+"""Tests for the FPGA resource/timing and ASIC power models."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.microarch import (
+    ClockModel,
+    CryoControllerPower,
+    QICK_BASELINE_RESOURCES,
+    SramModel,
+    ZCU7EV_TOTALS,
+    idct_resources,
+)
+
+
+class TestResources:
+    def test_counts_grow_with_window(self):
+        r8 = idct_resources(8)
+        r16 = idct_resources(16)
+        r32 = idct_resources(32)
+        assert r8.luts < r16.luts < r32.luts
+        assert r8.flipflops < r16.flipflops < r32.flipflops
+
+    def test_table_viii_bands(self):
+        """Table VIII: 601/1954/9063 LUTs for WS=8/16/32.  Our model is
+        derived from our own op counts; accept a 2x band."""
+        assert 300 <= idct_resources(8).luts <= 1300
+        assert 1000 <= idct_resources(16).luts <= 4000
+        assert 4000 <= idct_resources(32).luts <= 18000
+
+    def test_engine_smaller_than_baseline_until_ws32(self):
+        """Table VIII: WS=8/16 engines are much smaller than the QICK
+        baseline; WS=32 overtakes it (the sub-optimal design point)."""
+        assert idct_resources(8).luts < QICK_BASELINE_RESOURCES.luts
+        assert idct_resources(16).luts < QICK_BASELINE_RESOURCES.luts
+        assert idct_resources(32).luts > QICK_BASELINE_RESOURCES.luts
+
+    def test_utilization_under_5_percent(self):
+        """Table VIII: every engine uses <4% of the zc7u7ev."""
+        for ws in (8, 16, 32):
+            lut_pct, ff_pct = idct_resources(ws).utilization(ZCU7EV_TOTALS)
+            assert lut_pct < 5.0
+            assert ff_pct < 1.0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ReproError):
+            idct_resources(8, datapath_bits=0)
+
+
+class TestClockModel:
+    def test_fig16_ordering(self):
+        """DCT-W(8) << int-DCT-W(32) < int(16) <= int(8) < baseline."""
+        clock = ClockModel()
+        f_dctw8 = clock.normalized_fmax(8, "DCT-W")
+        f_int8 = clock.normalized_fmax(8)
+        f_int16 = clock.normalized_fmax(16)
+        f_int32 = clock.normalized_fmax(32)
+        assert f_dctw8 < f_int32 < f_int16 <= f_int8 < 1.0
+
+    def test_fig16_bands(self):
+        clock = ClockModel()
+        assert clock.normalized_fmax(8, "DCT-W") == pytest.approx(0.67, abs=0.12)
+        assert clock.normalized_fmax(8) == pytest.approx(0.92, abs=0.08)
+        assert clock.normalized_fmax(16) == pytest.approx(0.90, abs=0.08)
+        assert clock.normalized_fmax(32) == pytest.approx(0.83, abs=0.08)
+
+    def test_pipelined_restores_baseline(self):
+        clock = ClockModel()
+        assert clock.normalized_fmax(16, pipelined=True) == 1.0
+
+    def test_fmax_never_exceeds_baseline(self):
+        clock = ClockModel()
+        for ws in (8, 16, 32):
+            assert clock.fmax_hz(ws) <= clock.baseline_fmax_hz
+
+
+class TestSramModel:
+    def test_energy_grows_with_capacity(self):
+        sram = SramModel()
+        assert sram.read_energy_pj(1e3) < sram.read_energy_pj(18e3)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            SramModel().read_energy_pj(0)
+
+
+class TestCryoPower:
+    def test_fig18_baseline_level(self):
+        """Uncompressed controller: ~16 mW (14 memory + 2 DAC)."""
+        power = CryoControllerPower().uncompressed()
+        assert power.total_mw == pytest.approx(16.0, abs=3.0)
+        assert power.memory_mw > 10
+        assert power.idct_mw == 0
+
+    def test_fig18_compression_reduction(self):
+        """COMPAQT at WS=16: >2.5x total power reduction."""
+        model = CryoControllerPower()
+        baseline = model.uncompressed()
+        ws16 = model.compaqt(compression_ratio=16 / 3, window_size=16)
+        assert baseline.total_mw / ws16.total_mw > 2.5
+
+    def test_memory_power_reduction_over_3x(self):
+        """Section V: waveform-memory power alone drops >3x."""
+        model = CryoControllerPower()
+        baseline = model.uncompressed()
+        ws16 = model.compaqt(compression_ratio=16 / 3, window_size=16)
+        assert baseline.memory_mw / ws16.memory_mw > 3.0
+
+    def test_idct_overhead_does_not_overshadow(self):
+        """Fig 18's point: the IDCT engine costs far less than the
+        memory power it saves."""
+        model = CryoControllerPower()
+        ws16 = model.compaqt(compression_ratio=16 / 3, window_size=16)
+        saved = model.uncompressed().memory_mw - ws16.memory_mw
+        assert ws16.idct_mw < saved / 2
+
+    def test_fig19_adaptive_reduction_about_4x(self):
+        """Adaptive decompression on a flat-top: ~4x total reduction."""
+        model = CryoControllerPower()
+        baseline = model.uncompressed()
+        adaptive = model.compaqt(
+            compression_ratio=16 / 3,
+            window_size=16,
+            memory_duty=0.3,
+            idct_duty=0.3,
+        )
+        assert baseline.total_mw / adaptive.total_mw > 3.2
+
+    def test_duty_validation(self):
+        with pytest.raises(ReproError):
+            CryoControllerPower().compaqt(5.0, 16, idct_duty=1.5)
+
+    def test_ratio_validation(self):
+        with pytest.raises(ReproError):
+            CryoControllerPower().compaqt(0.5, 16)
+
+    def test_breakdown_total(self):
+        power = CryoControllerPower().uncompressed()
+        assert power.total_mw == pytest.approx(
+            power.dac_mw + power.memory_mw + power.idct_mw
+        )

@@ -1,0 +1,141 @@
+"""Tests for the pulse sequencer / instruction buffer / executor (Fig 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.circuits import Circuit, ghz_circuit, schedule_circuit, transpile
+from repro.core.controller import QubitController
+from repro.devices import ibm_device
+from repro.microarch import (
+    ControllerExecutor,
+    PulseProgram,
+    SeqInstruction,
+    SeqOp,
+    assemble_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return QubitController(ibm_device("bogota"))
+
+
+@pytest.fixture(scope="module")
+def bogota_schedule(controller):
+    circuit = transpile(ghz_circuit(3), controller.device.topology)
+    return schedule_circuit(circuit, device=controller.device)
+
+
+class TestInstructionSet:
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(ScheduleError):
+            SeqInstruction("jump", duration=1)
+
+    def test_play_requires_gate(self):
+        with pytest.raises(ScheduleError):
+            SeqInstruction(SeqOp.PLAY, duration=10)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            SeqInstruction(SeqOp.DELAY, duration=-1)
+
+
+class TestAssembler:
+    def test_streams_cover_schedule(self, bogota_schedule):
+        program = assemble_schedule(bogota_schedule)
+        assert program.makespan == bogota_schedule.makespan
+        # every channel ends with END
+        for stream in program.channels.values():
+            assert stream[-1].opcode == SeqOp.END
+
+    def test_delays_align_pulses(self, controller):
+        circuit = Circuit(2, name="xx")
+        circuit.x(0)
+        circuit.x(0)
+        circuit.x(1)
+        schedule = schedule_circuit(circuit, device=controller.device)
+        program = assemble_schedule(schedule)
+        # qubit 0: two back-to-back plays, no delay between
+        ops0 = [i.opcode for i in program.channels[0]]
+        assert ops0 == [SeqOp.PLAY, SeqOp.PLAY, SeqOp.END]
+        # qubit 1: a single play starting at t=0
+        ops1 = [i.opcode for i in program.channels[1]]
+        assert ops1 == [SeqOp.PLAY, SeqOp.END]
+
+    def test_cx_occupies_both_channels(self, controller):
+        circuit = Circuit(2).cx(0, 1)
+        schedule = schedule_circuit(circuit, device=controller.device)
+        program = assemble_schedule(schedule)
+        assert 0 in program.channels and 1 in program.channels
+        for channel in (0, 1):
+            plays = [i for i in program.channels[channel] if i.opcode == SeqOp.PLAY]
+            assert plays[0].gate == "cx"
+            assert plays[0].qubits == (0, 1)
+
+    def test_rz_emits_nothing(self, controller):
+        circuit = Circuit(1).rz(0.5, 0).x(0)
+        schedule = schedule_circuit(circuit, device=controller.device)
+        program = assemble_schedule(schedule)
+        plays = [i for i in program.channels[0] if i.opcode == SeqOp.PLAY]
+        assert len(plays) == 1
+
+    def test_instruction_buffer_accounting(self, bogota_schedule):
+        program = assemble_schedule(bogota_schedule)
+        assert program.instruction_buffer_bytes() == 8 * program.n_instructions
+
+
+class TestExecutor:
+    def test_end_to_end_streams(self, controller, bogota_schedule):
+        trace = ControllerExecutor(controller).run_circuit(bogota_schedule)
+        assert set(trace.i_streams) == set(
+            assemble_schedule(bogota_schedule).channels
+        )
+        for stream in trace.i_streams.values():
+            assert stream.size == bogota_schedule.makespan
+
+    def test_pulse_placed_at_schedule_offset(self, controller):
+        circuit = Circuit(1).x(0).x(0)
+        schedule = schedule_circuit(circuit, device=controller.device)
+        trace = ControllerExecutor(controller).run_circuit(schedule)
+        duration = controller.device.gate_duration_samples("x", (0,))
+        played = controller.played_waveform("x", (0,))
+        i_codes, _ = played.to_fixed_point()
+        np.testing.assert_array_equal(
+            trace.i_streams[0][:duration], i_codes.astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            trace.i_streams[0][duration : 2 * duration], i_codes.astype(np.int64)
+        )
+
+    def test_idle_samples_are_zero(self, controller):
+        circuit = Circuit(2).x(0).cx(0, 1)
+        schedule = schedule_circuit(circuit, device=controller.device)
+        trace = ControllerExecutor(controller).run_circuit(schedule)
+        x_duration = controller.device.gate_duration_samples("x", (0,))
+        # channel 1 idles while the X on qubit 0 plays
+        np.testing.assert_array_equal(trace.i_streams[1][:x_duration], 0)
+
+    def test_bandwidth_gain_about_5x(self, controller, bogota_schedule):
+        trace = ControllerExecutor(controller).run_circuit(bogota_schedule)
+        assert trace.bandwidth_gain > 4.5
+        assert trace.plays > 0
+        assert trace.bram_reads > 0
+
+    def test_channel_utilization_bounds(self, controller, bogota_schedule):
+        trace = ControllerExecutor(controller).run_circuit(bogota_schedule)
+        program = trace.program
+        for channel in program.channels:
+            utilization = trace.channel_utilization(channel)
+            assert 0.0 < utilization <= 1.0
+
+    def test_overlapping_schedule_rejected(self):
+        from repro.circuits.schedule import Schedule, ScheduledGate
+
+        schedule = Schedule()
+        schedule.entries = [
+            ScheduledGate("x", (0,), 0, 144),
+            ScheduledGate("x", (0,), 100, 144),  # overlaps the first
+        ]
+        with pytest.raises(ScheduleError):
+            assemble_schedule(schedule)

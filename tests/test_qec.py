@@ -1,0 +1,107 @@
+"""Tests for surface-code patches and syndrome extraction (Fig 17a)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.qec import (
+    patch_coupling_map,
+    peak_concurrent_fraction,
+    rotated_surface_code,
+    syndrome_circuit,
+    syndrome_schedule,
+    unrotated_surface_code,
+)
+
+
+class TestPatchConstruction:
+    def test_surface_17(self):
+        patch = rotated_surface_code(3)
+        assert patch.n_qubits == 17
+        assert patch.n_data == 9
+        assert patch.n_ancilla == 8
+        assert len(patch.x_stabilizers) == 4
+        assert len(patch.z_stabilizers) == 4
+
+    def test_surface_25(self):
+        patch = unrotated_surface_code(3)
+        assert patch.n_qubits == 25
+        assert patch.n_data == 13
+        assert patch.n_ancilla == 12
+
+    def test_surface_81(self):
+        patch = unrotated_surface_code(5)
+        assert patch.n_qubits == 81
+        assert patch.n_data == 41
+        assert patch.n_ancilla == 40
+
+    def test_stabilizer_weights(self):
+        patch = rotated_surface_code(3)
+        weights = sorted(s.weight for s in patch.stabilizers)
+        assert weights == [2, 2, 2, 2, 4, 4, 4, 4]
+
+    def test_bulk_weights_grow_with_distance(self):
+        patch = unrotated_surface_code(5)
+        assert max(s.weight for s in patch.stabilizers) == 4
+        assert min(s.weight for s in patch.stabilizers) >= 2
+
+    def test_every_data_qubit_checked(self):
+        patch = rotated_surface_code(3)
+        covered = set()
+        for stab in patch.stabilizers:
+            covered.update(d for d in stab.data if d is not None)
+        assert covered == set(patch.data_qubits)
+
+    def test_couplings_form_connected_lattice(self):
+        patch = unrotated_surface_code(3)
+        assert patch_coupling_map(patch).is_connected()
+
+    def test_invalid_distance(self):
+        with pytest.raises(ReproError):
+            rotated_surface_code(1)
+
+
+class TestSyndromeCircuit:
+    def test_cnot_count_equals_total_weight(self):
+        patch = rotated_surface_code(3)
+        circuit = syndrome_circuit(patch)
+        total_weight = sum(s.weight for s in patch.stabilizers)
+        assert circuit.cx_count == total_weight  # 24 for surface-17
+
+    def test_hadamards_bracket_x_checks(self):
+        patch = rotated_surface_code(3)
+        circuit = syndrome_circuit(patch)
+        assert circuit.count_ops()["h"] == 2 * len(patch.x_stabilizers)
+
+    def test_all_ancillas_measured(self):
+        patch = unrotated_surface_code(3)
+        circuit = syndrome_circuit(patch)
+        measured = [i for i in circuit.instructions if i.name == "measure"]
+        assert len(measured[0].qubits) == patch.n_ancilla
+
+    def test_local_after_transpilation(self):
+        """The syndrome circuit routes with zero SWAP insertion."""
+        from repro.circuits import transpile
+
+        patch = rotated_surface_code(3)
+        routed = transpile(syndrome_circuit(patch), patch_coupling_map(patch))
+        assert routed.cx_count == syndrome_circuit(patch).cx_count
+
+
+class TestConcurrency:
+    def test_peak_fraction_over_80_percent(self):
+        """Paper: >80% of the patch is driven concurrently."""
+        assert peak_concurrent_fraction(rotated_surface_code(3)) > 0.8
+        assert peak_concurrent_fraction(unrotated_surface_code(3)) > 0.8
+
+    def test_peak_gates_scale_with_patch(self):
+        small = syndrome_schedule(rotated_surface_code(3))
+        large = syndrome_schedule(unrotated_surface_code(5))
+        assert large.peak_concurrent_gates > small.peak_concurrent_gates
+
+    def test_qec_average_near_peak(self):
+        """Fig 5c: surface-code bandwidth stays near peak all cycle."""
+        schedule = syndrome_schedule(unrotated_surface_code(5))
+        ratio = (
+            schedule.average_bandwidth_bytes() / schedule.peak_bandwidth_bytes()
+        )
+        assert ratio > 0.6

@@ -1,0 +1,132 @@
+"""Tests for Clifford groups and randomized benchmarking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.quantum import (
+    NoiseModel,
+    NOISELESS,
+    RBConfig,
+    fit_rb_decay,
+    one_qubit_cliffords,
+    rb_errors_from_gate_errors,
+    run_two_qubit_rb,
+    two_qubit_cliffords,
+)
+from repro.quantum.cliffords import GENERATORS_2Q, _phase_canonical_key
+from repro.quantum import gates
+
+
+@pytest.fixture(scope="module")
+def group2():
+    return two_qubit_cliffords()
+
+
+class TestCliffordGroups:
+    def test_one_qubit_order(self):
+        assert len(one_qubit_cliffords()) == 24
+
+    def test_two_qubit_order(self, group2):
+        assert len(group2) == 11520
+
+    def test_identity_is_element_zero(self, group2):
+        assert group2.words[0] == ()
+        assert group2.index_of(np.eye(4, dtype=complex)) == 0
+
+    def test_words_reconstruct_unitaries(self, group2):
+        gens = dict(GENERATORS_2Q)
+        rng = np.random.default_rng(5)
+        for element in rng.integers(0, len(group2), size=20):
+            u = np.eye(4, dtype=complex)
+            for name in group2.words[element]:
+                u = gens[name] @ u
+            assert _phase_canonical_key(u) == _phase_canonical_key(
+                group2.unitaries[element]
+            )
+
+    def test_inverse_index(self, group2):
+        rng = np.random.default_rng(6)
+        for element in rng.integers(0, len(group2), size=10):
+            inverse = group2.inverse_index(int(element))
+            product = group2.unitaries[inverse] @ group2.unitaries[element]
+            assert group2.index_of(product) == 0
+
+    def test_group_closure_sample(self, group2):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            a, b = rng.integers(0, len(group2), size=2)
+            product = group2.unitaries[a] @ group2.unitaries[b]
+            group2.index_of(product)  # raises if not in group
+
+    def test_mean_cx_count_realistic(self, group2):
+        """Canonical 2Q Clifford decompositions average ~1.5 CX; BFS
+        shortest words land close."""
+        assert 1.2 <= group2.mean_cx_count <= 2.2
+
+    def test_non_element_rejected(self, group2):
+        almost = np.eye(4, dtype=complex)
+        almost[0, 0] = np.exp(0.3j) * 0.9
+        with pytest.raises(SimulationError):
+            group2.index_of(almost + 0.1)
+
+    def test_phase_invariance(self):
+        u = gates.CX
+        assert _phase_canonical_key(u) == _phase_canonical_key(np.exp(1.3j) * u)
+
+
+class TestRBDecayFit:
+    def test_recovers_known_alpha(self):
+        lengths = [1, 5, 10, 25, 50, 100]
+        alpha = 0.97
+        survival = [0.75 * alpha**m + 0.25 for m in lengths]
+        amplitude, fitted, offset = fit_rb_decay(lengths, survival)
+        assert fitted == pytest.approx(alpha, abs=1e-4)
+        assert amplitude == pytest.approx(0.75, abs=1e-3)
+        assert offset == pytest.approx(0.25, abs=1e-3)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(SimulationError):
+            fit_rb_decay([1, 2], [0.9, 0.8])
+
+
+class TestRBExperiment:
+    def test_noiseless_rb_survives(self):
+        config = RBConfig(lengths=(1, 5, 10), n_sequences=3, noise=NOISELESS, seed=1)
+        result = run_two_qubit_rb(config)
+        assert min(result.survival) > 0.999
+        assert result.epc < 1e-3
+
+    def test_noisy_rb_decays(self):
+        config = RBConfig(
+            lengths=(1, 10, 25, 50),
+            n_sequences=4,
+            noise=NoiseModel(p1=1e-3, p2=1.5e-2, readout=0.02),
+            seed=3,
+        )
+        result = run_two_qubit_rb(config)
+        assert result.survival[0] > result.survival[-1]
+        assert 1e-3 < result.epc < 8e-2
+        assert result.fidelity == pytest.approx(1 - result.epc)
+
+    def test_coherent_error_lowers_fidelity(self):
+        config = RBConfig(lengths=(1, 10, 25, 50), n_sequences=4, noise=NOISELESS, seed=4)
+        tilt = gates.rz(0.15) @ gates.rx(0.15)
+        errors = rb_errors_from_gate_errors(sx_error_q0=tilt, sx_error_q1=tilt)
+        ideal = run_two_qubit_rb(config)
+        perturbed = run_two_qubit_rb(config, errors)
+        assert perturbed.epc > ideal.epc
+
+    def test_error_adapter_shapes(self):
+        errors = rb_errors_from_gate_errors(
+            sx_error_q0=np.eye(2), cx_error=np.eye(4)
+        )
+        assert errors["h0"].shape == (4, 4)
+        assert errors["cx"].shape == (4, 4)
+        assert "h1" not in errors
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SimulationError):
+            RBConfig(lengths=())
+        with pytest.raises(SimulationError):
+            RBConfig(n_sequences=0)

@@ -1,0 +1,156 @@
+"""Tests for gate unitaries and statevector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.quantum import (
+    apply_unitary,
+    basis_state,
+    bitstring_of_index,
+    gate_unitary,
+    probabilities,
+    sample_counts,
+    zero_state,
+    zx_rotation,
+)
+from repro.quantum import gates
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize(
+        "name",
+        ["x", "y", "z", "h", "s", "t", "sx", "cx", "cz", "swap", "iswap", "ccx"],
+    )
+    def test_unitarity(self, name):
+        u = gate_unitary(name)
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(u.shape[0]), atol=1e-12)
+
+    def test_sx_squared_is_x(self):
+        np.testing.assert_allclose(gates.SX @ gates.SX, gates.X, atol=1e-12)
+
+    def test_h_conjugates_x_to_z(self):
+        np.testing.assert_allclose(gates.H @ gates.X @ gates.H, gates.Z, atol=1e-12)
+
+    def test_cx_action(self):
+        state = apply_unitary(basis_state("10"), gates.CX, (0, 1))
+        np.testing.assert_allclose(state, basis_state("11"), atol=1e-12)
+
+    @given(st.floats(-6.28, 6.28))
+    @settings(max_examples=40, deadline=None)
+    def test_rotations_unitary(self, theta):
+        for factory in (gates.rx, gates.ry, gates.rz):
+            u = factory(theta)
+            np.testing.assert_allclose(u @ u.conj().T, np.eye(2), atol=1e-12)
+
+    def test_rz_is_virtual_phase(self):
+        u = gates.rz(np.pi)
+        np.testing.assert_allclose(np.abs(np.diag(u)), [1, 1])
+
+    def test_zx_pi_half_entangles(self):
+        u = zx_rotation(np.pi / 2)
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(4), atol=1e-12)
+        state = apply_unitary(zero_state(2), u, (0, 1))
+        probs = probabilities(state)
+        np.testing.assert_allclose(probs, [0.5, 0.5, 0, 0], atol=1e-12)
+
+    def test_cx_from_zx_identity(self):
+        """CX ~ (I x H) after ZX(pi/2) up to 1Q corrections: check the
+        entangling power via a Bell state."""
+        state = zero_state(2)
+        state = apply_unitary(state, gates.H, (0,))
+        state = apply_unitary(state, gates.CX, (0, 1))
+        probs = probabilities(state)
+        np.testing.assert_allclose(probs, [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(SimulationError):
+            gate_unitary("frobnicate")
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(SimulationError):
+            gate_unitary("rz")
+        with pytest.raises(SimulationError):
+            gate_unitary("x", (1.0,))
+
+
+class TestStates:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state[0] == 1.0
+        assert state.size == 8
+
+    def test_basis_state(self):
+        state = basis_state("101")
+        assert state[0b101] == 1.0
+
+    def test_invalid_bitstring(self):
+        with pytest.raises(SimulationError):
+            basis_state("10x")
+
+    def test_apply_on_middle_qubit(self):
+        state = apply_unitary(zero_state(3), gates.X, (1,))
+        np.testing.assert_allclose(state, basis_state("010"), atol=1e-12)
+
+    def test_two_qubit_on_non_adjacent(self):
+        state = apply_unitary(zero_state(3), gates.X, (0,))
+        state = apply_unitary(state, gates.CX, (0, 2))
+        np.testing.assert_allclose(state, basis_state("101"), atol=1e-12)
+
+    def test_reversed_qubit_order(self):
+        """CX with (control, target) = (2, 0)."""
+        state = apply_unitary(zero_state(3), gates.X, (2,))
+        state = apply_unitary(state, gates.CX, (2, 0))
+        np.testing.assert_allclose(state, basis_state("101"), atol=1e-12)
+
+    def test_norm_preserved_random_circuit(self):
+        rng = np.random.default_rng(3)
+        state = zero_state(4)
+        for _ in range(30):
+            q = int(rng.integers(0, 4))
+            state = apply_unitary(state, gates.H, (q,))
+            a, b = rng.choice(4, size=2, replace=False)
+            state = apply_unitary(state, gates.CX, (int(a), int(b)))
+        assert np.sum(np.abs(state) ** 2) == pytest.approx(1.0)
+
+    def test_bad_unitary_shape(self):
+        with pytest.raises(SimulationError):
+            apply_unitary(zero_state(2), np.eye(4), (0,))
+
+    def test_bad_qubit_index(self):
+        with pytest.raises(SimulationError):
+            apply_unitary(zero_state(2), gates.X, (5,))
+
+
+class TestSampling:
+    def test_deterministic_state(self):
+        counts = sample_counts(basis_state("01"), shots=100, rng=np.random.default_rng(0))
+        assert counts == {"01": 100}
+
+    def test_uniform_superposition(self):
+        state = apply_unitary(zero_state(1), gates.H, (0,))
+        counts = sample_counts(state, 4000, rng=np.random.default_rng(1))
+        assert abs(counts["0"] - 2000) < 200
+
+    def test_readout_error_flips(self):
+        counts = sample_counts(
+            basis_state("00"),
+            shots=2000,
+            rng=np.random.default_rng(2),
+            readout_flip=0.1,
+        )
+        assert counts.get("00", 0) < 2000
+        assert sum(counts.values()) == 2000
+
+    def test_bitstring_format(self):
+        assert bitstring_of_index(5, 4) == "0101"
+
+    def test_invalid_shots(self):
+        with pytest.raises(SimulationError):
+            sample_counts(zero_state(1), 0)
+
+    def test_unnormalized_state_rejected(self):
+        with pytest.raises(SimulationError):
+            probabilities(np.array([1.0, 1.0], dtype=complex))

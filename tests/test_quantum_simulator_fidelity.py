@@ -1,0 +1,127 @@
+"""Tests for the noisy simulator and fidelity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.circuits import Circuit, ghz_circuit, transpile
+from repro.quantum import (
+    NoiseModel,
+    StatevectorSimulator,
+    average_gate_fidelity,
+    distribution_from_array,
+    hellinger_fidelity,
+    normalized_fidelity,
+    total_variation_distance,
+    tvd_fidelity,
+)
+from repro.quantum.gates import X, rz
+
+
+class TestSimulator:
+    def test_bell_distribution(self):
+        sim = StatevectorSimulator()
+        probs = sim.ideal_distribution(Circuit(2).h(0).cx(0, 1).measure())
+        np.testing.assert_allclose(probs, [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_sampling_matches_distribution(self):
+        sim = StatevectorSimulator(seed=3)
+        counts = sim.sample(ghz_circuit(2), shots=4000)
+        assert set(counts) <= {"00", "11"}
+        assert abs(counts["00"] - 2000) < 200
+
+    def test_noise_degrades_ghz(self):
+        noisy = StatevectorSimulator(
+            noise=NoiseModel(p1=0.01, p2=0.05, readout=0.02), seed=4
+        )
+        counts = noisy.sample(ghz_circuit(3), shots=3000)
+        bad_shots = sum(v for k, v in counts.items() if k not in ("000", "111"))
+        assert bad_shots > 0
+
+    def test_gate_errors_applied(self):
+        """An X-valued coherent error after every X cancels the gate.
+
+        (``ideal_distribution`` deliberately ignores configured errors;
+        ``final_state`` is the erred evolution.)"""
+        from repro.quantum import probabilities
+
+        errors = {("x", (0,)): X}
+        sim = StatevectorSimulator(gate_errors=errors)
+        probs = probabilities(sim.final_state(Circuit(1).x(0).measure()))
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_ideal_distribution_ignores_errors(self):
+        errors = {("x", (0,)): X}
+        sim = StatevectorSimulator(gate_errors=errors)
+        probs = sim.ideal_distribution(Circuit(1).x(0).measure())
+        assert probs[1] == pytest.approx(1.0)
+
+    def test_wildcard_gate_error(self):
+        from repro.quantum import probabilities
+
+        errors = {("x", ()): X}
+        sim = StatevectorSimulator(gate_errors=errors)
+        probs = probabilities(sim.final_state(Circuit(1).x(0).measure()))
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_rz_never_gets_errors(self):
+        from repro.quantum import probabilities
+
+        errors = {("rz", ()): X}
+        sim = StatevectorSimulator(gate_errors=errors)
+        probs = probabilities(sim.final_state(Circuit(1).rz(0.3, 0).measure()))
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_invalid_shots(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().sample(ghz_circuit(2), 0)
+
+    def test_transpiled_circuit_same_distribution_under_sim(self):
+        circuit = ghz_circuit(3)
+        sim = StatevectorSimulator()
+        a = sim.ideal_distribution(circuit)
+        b = sim.ideal_distribution(transpile(circuit))
+        assert tvd_fidelity(a, b) > 1 - 1e-9
+
+
+class TestFidelityMetrics:
+    def test_tvd_identical(self):
+        assert total_variation_distance({"00": 1.0}, {"00": 1.0}) == 0.0
+
+    def test_tvd_disjoint(self):
+        assert total_variation_distance({"00": 1.0}, {"11": 1.0}) == 1.0
+
+    def test_tvd_accepts_arrays(self):
+        p = np.array([0.5, 0.5, 0, 0])
+        q = np.array([0.25, 0.25, 0.25, 0.25])
+        assert total_variation_distance(p, q) == pytest.approx(0.5)
+
+    def test_fidelity_is_one_minus_tvd(self):
+        p, q = {"0": 0.7, "1": 0.3}, {"0": 0.5, "1": 0.5}
+        assert tvd_fidelity(p, q) == pytest.approx(1 - 0.2)
+
+    def test_hellinger_bounds(self):
+        p = {"0": 1.0}
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+        assert hellinger_fidelity(p, {"1": 1.0}) == 0.0
+
+    def test_normalized_fidelity_anchors(self):
+        ideal = {"00": 0.5, "11": 0.5}
+        uniform = {k: 0.25 for k in ("00", "01", "10", "11")}
+        assert normalized_fidelity(ideal, ideal, 2) == pytest.approx(1.0)
+        assert normalized_fidelity(ideal, uniform, 2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_distribution_from_array_keys(self):
+        dist = distribution_from_array(np.array([0.5, 0, 0, 0.5]))
+        assert dist == {"00": 0.5, "11": 0.5}
+
+    def test_average_gate_fidelity_identity(self):
+        assert average_gate_fidelity(X, X) == pytest.approx(1.0)
+
+    def test_average_gate_fidelity_small_rotation(self):
+        fidelity = average_gate_fidelity(np.eye(2, dtype=complex), rz(0.1))
+        assert 0.99 < fidelity < 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            average_gate_fidelity(np.eye(2), np.eye(4))

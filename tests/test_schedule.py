@@ -1,0 +1,101 @@
+"""Tests for ASAP scheduling and bandwidth profiling (Fig 5c inputs)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.circuits import (
+    BYTES_PER_STREAM_PER_SECOND,
+    Circuit,
+    GateDurations,
+    schedule_circuit,
+    transpile,
+    qaoa_circuit,
+)
+from repro.devices import ibm_device
+
+
+class TestScheduling:
+    def test_serial_chain(self):
+        circuit = Circuit(1).x(0).sx(0).measure()
+        schedule = schedule_circuit(circuit)
+        starts = [e.start for e in schedule.entries]
+        assert starts == [0, 144, 288]
+        assert schedule.makespan == 288 + 1360
+
+    def test_parallel_gates_share_time(self):
+        circuit = Circuit(2).x(0).x(1)
+        schedule = schedule_circuit(circuit)
+        assert all(e.start == 0 for e in schedule.entries)
+        assert schedule.peak_concurrent_gates == 2
+
+    def test_rz_takes_zero_time(self):
+        circuit = Circuit(1).rz(1.0, 0).x(0)
+        schedule = schedule_circuit(circuit)
+        x_entry = [e for e in schedule.entries if e.gate == "x"][0]
+        assert x_entry.start == 0
+
+    def test_cx_blocks_both_qubits(self):
+        circuit = Circuit(2).cx(0, 1).x(0).x(1)
+        schedule = schedule_circuit(circuit)
+        for entry in schedule.entries:
+            if entry.gate == "x":
+                assert entry.start == 1360
+
+    def test_measure_concurrent(self):
+        """All measured qubits start readout together (Section III-A)."""
+        circuit = Circuit(3).x(0).measure()
+        schedule = schedule_circuit(circuit)
+        measure_starts = {e.start for e in schedule.entries if e.gate == "measure"}
+        assert len(measure_starts) == 1
+
+    def test_device_durations_used(self):
+        device = ibm_device("bogota")
+        circuit = Circuit(2).cx(0, 1)
+        schedule = schedule_circuit(circuit, device=device)
+        cx_duration = device.gate_duration_samples("cx", (0, 1))
+        assert schedule.entries[0].duration == cx_duration
+
+    def test_unknown_gate_rejected(self):
+        from repro.circuits import Instruction
+
+        circuit = Circuit(1)
+        circuit.instructions.append(Instruction("warp", (0,)))
+        with pytest.raises(ScheduleError):
+            schedule_circuit(circuit)
+
+
+class TestBandwidthProfile:
+    def test_peak_streams_at_measurement(self):
+        """NISQ circuits peak when every qubit is read out at once."""
+        circuit = transpile(qaoa_circuit(6, kind="3-regular", seed=2))
+        schedule = schedule_circuit(circuit)
+        assert schedule.peak_concurrent_streams == 6
+
+    def test_peak_bandwidth_scales_with_streams(self):
+        circuit = Circuit(4).measure()
+        schedule = schedule_circuit(circuit)
+        assert schedule.peak_bandwidth_bytes() == pytest.approx(
+            4 * BYTES_PER_STREAM_PER_SECOND
+        )
+
+    def test_average_below_peak_for_nisq(self):
+        """Fig 5c: QAOA average bandwidth well below peak."""
+        circuit = transpile(qaoa_circuit(8, kind="3-regular", seed=3))
+        schedule = schedule_circuit(circuit)
+        assert schedule.average_bandwidth_bytes() < schedule.peak_bandwidth_bytes()
+
+    def test_empty_schedule(self):
+        schedule = schedule_circuit(Circuit(1))
+        assert schedule.makespan == 0
+        assert schedule.peak_concurrent_streams == 0
+        assert schedule.average_concurrent_streams == 0.0
+
+    def test_duration_seconds(self):
+        circuit = Circuit(1).x(0)
+        schedule = schedule_circuit(circuit)
+        assert schedule.duration_seconds == pytest.approx(144 / 4.54e9)
+
+    def test_custom_durations(self):
+        durations = GateDurations(x=100, sx=100, rz=0, cx=500, measure=700)
+        schedule = schedule_circuit(Circuit(1).x(0), durations)
+        assert schedule.makespan == 100

@@ -1,0 +1,101 @@
+"""Tests for CSD decomposition and shift-add multiplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms import (
+    OpCount,
+    csd_digits,
+    multiplier_cost,
+    shared_multiplier_cost,
+    shift_add_multiply,
+)
+from repro.transforms.integer_dct import integer_dct_matrix
+
+
+class TestCsdDigits:
+    @given(st.integers(-(2**20), 2**20))
+    @settings(max_examples=200, deadline=None)
+    def test_digits_reconstruct_value(self, value):
+        assert sum(sign << shift for shift, sign in csd_digits(value)) == value
+
+    @given(st.integers(1, 2**20))
+    @settings(max_examples=200, deadline=None)
+    def test_non_adjacent_form(self, value):
+        shifts = sorted(shift for shift, _ in csd_digits(value))
+        assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+    def test_zero_has_no_digits(self):
+        assert csd_digits(0) == ()
+
+    def test_power_of_two_single_digit(self):
+        assert csd_digits(64) == ((6, 1),)
+
+    def test_known_constant_89(self):
+        # 89 = 1 - 8 - 32 + 128 (the HEVC odd coefficient)
+        assert csd_digits(89) == ((0, 1), (3, -1), (5, -1), (7, 1))
+
+    @given(st.integers(1, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_minimal_weight_not_worse_than_binary(self, value):
+        assert len(csd_digits(value)) <= bin(value).count("1")
+
+
+class TestShiftAddMultiply:
+    @given(st.integers(-(2**15), 2**15), st.integers(0, 2**12))
+    @settings(max_examples=200, deadline=None)
+    def test_equals_plain_multiplication(self, x, constant):
+        assert shift_add_multiply(x, constant) == constant * x
+
+    def test_works_on_arrays(self):
+        x = np.arange(-5, 6, dtype=np.int64)
+        np.testing.assert_array_equal(shift_add_multiply(x, 83), 83 * x)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_every_hevc_constant_exact(self, n):
+        """The multiplierless engine must realize every matrix constant."""
+        x = np.arange(-100, 101, dtype=np.int64)
+        for constant in np.unique(np.abs(integer_dct_matrix(n))):
+            np.testing.assert_array_equal(
+                shift_add_multiply(x, int(constant)), int(constant) * x
+            )
+
+
+class TestOpCounts:
+    def test_power_of_two_costs_no_adders(self):
+        cost = multiplier_cost(64)
+        assert cost.adders == 0
+        assert cost.shifters == 1
+        assert cost.multipliers == 0
+
+    def test_cost_of_89(self):
+        cost = multiplier_cost(89)
+        assert cost.adders == 3  # 4 digits -> 3 adders
+
+    def test_opcount_addition(self):
+        total = OpCount(1, 2, 3) + OpCount(4, 5, 6)
+        assert (total.multipliers, total.adders, total.shifters) == (5, 7, 9)
+
+    def test_shared_cost_no_worse_than_independent(self):
+        constants = (89, 75, 50, 18)
+        shared = shared_multiplier_cost(constants)
+        independent = sum(
+            (multiplier_cost(c) for c in constants), OpCount()
+        )
+        assert shared.adders <= independent.adders
+        assert shared.multipliers == 0
+
+    def test_shared_cost_finds_sharing_in_identical_constants(self):
+        # Two copies of the same constant: second copy should be free.
+        single = shared_multiplier_cost((83,))
+        double = shared_multiplier_cost((83, 83))
+        assert double.adders <= single.adders + 1
+
+    @given(st.lists(st.integers(1, 1023), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_shared_cost_is_sane(self, constants):
+        cost = shared_multiplier_cost(tuple(constants))
+        assert cost.adders >= 0
+        assert cost.multipliers == 0

@@ -1,0 +1,106 @@
+"""Tests for the floating-point DCT (repro.transforms.dct)."""
+
+import numpy as np
+import pytest
+import scipy.fftpack
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.transforms import dct, idct, dct_matrix, dct_windowed, idct_windowed
+
+
+def signals(min_size=1, max_size=64):
+    return hnp.arrays(
+        np.float64,
+        st.integers(min_size, max_size),
+        elements=st.floats(-1e4, 1e4, allow_nan=False),
+    )
+
+
+class TestDctMatrix:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 16, 17, 32, 100])
+    def test_orthonormal(self, n):
+        matrix = dct_matrix(n)
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(n), atol=1e-12)
+
+    def test_first_row_is_constant(self):
+        matrix = dct_matrix(9)
+        np.testing.assert_allclose(matrix[0], 1 / np.sqrt(9))
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            dct_matrix(8)[0, 0] = 1.0
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_invalid_size_rejected(self, n):
+        with pytest.raises(ValueError):
+            dct_matrix(n)
+
+    def test_cached_instance_reused(self):
+        assert dct_matrix(16) is dct_matrix(16)
+
+
+class TestDctRoundTrip:
+    @given(signals())
+    @settings(max_examples=50, deadline=None)
+    def test_idct_inverts_dct(self, x):
+        np.testing.assert_allclose(idct(dct(x)), x, atol=1e-8)
+
+    def test_matches_scipy_ortho(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=33)
+        np.testing.assert_allclose(
+            dct(x), scipy.fftpack.dct(x, norm="ortho"), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            idct(x), scipy.fftpack.idct(x, norm="ortho"), atol=1e-10
+        )
+
+    def test_energy_preserved(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=50)
+        assert np.sum(dct(x) ** 2) == pytest.approx(np.sum(x**2))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            dct(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            idct(np.zeros((3, 3)))
+
+    def test_smooth_signal_compacts_energy(self):
+        """The property the whole paper rests on: smooth waveforms put
+        nearly all DCT energy in the first few coefficients."""
+        t = np.linspace(0, 1, 160)
+        smooth = np.exp(-0.5 * ((t - 0.5) / 0.12) ** 2)
+        spectrum = dct(smooth)
+        head = np.sum(spectrum[:12] ** 2)
+        assert head / np.sum(spectrum**2) > 0.999
+
+
+class TestWindowedDct:
+    def test_round_trip_with_padding(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=37)  # not a multiple of the window
+        spectra = dct_windowed(x, 8)
+        assert spectra.shape == (5, 8)
+        back = idct_windowed(spectra)
+        np.testing.assert_allclose(back[:37], x, atol=1e-9)
+        np.testing.assert_allclose(back[37:], 0, atol=1e-9)
+
+    def test_exact_multiple_no_padding(self):
+        x = np.arange(32, dtype=float)
+        assert dct_windowed(x, 16).shape == (2, 16)
+
+    def test_windows_are_independent(self):
+        x = np.concatenate([np.ones(8), np.zeros(8)])
+        spectra = dct_windowed(x, 8)
+        np.testing.assert_allclose(spectra[1], 0, atol=1e-12)
+
+    def test_idct_windowed_rejects_1d(self):
+        with pytest.raises(ValueError):
+            idct_windowed(np.zeros(8))
+
+    def test_bad_window_size_rejected(self):
+        with pytest.raises(ValueError):
+            dct_windowed(np.ones(16), 0)

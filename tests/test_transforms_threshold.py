@@ -1,0 +1,75 @@
+"""Tests for coefficient thresholding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.transforms import hard_threshold, kept_coefficients, trailing_zero_run
+
+
+def arrays():
+    return hnp.arrays(
+        np.int64, st.integers(1, 64), elements=st.integers(-1000, 1000)
+    )
+
+
+class TestHardThreshold:
+    @given(arrays(), st.integers(0, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_survivors_meet_threshold(self, values, threshold):
+        out = hard_threshold(values, threshold)
+        survivors = out[out != 0]
+        assert np.all(np.abs(survivors) >= threshold)
+
+    @given(arrays(), st.integers(0, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_survivors_unchanged(self, values, threshold):
+        out = hard_threshold(values, threshold)
+        mask = np.abs(values) >= threshold
+        np.testing.assert_array_equal(out[mask], values[mask])
+
+    def test_zero_threshold_is_identity(self):
+        values = np.array([3, -1, 0, 7])
+        np.testing.assert_array_equal(hard_threshold(values, 0), values)
+
+    def test_does_not_mutate_input(self):
+        values = np.array([1, 2, 3])
+        hard_threshold(values, 10)
+        np.testing.assert_array_equal(values, [1, 2, 3])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            hard_threshold(np.ones(4), -1)
+
+    def test_boundary_is_kept(self):
+        """|v| == threshold survives (strict < comparison zeroes)."""
+        out = hard_threshold(np.array([5, -5, 4]), 5)
+        np.testing.assert_array_equal(out, [5, -5, 0])
+
+
+class TestRunHelpers:
+    def test_trailing_zero_run(self):
+        assert trailing_zero_run(np.array([1, 0, 2, 0, 0])) == 2
+
+    def test_all_zeros(self):
+        assert trailing_zero_run(np.zeros(7)) == 7
+
+    def test_no_trailing_zeros(self):
+        assert trailing_zero_run(np.array([0, 0, 3])) == 0
+
+    def test_kept_coefficients_counts_codeword(self):
+        # two kept + one codeword
+        assert kept_coefficients(np.array([9, 8, 0, 0, 0, 0, 0, 0])) == 3
+
+    def test_kept_coefficients_full_window(self):
+        assert kept_coefficients(np.arange(1, 9)) == 8
+
+    def test_kept_coefficients_all_zero(self):
+        assert kept_coefficients(np.zeros(16)) == 1
+
+    @given(arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_kept_never_exceeds_window(self, values):
+        assert 1 <= kept_coefficients(values) <= values.size + 0
