@@ -6,8 +6,7 @@ cycle-level pipeline's actual bank usage, not just the formula.
 """
 
 from conftest import once
-from repro.compression import compress_waveform
-from repro.core import QICK_BASELINE_QUBITS, qubit_gain, qubits_supported
+from repro.core import qubit_gain, qubits_supported
 from repro.core.controller import QubitController
 from repro.devices import ibm_device
 

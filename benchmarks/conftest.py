@@ -3,16 +3,18 @@
 Every bench regenerates one of the paper's tables or figures.  Results
 are printed (visible with ``pytest -s``) and also appended to
 ``benchmarks/results/<bench>.txt`` so the numbers survive pytest's
-output capture.
+output capture; a ``<bench>.json`` sidecar carries the same tables in
+machine-readable form (one list of ``table_payload`` dicts per bench).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
-from repro.analysis import render_table
+from repro.analysis import render_table, table_payload
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -22,14 +24,20 @@ def record_table(request):
     """Return a callable that prints and persists one result table."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{request.node.name}.txt"
-    if path.exists():
-        path.unlink()
+    json_path = path.with_suffix(".json")
+    for stale in (path, json_path):
+        if stale.exists():
+            stale.unlink()
+    tables = []
 
     def _record(title, headers, rows, note=None):
+        rows = list(rows)
         text = render_table(title, headers, rows, note)
         print("\n" + text)
         with open(path, "a") as handle:
             handle.write(text + "\n\n")
+        tables.append(table_payload(title, headers, rows, note))
+        json_path.write_text(json.dumps(tables, indent=2) + "\n")
         return text
 
     return _record

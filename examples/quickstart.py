@@ -4,7 +4,6 @@ decompression pipeline.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import compress_waveform, ibm_device
 from repro.analysis import print_table

@@ -10,7 +10,12 @@ from repro.analysis.bandwidth import (
     bandwidth_curve,
 )
 from repro.analysis.histogram import window_occupancy_histogram, total_windows
-from repro.analysis.report import render_table, print_table, format_number
+from repro.analysis.report import (
+    render_table,
+    print_table,
+    format_number,
+    table_payload,
+)
 
 __all__ = [
     "VendorParams",
@@ -25,4 +30,5 @@ __all__ = [
     "render_table",
     "print_table",
     "format_number",
+    "table_payload",
 ]

@@ -7,9 +7,9 @@ them) the paper's reference values alongside our measurements.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["render_table", "format_number", "print_table"]
+__all__ = ["render_table", "format_number", "print_table", "table_payload"]
 
 
 def format_number(value, digits: int = 3) -> str:
@@ -49,6 +49,37 @@ def render_table(
     if note:
         lines.append(f"   note: {note}")
     return "\n".join(lines)
+
+
+def table_payload(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    note: Optional[str] = None,
+) -> Dict:
+    """The same table as a JSON-serializable dict.
+
+    Numeric cells stay numeric (numpy scalars are coerced to plain
+    Python); everything else is stringified, so the payload always
+    survives ``json.dumps``.  This is what makes the figure/table
+    benches machine-readable alongside their ASCII rendering.
+    """
+
+    def _cell(value):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value
+        if hasattr(value, "item"):  # numpy scalar
+            return value.item()
+        return str(value)
+
+    return {
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_cell(cell) for cell in row] for row in rows],
+        "note": note,
+    }
 
 
 def print_table(

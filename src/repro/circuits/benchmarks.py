@@ -11,7 +11,7 @@ ones just as on IBM's heavy-hex machines.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 import numpy as np

@@ -10,7 +10,7 @@ calibrated on our devices, so no direction fixing is needed.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ScheduleError
 from repro.circuits.circuit import Circuit, Instruction

@@ -1,4 +1,4 @@
-"""Command-line interface: inspect devices and compression reports.
+"""Command-line interface: inspect devices, compression reports, perf.
 
 Usage::
 
@@ -6,6 +6,7 @@ Usage::
     python -m repro report --device guadalupe --window-size 16
     python -m repro report --device bogota --variant DCT-W --fidelity-aware
     python -m repro scalability --window-size 16
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -58,6 +59,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scal.add_argument("--window-size", type=int, default=16, choices=(8, 16, 32))
     scal.add_argument("--clock-ratio", type=int, default=16)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="scalar-vs-batched compression benchmark (JSON + table)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small device set and a single repeat (the CI smoke profile)",
+    )
+    bench.add_argument(
+        "--devices",
+        default=None,
+        help="comma-separated device specs (IBM name, google-RxC, "
+        "fluxonium-N); defaults to the full catalog, or the quick set "
+        "with --quick",
+    )
+    bench.add_argument(
+        "--window-size", type=int, default=16, choices=(8, 16, 32)
+    )
+    bench.add_argument("--repeats", type=int, default=None)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="JSON output path (default BENCH_compression.json)",
+    )
     return parser
 
 
@@ -140,6 +168,39 @@ def _cmd_scalability(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_OUTPUT,
+        FULL_DEVICE_SPECS,
+        QUICK_DEVICE_SPECS,
+        render_bench_table,
+        run_compression_bench,
+        write_bench_json,
+    )
+
+    if args.devices:
+        specs = tuple(s.strip() for s in args.devices.split(",") if s.strip())
+        if not specs:
+            print(f"error: --devices {args.devices!r} names no devices")
+            return 2
+    else:
+        specs = QUICK_DEVICE_SPECS if args.quick else FULL_DEVICE_SPECS
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    payload = run_compression_bench(
+        device_specs=specs,
+        window_size=args.window_size,
+        repeats=repeats,
+        warmup=args.warmup,
+    )
+    path = write_bench_json(payload, args.output or DEFAULT_OUTPUT)
+    print(render_bench_table(payload))
+    print(f"   wrote: {path}")
+    if not payload["summary"]["all_parity_ok"]:
+        print("ERROR: batched output mismatches the scalar reference")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -149,4 +210,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_report(args))
     elif args.command == "scalability":
         print(_cmd_scalability(args))
+    elif args.command == "bench":
+        return _cmd_bench(args)
     return 0

@@ -11,6 +11,7 @@ from repro.compression.pipeline import (
     compress_channel,
     decompress_channel,
 )
+from repro.compression.batch import BatchCompressionResult, compress_batch
 from repro.compression.window import split_windows, merge_windows, n_windows
 from repro.compression.metrics import (
     mean_squared_error,
@@ -42,6 +43,8 @@ __all__ = [
     "decompress_waveform",
     "compress_channel",
     "decompress_channel",
+    "BatchCompressionResult",
+    "compress_batch",
     "split_windows",
     "merge_windows",
     "n_windows",

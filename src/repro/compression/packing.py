@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.errors import CompressionError
 from repro.compression.pipeline import CompressedWaveform

@@ -22,21 +22,23 @@ the I and Q occupancies.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.errors import CompressionError
 from repro.compression.metrics import compression_ratio, mean_squared_error
 from repro.compression.window import merge_windows, split_windows
-from repro.pulses.quantization import quantize_iq
 from repro.pulses.waveform import Waveform
 from repro.transforms.dct import dct_matrix
 from repro.transforms.integer_dct import (
     SUPPORTED_SIZES,
     int_dct,
+    int_dct_blocks,
     int_idct,
+    int_idct_blocks,
 )
 from repro.transforms.rle import EncodedWindow, rle_encode_window
 from repro.transforms.threshold import hard_threshold
@@ -53,6 +55,8 @@ __all__ = [
     "decompress_channel",
     "forward_transform",
     "inverse_transform",
+    "forward_transform_blocks",
+    "inverse_transform_blocks",
 ]
 
 #: Supported pipeline variants (Table II).
@@ -347,7 +351,9 @@ def _forward(block: np.ndarray, variant: str) -> np.ndarray:
         return int_dct(block).astype(np.int64)
     matrix = dct_matrix(n)
     coeffs = (matrix @ block.astype(np.float64)) / math.sqrt(n)
-    return np.rint(coeffs).astype(np.int64)
+    out = np.rint(coeffs).astype(np.int64)
+    _fix_rational_rows(block.reshape(1, -1), out.reshape(1, -1))
+    return out
 
 
 def _inverse(coeffs: np.ndarray, variant: str) -> np.ndarray:
@@ -361,6 +367,41 @@ def _inverse(coeffs: np.ndarray, variant: str) -> np.ndarray:
     matrix = dct_matrix(n)
     samples = matrix.T @ (coeffs.astype(np.float64) * math.sqrt(n))
     return np.rint(samples).astype(np.int64)
+
+
+def _rint_div_exact(s: np.ndarray, n: int) -> np.ndarray:
+    """Round-half-even of ``s / n`` in exact integer arithmetic."""
+    q, r = np.divmod(s, n)
+    twice = 2 * r
+    round_up = (twice > n) | ((twice == n) & (q % 2 != 0))
+    return q + round_up
+
+
+@lru_cache(maxsize=64)
+def _nyquist_signs(n: int) -> np.ndarray:
+    """Sign pattern of the DCT's Nyquist row: cos(pi*(2j+1)/4) signs."""
+    j = np.arange(n) % 4
+    signs = np.where((j == 0) | (j == 3), 1, -1).astype(np.int64)
+    signs.setflags(write=False)
+    return signs
+
+
+def _fix_rational_rows(blocks: np.ndarray, out: np.ndarray) -> None:
+    """Recompute the exactly-rational coefficient rows in integer math.
+
+    In the stored convention ``DCT(x) / sqrt(N)``, the DC coefficient is
+    exactly ``sum(x) / N`` and (for even N) the Nyquist coefficient is
+    exactly ``sum(+-x) / N`` -- both can land exactly on a rounding
+    half-point, where the float matmul's last-ulp error (which differs
+    between BLAS gemv and gemm kernels) would flip ``rint``.  Computing
+    the two rows exactly keeps scalar and batched streams bit-identical
+    on any BLAS.  ``out`` is modified in place; rows are coefficient
+    columns of the ``(n_windows, N)`` layout.
+    """
+    n = blocks.shape[1]
+    out[:, 0] = _rint_div_exact(blocks.sum(axis=1), n)
+    if n % 2 == 0:
+        out[:, n // 2] = _rint_div_exact(blocks @ _nyquist_signs(n), n)
 
 
 def _check_variant(variant: str) -> None:
@@ -384,3 +425,57 @@ def inverse_transform(coeffs: np.ndarray, variant: str) -> np.ndarray:
     """Public inverse transform (what the IDCT engine computes)."""
     _check_variant(variant)
     return _inverse(np.asarray(coeffs, dtype=np.int64), variant)
+
+
+# ---------------------------------------------------------------------------
+# Batched (row-wise) transforms: one matmul for a whole window matrix.
+#
+# These apply the same fixed-point convention as the scalar `_forward` /
+# `_inverse` pair, but to a ``(n_windows, window_size)`` matrix in a
+# single pass.  The integer path is exact, so it is bit-identical to the
+# scalar reference by construction; the float path performs the same
+# dot products in float64 and is verified bit-identical by the parity
+# test suite.
+# ---------------------------------------------------------------------------
+
+
+def forward_transform_blocks(blocks: np.ndarray, variant: str) -> np.ndarray:
+    """Row-wise :func:`forward_transform` of a window matrix (int64 out)."""
+    _check_variant(variant)
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2:
+        raise CompressionError(
+            f"expected (n_windows, ws) blocks, got shape {blocks.shape}"
+        )
+    n = blocks.shape[1]
+    if variant == "int-DCT-W":
+        if n not in SUPPORTED_SIZES:
+            raise CompressionError(
+                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
+            )
+        return int_dct_blocks(blocks).astype(np.int64)
+    matrix = dct_matrix(n)
+    coeffs = (blocks.astype(np.float64) @ matrix.T) / math.sqrt(n)
+    out = np.rint(coeffs).astype(np.int64)
+    _fix_rational_rows(np.asarray(blocks, dtype=np.int64), out)
+    return out
+
+
+def inverse_transform_blocks(coeffs: np.ndarray, variant: str) -> np.ndarray:
+    """Row-wise :func:`inverse_transform` of a coefficient matrix."""
+    _check_variant(variant)
+    coeffs = np.asarray(coeffs)
+    if coeffs.ndim != 2:
+        raise CompressionError(
+            f"expected (n_windows, ws) coefficients, got shape {coeffs.shape}"
+        )
+    n = coeffs.shape[1]
+    if variant == "int-DCT-W":
+        if n not in SUPPORTED_SIZES:
+            raise CompressionError(
+                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
+            )
+        return int_idct_blocks(coeffs).astype(np.int64)
+    matrix = dct_matrix(n)
+    samples = (coeffs.astype(np.float64) * math.sqrt(n)) @ matrix
+    return np.rint(samples).astype(np.int64)

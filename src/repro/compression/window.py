@@ -7,7 +7,6 @@ the whole waveform as a single window.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -39,4 +39,5 @@ __all__ = [
     "qubit_gain",
     "qubits_supported",
     "logical_qubits_supported",
+    "QubitController",
 ]

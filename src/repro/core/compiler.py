@@ -10,11 +10,12 @@ controller's compressed waveform memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
 from repro.errors import CompressionError, DeviceError
+from repro.compression.batch import compress_batch
 from repro.compression.pipeline import (
     CompressionResult,
     DEFAULT_THRESHOLD,
@@ -156,6 +157,10 @@ class CompaqtCompiler:
             fidelity-aware search is off.
         fidelity_aware: Enable Algorithm 1's per-pulse threshold search.
         target_mse: Algorithm 1's ε.
+        batched: Compress whole libraries through the vectorized batch
+            engine (one matmul per library instead of one per window).
+            Bit-identical to the scalar path; set False to force the
+            per-window reference implementation.
     """
 
     def __init__(
@@ -166,6 +171,7 @@ class CompaqtCompiler:
         fidelity_aware: bool = False,
         target_mse: float = DEFAULT_TARGET_MSE,
         max_coefficients: int = 0,
+        batched: bool = True,
     ) -> None:
         self.window_size = window_size
         self.variant = variant
@@ -173,6 +179,7 @@ class CompaqtCompiler:
         self.fidelity_aware = fidelity_aware
         self.target_mse = target_mse
         self.max_coefficients = max_coefficients
+        self.batched = batched
 
     def compile_waveform(self, waveform: Waveform) -> CompressionResult:
         """Compress a single pulse under this configuration."""
@@ -192,7 +199,13 @@ class CompaqtCompiler:
         )
 
     def compile_library(self, library: PulseLibrary) -> CompressedPulseLibrary:
-        """Compress every entry of a device's pulse library."""
+        """Compress every entry of a device's pulse library.
+
+        The default path stacks the whole library into one window matrix
+        and compresses it in a single vectorized pass (see
+        :func:`repro.compression.batch.compress_batch`); fidelity-aware
+        mode needs a per-pulse threshold search and stays scalar.
+        """
         if len(library) == 0:
             raise CompressionError("cannot compile an empty pulse library")
         compressed = CompressedPulseLibrary(
@@ -200,6 +213,18 @@ class CompaqtCompiler:
             window_size=self.window_size,
             variant=self.variant,
         )
-        for key in library.keys():
-            compressed.add(key, self.compile_waveform(library.waveform(*key)))
+        keys = library.keys()
+        if self.batched and not self.fidelity_aware:
+            batch = compress_batch(
+                [library.waveform(*key) for key in keys],
+                window_size=self.window_size,
+                variant=self.variant,
+                threshold=self.threshold,
+                max_coefficients=self.max_coefficients,
+            )
+            for key, result in zip(keys, batch):
+                compressed.add(key, result)
+        else:
+            for key in keys:
+                compressed.add(key, self.compile_waveform(library.waveform(*key)))
         return compressed

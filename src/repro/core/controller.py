@@ -13,7 +13,6 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import DeviceError
 from repro.compression.packing import brams_per_stream_compaqt, pack_waveform
 from repro.core.compiler import CompaqtCompiler, CompressedPulseLibrary
 from repro.core.scalability import QICK_CLOCK_RATIO

@@ -14,7 +14,6 @@ compression gain, which multiplies the supportable qubit count
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import ReproError

@@ -9,9 +9,8 @@ power model (every avoided read is saved energy).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-import numpy as np
 
 from repro.errors import CompressionError
 from repro.compression.pipeline import CompressedChannel

@@ -18,7 +18,6 @@ output next to the paper values so the deviation is always visible.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import ReproError

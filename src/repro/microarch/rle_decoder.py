@@ -8,7 +8,7 @@ checked and dropped.  Latency is one fabric cycle per window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np

@@ -1,0 +1,26 @@
+"""Performance harness: timing runner and the compression benchmark."""
+
+from repro.perf.runner import TimingStats, time_callable
+from repro.perf.compression_bench import (
+    BENCH_SCHEMA,
+    DEFAULT_OUTPUT,
+    QUICK_DEVICE_SPECS,
+    FULL_DEVICE_SPECS,
+    resolve_device,
+    run_compression_bench,
+    render_bench_table,
+    write_bench_json,
+)
+
+__all__ = [
+    "TimingStats",
+    "time_callable",
+    "BENCH_SCHEMA",
+    "DEFAULT_OUTPUT",
+    "QUICK_DEVICE_SPECS",
+    "FULL_DEVICE_SPECS",
+    "resolve_device",
+    "run_compression_bench",
+    "render_bench_table",
+    "write_bench_json",
+]

@@ -1,0 +1,216 @@
+"""Scalar-vs-batched compression benchmark with machine-readable output.
+
+This is the repo's perf baseline: for every requested device (IBM
+heavy-hex family, Google grid, fluxonium) and every pipeline variant it
+times a full pulse-library compile through both the per-window scalar
+reference and the vectorized batch engine, verifies the two produce
+bit-identical compressed streams, and reports throughput
+(samples/sec, pulses/sec), speedup, compression ratio and MSE.
+
+The payload serializes to ``BENCH_compression.json`` (see
+``python -m repro bench``) so CI and later PRs can diff numbers
+mechanically; :func:`render_bench_table` renders the same payload as a
+human-readable table through :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import DeviceError
+from repro.analysis.report import render_table
+from repro.compression.pipeline import VARIANTS
+from repro.core.compiler import CompaqtCompiler
+from repro.devices import IBM_DEVICE_NAMES, fluxonium_device, google_device, ibm_device
+from repro.perf.runner import TimingStats, time_callable
+from repro.version import __version__
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_OUTPUT",
+    "QUICK_DEVICE_SPECS",
+    "FULL_DEVICE_SPECS",
+    "resolve_device",
+    "run_compression_bench",
+    "render_bench_table",
+    "write_bench_json",
+]
+
+BENCH_SCHEMA = "compaqt-bench-compression/v1"
+
+DEFAULT_OUTPUT = "BENCH_compression.json"
+
+#: The quick (CI smoke) set still spans all three device families.
+QUICK_DEVICE_SPECS = ("bogota", "lima", "guadalupe", "google-3x3", "fluxonium-3")
+
+#: The full set: every IBM catalog entry plus the default Google grid
+#: and fluxonium processor.
+FULL_DEVICE_SPECS = tuple(IBM_DEVICE_NAMES) + ("google-6x9", "fluxonium-5")
+
+
+def resolve_device(spec: str):
+    """Build a device from a bench spec string.
+
+    Accepted forms: an IBM catalog name (``"guadalupe"``),
+    ``"google-<rows>x<cols>"``, or ``"fluxonium-<n_qubits>"``.
+    """
+    spec = spec.strip().lower()
+    if spec.startswith("google-"):
+        try:
+            rows, cols = (int(p) for p in spec[len("google-") :].split("x"))
+        except ValueError:
+            raise DeviceError(f"bad google spec {spec!r}; expected google-RxC")
+        return google_device(rows, cols)
+    if spec.startswith("fluxonium-"):
+        try:
+            n_qubits = int(spec[len("fluxonium-") :])
+        except ValueError:
+            raise DeviceError(f"bad fluxonium spec {spec!r}; expected fluxonium-N")
+        return fluxonium_device(n_qubits)
+    return ibm_device(spec)
+
+
+def _timing_dict(stats: TimingStats, samples: int, pulses: int) -> Dict[str, float]:
+    out = stats.to_dict()
+    out["samples_per_s"] = stats.throughput(samples)
+    out["pulses_per_s"] = stats.throughput(pulses)
+    return out
+
+
+def _parity_ok(scalar_lib, batched_lib) -> bool:
+    """True iff both compiles produced bit-identical compressed streams."""
+    keys = scalar_lib.keys()
+    if set(keys) != set(batched_lib.keys()):
+        return False
+    for key in keys:
+        s, b = scalar_lib.result(*key), batched_lib.result(*key)
+        if s.compressed != b.compressed or s.mse != b.mse:
+            return False
+    return True
+
+
+def run_compression_bench(
+    device_specs: Sequence[str] = QUICK_DEVICE_SPECS,
+    variants: Sequence[str] = VARIANTS,
+    window_size: int = 16,
+    repeats: int = 3,
+    warmup: int = 1,
+    threshold: Optional[float] = None,
+) -> Dict:
+    """Run the scalar-vs-batched library-compile benchmark.
+
+    Returns the machine-readable payload (plain dicts/lists/floats, JSON
+    serializable as-is).  ``payload["summary"]["all_parity_ok"]`` is the
+    bit-identity verdict CI gates on.
+    """
+    if not device_specs:
+        raise DeviceError("bench needs at least one device spec")
+    if not variants:
+        raise DeviceError("bench needs at least one variant")
+    entries: List[Dict] = []
+    for spec in device_specs:
+        device = resolve_device(spec)
+        library = device.pulse_library()
+        n_pulses = len(library)
+        total_samples = library.total_samples
+        for variant in variants:
+            kwargs = {"window_size": window_size, "variant": variant}
+            if threshold is not None:
+                kwargs["threshold"] = threshold
+            scalar = CompaqtCompiler(batched=False, **kwargs)
+            batched = CompaqtCompiler(batched=True, **kwargs)
+            scalar_stats, scalar_lib = time_callable(
+                lambda: scalar.compile_library(library), repeats, warmup
+            )
+            batched_stats, batched_lib = time_callable(
+                lambda: batched.compile_library(library), repeats, warmup
+            )
+            entries.append(
+                {
+                    "device": device.name,
+                    "spec": spec,
+                    "variant": variant,
+                    "window_size": window_size,
+                    "n_pulses": n_pulses,
+                    "total_samples": int(total_samples),
+                    "scalar": _timing_dict(scalar_stats, total_samples, n_pulses),
+                    "batched": _timing_dict(batched_stats, total_samples, n_pulses),
+                    "speedup": scalar_stats.best_s / batched_stats.best_s,
+                    "compression_ratio_uniform": float(batched_lib.overall_ratio),
+                    "compression_ratio_variable": float(
+                        batched_lib.overall_ratio_variable
+                    ),
+                    "mean_mse": float(batched_lib.mean_mse),
+                    "parity": _parity_ok(scalar_lib, batched_lib),
+                }
+            )
+    speedups = [e["speedup"] for e in entries]
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "created_unix": time.time(),
+        "config": {
+            "devices": list(device_specs),
+            "variants": list(variants),
+            "window_size": window_size,
+            "repeats": repeats,
+            "warmup": warmup,
+            "threshold": threshold,
+        },
+        "entries": entries,
+        "summary": {
+            "all_parity_ok": all(e["parity"] for e in entries),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "n_entries": len(entries),
+        },
+    }
+
+
+def render_bench_table(payload: Dict) -> str:
+    """Render a bench payload as the repo's standard ASCII table."""
+    rows = []
+    for e in payload["entries"]:
+        rows.append(
+            [
+                e["device"],
+                e["variant"],
+                e["n_pulses"],
+                f"{e['scalar']['best_s'] * 1e3:.1f}",
+                f"{e['batched']['best_s'] * 1e3:.1f}",
+                f"{e['speedup']:.1f}x",
+                f"{e['batched']['samples_per_s'] / 1e6:.1f}",
+                f"{e['compression_ratio_variable']:.2f}",
+                "ok" if e["parity"] else "MISMATCH",
+            ]
+        )
+    summary = payload["summary"]
+    return render_table(
+        f"Library compile: scalar vs batched (WS={payload['config']['window_size']})",
+        [
+            "device",
+            "variant",
+            "pulses",
+            "scalar ms",
+            "batched ms",
+            "speedup",
+            "Msamp/s",
+            "R(var)",
+            "parity",
+        ],
+        rows,
+        note=(
+            f"speedup {summary['min_speedup']:.1f}x..{summary['max_speedup']:.1f}x, "
+            f"parity {'ok' if summary['all_parity_ok'] else 'FAILED'}"
+        ),
+    )
+
+
+def write_bench_json(payload: Dict, path: str = DEFAULT_OUTPUT) -> pathlib.Path:
+    """Write the payload to disk; returns the resolved path."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out.resolve()

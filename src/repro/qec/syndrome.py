@@ -9,7 +9,6 @@ waveform-memory bandwidth at its peak (Section III-A).
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.schedule import GateDurations, Schedule, schedule_circuit

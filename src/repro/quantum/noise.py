@@ -10,7 +10,7 @@ error -- the standard NISQ error model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

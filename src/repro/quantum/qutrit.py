@@ -21,8 +21,6 @@ integrated sample by sample with 3x3 matrix exponentials.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
-from typing import Tuple
 
 import numpy as np
 from scipy.linalg import expm

@@ -7,7 +7,7 @@ tensor axis ``q``.  Flattened indices therefore read as bitstrings
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -15,7 +15,15 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["dct_matrix", "dct", "idct", "dct_windowed", "idct_windowed"]
+__all__ = [
+    "dct_matrix",
+    "dct",
+    "idct",
+    "dct_blocks",
+    "idct_blocks",
+    "dct_windowed",
+    "idct_windowed",
+]
 
 
 @lru_cache(maxsize=64)
@@ -61,6 +69,28 @@ def idct(y: np.ndarray) -> np.ndarray:
     return dct_matrix(y.size).T @ y
 
 
+def dct_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Forward DCT of many windows at once.
+
+    ``blocks`` is ``(n_windows, window_size)``; each row is transformed
+    independently with a single matrix product, which is what makes the
+    batched compression engine one matmul per pulse library instead of
+    one per window.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 2:
+        raise ValueError(f"expected (n_windows, ws) blocks, got {blocks.shape}")
+    return blocks @ dct_matrix(blocks.shape[1]).T
+
+
+def idct_blocks(spectra: np.ndarray) -> np.ndarray:
+    """Inverse DCT of many spectra at once (row-wise DCT-III)."""
+    spectra = np.asarray(spectra, dtype=np.float64)
+    if spectra.ndim != 2:
+        raise ValueError(f"expected (n_windows, ws) spectra, got {spectra.shape}")
+    return spectra @ dct_matrix(spectra.shape[1])
+
+
 def dct_windowed(x: np.ndarray, window_size: int) -> np.ndarray:
     """Forward DCT applied independently to fixed-size windows (DCT-W).
 
@@ -74,8 +104,7 @@ def dct_windowed(x: np.ndarray, window_size: int) -> np.ndarray:
     Returns:
         A ``(n_windows, window_size)`` array of per-window spectra.
     """
-    blocks = _to_blocks(x, window_size)
-    return blocks @ dct_matrix(window_size).T
+    return dct_blocks(_to_blocks(x, window_size))
 
 
 def idct_windowed(spectra: np.ndarray) -> np.ndarray:
@@ -84,11 +113,7 @@ def idct_windowed(spectra: np.ndarray) -> np.ndarray:
     Note the result includes any zero-padding added by the forward
     transform; callers truncate to the original length.
     """
-    spectra = np.asarray(spectra, dtype=np.float64)
-    if spectra.ndim != 2:
-        raise ValueError(f"expected (n_windows, ws) spectra, got {spectra.shape}")
-    window_size = spectra.shape[1]
-    return (spectra @ dct_matrix(window_size)).reshape(-1)
+    return idct_blocks(spectra).reshape(-1)
 
 
 def _to_blocks(x: np.ndarray, window_size: int) -> np.ndarray:

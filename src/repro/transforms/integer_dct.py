@@ -47,6 +47,8 @@ __all__ = [
     "integer_dct_matrix",
     "int_dct",
     "int_idct",
+    "int_dct_blocks",
+    "int_idct_blocks",
     "int_idct_shift_add",
     "idct_op_counts",
     "idct_adder_depth",
@@ -180,6 +182,37 @@ def int_idct(y: np.ndarray) -> np.ndarray:
     y = np.asarray(y)
     _check_size(y.size)
     x = integer_dct_matrix(y.size).T @ y.astype(np.int64)
+    x = _rshift_round(x, INVERSE_SHIFT)
+    return _saturate16(x)
+
+
+def int_dct_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Forward integer DCT of many windows in one integer matmul.
+
+    ``blocks`` is ``(n_windows, window_size)``; each row transforms
+    exactly as :func:`int_dct` would (int64 arithmetic is exact, so the
+    batched product is bit-identical to the per-window path).
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2:
+        raise CompressionError(f"expected (n_windows, ws) blocks, got {blocks.shape}")
+    n = blocks.shape[1]
+    _check_size(n)
+    y = blocks.astype(np.int64) @ integer_dct_matrix(n).T
+    y = _rshift_round(y, forward_shift(n))
+    return _saturate16(y)
+
+
+def int_idct_blocks(spectra: np.ndarray) -> np.ndarray:
+    """Inverse integer DCT of many coefficient windows at once."""
+    spectra = np.asarray(spectra)
+    if spectra.ndim != 2:
+        raise CompressionError(
+            f"expected (n_windows, ws) spectra, got {spectra.shape}"
+        )
+    n = spectra.shape[1]
+    _check_size(n)
+    x = spectra.astype(np.int64) @ integer_dct_matrix(n)
     x = _rshift_round(x, INVERSE_SHIFT)
     return _saturate16(x)
 

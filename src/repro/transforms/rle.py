@@ -25,6 +25,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.transforms.threshold import trailing_zero_runs
 
 __all__ = [
     "TAG_COEFF",
@@ -33,6 +34,7 @@ __all__ = [
     "MemoryWord",
     "EncodedWindow",
     "rle_encode_window",
+    "rle_encode_blocks",
     "rle_decode_window",
 ]
 
@@ -122,6 +124,31 @@ def rle_encode_window(values: Sequence[int]) -> EncodedWindow:
     last = int(nonzero[-1]) + 1 if nonzero.size else 0
     coeffs = tuple(int(v) for v in values[:last])
     return EncodedWindow(coeffs=coeffs, zero_run=int(values.size - last))
+
+
+def rle_encode_blocks(blocks: np.ndarray) -> Tuple[EncodedWindow, ...]:
+    """Encode a whole ``(n_windows, window_size)`` matrix at once.
+
+    The trailing-zero runs of every row are found with one vectorized
+    reduction (:func:`repro.transforms.threshold.trailing_zero_runs`);
+    only the (short) kept-coefficient prefixes are touched in Python.
+    Output is element-wise identical to mapping
+    :func:`rle_encode_window` over the rows.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2 or blocks.shape[1] == 0:
+        raise CompressionError(
+            f"expected a non-empty (n_windows, ws) matrix, got {blocks.shape}"
+        )
+    window_size = blocks.shape[1]
+    lasts = window_size - trailing_zero_runs(blocks)
+    rows = blocks.tolist()
+    return tuple(
+        EncodedWindow(
+            coeffs=tuple(row[:last]), zero_run=window_size - last
+        )
+        for row, last in zip(rows, lasts.tolist())
+    )
 
 
 def rle_decode_window(window: EncodedWindow) -> np.ndarray:

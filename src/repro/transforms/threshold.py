@@ -10,20 +10,52 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hard_threshold", "trailing_zero_run", "kept_coefficients"]
+__all__ = [
+    "hard_threshold",
+    "top_k_blocks",
+    "trailing_zero_run",
+    "trailing_zero_runs",
+    "kept_coefficients",
+]
 
 
 def hard_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
     """Zero every element with ``|value| < threshold``; returns a copy.
 
     A threshold of 0 keeps everything (lossless apart from integer
-    rounding).
+    rounding).  Works element-wise, so a ``(n_windows, window_size)``
+    block matrix thresholds in one pass.
     """
     values = np.asarray(values)
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold}")
     out = values.copy()
     out[np.abs(out) < threshold] = 0
+    return out
+
+
+def top_k_blocks(blocks: np.ndarray, max_coefficients: int) -> np.ndarray:
+    """Keep only the k largest-magnitude coefficients of each row.
+
+    Rows already at or under the cap pass through untouched.  Ties break
+    by ``argsort`` order per row, matching the scalar pipeline's
+    ``order = argsort(|kept|); kept[order[:size - k]] = 0`` exactly, so
+    the batched engine stays bit-identical to the reference.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2:
+        raise ValueError(f"expected (n_windows, ws) blocks, got {blocks.shape}")
+    if max_coefficients <= 0 or max_coefficients >= blocks.shape[1]:
+        return blocks.copy()
+    over = np.count_nonzero(blocks, axis=1) > max_coefficients
+    out = blocks.copy()
+    if not np.any(over):
+        return out
+    rows = out[over]
+    order = np.argsort(np.abs(rows), axis=1, kind="quicksort")
+    drop = order[:, : rows.shape[1] - max_coefficients]
+    np.put_along_axis(rows, drop, 0, axis=1)
+    out[over] = rows
     return out
 
 
@@ -34,6 +66,21 @@ def trailing_zero_run(values: np.ndarray) -> int:
     if nonzero.size == 0:
         return int(values.size)
     return int(values.size - nonzero[-1] - 1)
+
+
+def trailing_zero_runs(blocks: np.ndarray) -> np.ndarray:
+    """Per-row trailing-zero run lengths of a window matrix.
+
+    Vectorized counterpart of :func:`trailing_zero_run`: one reduction
+    over ``(n_windows, window_size)`` instead of a Python loop.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2:
+        raise ValueError(f"expected (n_windows, ws) blocks, got {blocks.shape}")
+    nonzero = blocks != 0
+    runs = np.argmax(nonzero[:, ::-1], axis=1)
+    runs[~nonzero.any(axis=1)] = blocks.shape[1]
+    return runs.astype(np.int64)
 
 
 def kept_coefficients(values: np.ndarray) -> int:

@@ -20,6 +20,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report", "--window-size", "12"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.quick
+        assert args.devices is None
+        assert args.window_size == 16
+        assert args.repeats is None
+
 
 class TestCommands:
     def test_devices_lists_catalog(self, capsys):

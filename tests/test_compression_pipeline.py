@@ -10,7 +10,6 @@ from repro.errors import CompressionError
 from repro.compression import (
     VARIANTS,
     compress_waveform,
-    decompress_waveform,
     compress_channel,
     decompress_channel,
     merge_windows,

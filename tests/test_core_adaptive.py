@@ -1,6 +1,5 @@
 """Tests for adaptive (flat-top bypass) compression."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CompressionError

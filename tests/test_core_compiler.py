@@ -1,6 +1,5 @@
 """Tests for the COMPAQT compiler module and fidelity-aware search."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CompressionError, DeviceError

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ReproError
 from repro.core import (
     RfsocModel,
-    QICK_BASELINE_QUBITS,
     logical_qubits_supported,
     qubit_gain,
     qubits_supported,

@@ -7,7 +7,6 @@ from repro.errors import DeviceError
 from repro.devices import (
     CouplingMap,
     FALCON_27_EDGES,
-    IBM_DEVICE_NAMES,
     ccz_waveform,
     complex_gate_library,
     fluxonium_device,

@@ -17,7 +17,7 @@ from repro import (
 )
 from repro.circuits import ghz_circuit, qft_circuit, schedule_circuit, transpile
 from repro.core.controller import QubitController
-from repro.microarch import ControllerExecutor, DecompressionPipeline
+from repro.microarch import ControllerExecutor
 from repro.quantum import (
     IBM_LIKE_NOISE,
     StatevectorSimulator,

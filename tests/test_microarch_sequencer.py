@@ -9,7 +9,6 @@ from repro.core.controller import QubitController
 from repro.devices import ibm_device
 from repro.microarch import (
     ControllerExecutor,
-    PulseProgram,
     SeqInstruction,
     SeqOp,
     assemble_schedule,

@@ -1,0 +1,137 @@
+"""Tests for the perf subsystem and the ``repro bench`` command."""
+
+import json
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.cli import build_parser, main
+from repro.perf import (
+    BENCH_SCHEMA,
+    FULL_DEVICE_SPECS,
+    QUICK_DEVICE_SPECS,
+    TimingStats,
+    render_bench_table,
+    resolve_device,
+    run_compression_bench,
+    time_callable,
+    write_bench_json,
+)
+
+
+class TestTimeCallable:
+    def test_warmup_and_repeats_counted(self):
+        calls = []
+        stats, result = time_callable(lambda: calls.append(1) or len(calls), 3, 2)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert result == 5  # last call's return value
+        assert stats.repeats == 3
+        assert 0 <= stats.best_s <= stats.mean_s
+        assert stats.std_s >= 0
+
+    def test_throughput(self):
+        stats = TimingStats(best_s=0.5, mean_s=0.5, std_s=0.0, repeats=1)
+        assert stats.throughput(100) == 200.0
+        assert stats.to_dict()["best_s"] == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=1, warmup=-1)
+
+
+class TestResolveDevice:
+    def test_specs(self):
+        assert resolve_device("bogota").name == "ibm_bogota"
+        assert resolve_device("google-3x3").name == "google_3x3"
+        assert resolve_device("fluxonium-3").name == "fluxonium_3"
+
+    def test_bad_specs(self):
+        with pytest.raises(DeviceError):
+            resolve_device("google-3by3")
+        with pytest.raises(DeviceError):
+            resolve_device("fluxonium-x")
+        with pytest.raises(DeviceError):
+            resolve_device("not-a-device")
+
+    def test_default_spec_sets_cover_three_families(self):
+        for specs in (QUICK_DEVICE_SPECS, FULL_DEVICE_SPECS):
+            families = {s.split("-")[0] for s in specs if "-" in s}
+            assert {"google", "fluxonium"} <= families
+            assert len(specs) >= 3
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_compression_bench(
+        device_specs=("bogota", "fluxonium-3"), repeats=1, warmup=0
+    )
+
+
+class TestCompressionBench:
+    def test_schema_and_coverage(self, payload):
+        assert payload["schema"] == BENCH_SCHEMA
+        assert len(payload["entries"]) == 2 * 3  # devices x variants
+        variants = {e["variant"] for e in payload["entries"]}
+        assert variants == {"DCT-N", "DCT-W", "int-DCT-W"}
+
+    def test_entries_have_both_timings(self, payload):
+        for entry in payload["entries"]:
+            for side in ("scalar", "batched"):
+                timing = entry[side]
+                assert timing["best_s"] > 0
+                assert timing["samples_per_s"] > 0
+                assert timing["pulses_per_s"] > 0
+            assert entry["speedup"] > 0
+            assert entry["compression_ratio_variable"] > 1
+            assert entry["mean_mse"] >= 0
+
+    def test_parity_holds(self, payload):
+        assert payload["summary"]["all_parity_ok"]
+        assert all(e["parity"] for e in payload["entries"])
+
+    def test_json_serializable_and_written(self, payload, tmp_path):
+        path = write_bench_json(payload, tmp_path / "bench.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert loaded["summary"]["n_entries"] == len(payload["entries"])
+
+    def test_render_table(self, payload):
+        text = render_bench_table(payload)
+        assert "ibm_bogota" in text
+        assert "fluxonium_3" in text
+        assert "parity ok" in text
+
+
+class TestCliBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.quick and args.devices is None and args.output is None
+
+    def test_bench_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_compression.json"
+        code = main(
+            [
+                "bench",
+                "--devices",
+                "bogota",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        stdout = capsys.readouterr().out
+        assert "scalar vs batched" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["all_parity_ok"]
+        assert {e["variant"] for e in payload["entries"]} == {
+            "DCT-N",
+            "DCT-W",
+            "int-DCT-W",
+        }

@@ -7,7 +7,7 @@ from repro.errors import SimulationError
 from repro.compression import compress_waveform
 from repro.core import CompaqtCompiler
 from repro.devices import ibm_device
-from repro.pulses import Waveform, constant, drag, gaussian_square
+from repro.pulses import Waveform, constant, gaussian_square
 from repro.quantum import (
     average_gate_fidelity,
     calibrate_scale,

@@ -11,7 +11,6 @@ from repro.transforms import (
     LOEFFLER_OP_COUNTS,
     SUPPORTED_SIZES,
     dct_matrix,
-    forward_shift,
     idct_adder_depth,
     idct_op_counts,
     int_dct,
