@@ -62,12 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="scalar-vs-batched compression benchmark (JSON + table)",
+        help="scalar-vs-batched codec benchmark (JSON + table)",
     )
     bench.add_argument(
         "--quick",
         action="store_true",
         help="small device set and a single repeat (the CI smoke profile)",
+    )
+    bench.add_argument(
+        "--decode",
+        action="store_true",
+        help="decode-side profile: skip the scalar compile timing and "
+        "measure batched playback and the wire format only",
     )
     bench.add_argument(
         "--devices",
@@ -85,6 +91,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="JSON output path (default BENCH_compression.json)",
+    )
+
+    pack = subparsers.add_parser(
+        "pack",
+        help="compile a device library and write its wire-format bitstream",
+    )
+    pack.add_argument(
+        "device", help="device spec (IBM name, google-RxC, fluxonium-N)"
+    )
+    pack.add_argument(
+        "--window-size", type=int, default=16, choices=(8, 16, 32)
+    )
+    pack.add_argument(
+        "--variant",
+        default="int-DCT-W",
+        choices=("DCT-N", "DCT-W", "int-DCT-W"),
+    )
+    pack.add_argument(
+        "--threshold", type=float, default=128, help="coefficient threshold"
+    )
+    pack.add_argument(
+        "--output",
+        default=None,
+        help="bitstream output path (default <device>.cqt)",
     )
     return parser
 
@@ -191,13 +221,61 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         window_size=args.window_size,
         repeats=repeats,
         warmup=args.warmup,
+        mode="decode" if args.decode else "all",
     )
     path = write_bench_json(payload, args.output or DEFAULT_OUTPUT)
     print(render_bench_table(payload))
     print(f"   wrote: {path}")
-    if not payload["summary"]["all_parity_ok"]:
-        print("ERROR: batched output mismatches the scalar reference")
+    summary = payload["summary"]
+    failures = []
+    if not summary["all_parity_ok"]:
+        failures.append("batched compression mismatches the scalar reference")
+    if not summary["all_decode_parity_ok"]:
+        failures.append("batched decode mismatches the scalar reference")
+    if not summary["all_roundtrip_ok"]:
+        failures.append("bitstream round-trip is not lossless")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 1 if failures else 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.perf import resolve_device
+
+    device = resolve_device(args.device)
+    compiler = CompaqtCompiler(
+        window_size=args.window_size,
+        variant=args.variant,
+        threshold=args.threshold,
+    )
+    compiled = compiler.compile_library(device.pulse_library())
+    path = compiler.save_library(
+        compiled, args.output or f"{device.name}.cqt"
+    )
+    blob = path.read_bytes()
+    loaded = compiler.load_library(path)
+    if len(loaded) != len(compiled) or loaded.to_bytes() != blob:
+        print("ERROR: packed bitstream failed its round-trip check")
         return 1
+    uncompressed = sum(
+        r.compressed.original_samples * 4 for _k, r in compiled
+    )  # 16-bit I + 16-bit Q per sample
+    print(
+        render_table(
+            f"{device.name}: packed {args.variant} WS={args.window_size}",
+            ["waveforms", "wire bytes", "raw bytes", "wire ratio", "R(var)"],
+            [
+                [
+                    len(compiled),
+                    len(blob),
+                    uncompressed,
+                    f"{uncompressed / len(blob):.2f}",
+                    f"{compiled.overall_ratio_variable:.2f}",
+                ]
+            ],
+            note=f"wrote: {path} (round-trip verified)",
+        )
+    )
     return 0
 
 
@@ -212,4 +290,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_scalability(args))
     elif args.command == "bench":
         return _cmd_bench(args)
+    elif args.command == "pack":
+        return _cmd_pack(args)
     return 0

@@ -11,7 +11,20 @@ from repro.compression.pipeline import (
     compress_channel,
     decompress_channel,
 )
-from repro.compression.batch import BatchCompressionResult, compress_batch
+from repro.compression.batch import (
+    BatchCompressionResult,
+    compress_batch,
+    decompress_batch,
+    decompress_channels,
+)
+from repro.compression.bitstream import (
+    LibraryBitstream,
+    LibraryEntry,
+    parse_library,
+    parse_waveform,
+    serialize_library,
+    serialize_waveform,
+)
 from repro.compression.window import split_windows, merge_windows, n_windows
 from repro.compression.metrics import (
     mean_squared_error,
@@ -45,6 +58,14 @@ __all__ = [
     "decompress_channel",
     "BatchCompressionResult",
     "compress_batch",
+    "decompress_batch",
+    "decompress_channels",
+    "LibraryBitstream",
+    "LibraryEntry",
+    "parse_library",
+    "parse_waveform",
+    "serialize_library",
+    "serialize_waveform",
     "split_windows",
     "merge_windows",
     "n_windows",

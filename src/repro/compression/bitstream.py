@@ -1,0 +1,476 @@
+"""Wire-format bitstream for compressed waveform libraries.
+
+The compiler's output so far lived only as Python objects; shipping a
+compiled library to the microarchitecture simulator (or persisting it
+across calibration cycles) needs the paper's actual storage layout: a
+stream of uniform-width tagged memory words with per-window headers
+(Section IV-C / Fig 12).  This module packs a
+:class:`~repro.compression.pipeline.CompressedWaveform` into that layout
+and parses it back losslessly.
+
+Memory words are 32-bit little-endian integers::
+
+    bits  0..15   payload: int16 coefficient (two's complement) or the
+                  unsigned zero-run length
+    bits 16..17   tag: 00 coefficient, 01 zero-run codeword
+    bits 18..31   reserved, must be zero
+
+(Real hardware packs the two signature bits inside an 18-bit BRAM word;
+the file format rounds up to 32 bits so the stream is byte-addressable.)
+
+A **waveform record** is::
+
+    magic   b"CQW1"
+    u8      variant id (0 DCT-N, 1 DCT-W, 2 int-DCT-W)
+    u8      flags (reserved, zero)
+    u32     window size (DCT-N: the full pulse length)
+    u16+s   name (utf-8, length-prefixed)
+    u16+s   gate
+    u8      qubit count, then u16 per qubit index
+    f64     dt (seconds)
+    2x      channel block (I then Q):
+              u32 original sample count
+              u32 window count
+              per window: u16 word-count header, then that many words
+
+A **library container** (magic ``b"CQL1"``) carries the device name and
+compile configuration, then one length-prefixed waveform record per
+entry together with its gate/qubit binding, MSE and threshold.
+
+Parsing is total: every malformed input -- truncation, bad magic, an
+unknown tag, a zero-run overflowing its window, payload after the
+codeword, trailing garbage -- raises
+:class:`~repro.errors.CompressionError` rather than yielding garbage
+samples.  Serialization is canonical, so ``serialize(parse(b)) == b``
+for every stream this module produced.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import CompressionError
+from repro.compression.pipeline import (
+    VARIANTS,
+    CompressedChannel,
+    CompressedWaveform,
+)
+from repro.compression.window import n_windows as expected_n_windows
+from repro.transforms.rle import TAG_COEFF, TAG_ZERO_RUN, EncodedWindow
+
+__all__ = [
+    "WAVEFORM_MAGIC",
+    "LIBRARY_MAGIC",
+    "WORD_BYTES",
+    "LibraryEntry",
+    "LibraryBitstream",
+    "serialize_waveform",
+    "parse_waveform",
+    "serialize_library",
+    "parse_library",
+]
+
+WAVEFORM_MAGIC = b"CQW1"
+LIBRARY_MAGIC = b"CQL1"
+
+#: Bytes per tagged memory word on the wire.
+WORD_BYTES = 4
+
+_TAG_SHIFT = 16
+_PAYLOAD_MASK = 0xFFFF
+_TAG_MASK = 0x3
+_RESERVED_MASK = 0xFFFFFFFF ^ (_PAYLOAD_MASK | (_TAG_MASK << _TAG_SHIFT))
+
+_VARIANT_IDS = {variant: i for i, variant in enumerate(VARIANTS)}
+_VARIANT_NAMES = {i: variant for variant, i in _VARIANT_IDS.items()}
+
+
+# ---------------------------------------------------------------------------
+# Word packing.
+# ---------------------------------------------------------------------------
+
+
+def _pack_coeff_word(value: int) -> int:
+    if not -32768 <= value <= 32767:
+        raise CompressionError(
+            f"coefficient {value} does not fit the 16-bit word payload"
+        )
+    return (TAG_COEFF << _TAG_SHIFT) | (value & _PAYLOAD_MASK)
+
+
+def _pack_zero_run_word(run: int) -> int:
+    if not 1 <= run <= _PAYLOAD_MASK:
+        raise CompressionError(
+            f"zero run {run} does not fit the 16-bit word payload"
+        )
+    return (TAG_ZERO_RUN << _TAG_SHIFT) | run
+
+
+def _unpack_word(word: int) -> Tuple[int, int]:
+    """Split a wire word into (tag, payload); payload sign depends on tag."""
+    if word & _RESERVED_MASK:
+        raise CompressionError(
+            f"reserved bits set in memory word 0x{word:08x}"
+        )
+    tag = (word >> _TAG_SHIFT) & _TAG_MASK
+    payload = word & _PAYLOAD_MASK
+    if tag == TAG_COEFF and payload >= 0x8000:
+        payload -= 0x10000  # two's complement coefficient
+    return tag, payload
+
+
+# ---------------------------------------------------------------------------
+# Bounded little-endian reader/writer.
+# ---------------------------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def pack(self, fmt: str, *values) -> None:
+        try:
+            self._parts.append(struct.pack("<" + fmt, *values))
+        except struct.error as exc:
+            raise CompressionError(
+                f"value {values!r} does not fit wire field {fmt!r}: {exc}"
+            ) from None
+
+    def string(self, text: str) -> None:
+        data = text.encode("utf-8")
+        if len(data) > 0xFFFF:
+            raise CompressionError(f"string of {len(data)} bytes exceeds u16 length")
+        self.pack("H", len(data))
+        self.raw(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Bounds-checked cursor; every overrun raises CompressionError."""
+
+    def __init__(self, data: bytes, offset: int = 0, end: int | None = None) -> None:
+        self.data = data
+        self.offset = offset
+        self.end = len(data) if end is None else end
+
+    def take(self, count: int, what: str) -> bytes:
+        if self.offset + count > self.end:
+            raise CompressionError(
+                f"truncated bitstream: needed {count} bytes for {what}, "
+                f"had {self.end - self.offset}"
+            )
+        out = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return out
+
+    def unpack(self, fmt: str, what: str):
+        size = struct.calcsize("<" + fmt)
+        values = struct.unpack("<" + fmt, self.take(size, what))
+        return values[0] if len(values) == 1 else values
+
+    def string(self, what: str) -> str:
+        length = self.unpack("H", f"{what} length")
+        try:
+            return self.take(length, what).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CompressionError(f"invalid utf-8 in {what}: {exc}") from None
+
+    def expect_end(self, what: str) -> None:
+        if self.offset != self.end:
+            raise CompressionError(
+                f"{self.end - self.offset} trailing bytes after {what}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Window and channel blocks.
+# ---------------------------------------------------------------------------
+
+
+def _write_window(writer: _Writer, window: EncodedWindow) -> None:
+    words = [_pack_coeff_word(c) for c in window.coeffs]
+    if window.zero_run > 0:
+        words.append(_pack_zero_run_word(window.zero_run))
+    if not words:
+        raise CompressionError("cannot serialize an empty window")
+    if len(words) > 0xFFFF:
+        raise CompressionError(
+            f"window of {len(words)} words exceeds the u16 header"
+        )
+    writer.pack("H", len(words))
+    for word in words:
+        writer.pack("I", word)
+
+
+def _read_window(reader: _Reader, window_size: int) -> EncodedWindow:
+    n_words = reader.unpack("H", "window header")
+    if n_words < 1:
+        raise CompressionError("window header declares zero words")
+    coeffs: List[int] = []
+    zero_run = 0
+    for index in range(n_words):
+        tag, payload = _unpack_word(reader.unpack("I", "memory word"))
+        if tag == TAG_COEFF:
+            coeffs.append(payload)
+        elif tag == TAG_ZERO_RUN:
+            if index != n_words - 1:
+                raise CompressionError(
+                    "zero-run codeword must be the last word of a window"
+                )
+            zero_run = payload  # _pack guarantees >= 1 on our own streams
+            if zero_run < 1:
+                raise CompressionError("zero-run codeword with empty run")
+        else:
+            raise CompressionError(f"unknown memory word tag {tag}")
+    decoded = len(coeffs) + zero_run
+    if decoded != window_size:
+        raise CompressionError(
+            f"window decodes to {decoded} samples, expected {window_size} "
+            f"({len(coeffs)} coefficients + {zero_run}-zero run)"
+        )
+    return EncodedWindow(coeffs=tuple(coeffs), zero_run=zero_run)
+
+
+def _write_channel(writer: _Writer, channel: CompressedChannel) -> None:
+    writer.pack("I", channel.original_length)
+    writer.pack("I", channel.n_windows)
+    for window in channel.windows:
+        _write_window(writer, window)
+
+
+def _read_channel(
+    reader: _Reader, variant: str, window_size: int
+) -> CompressedChannel:
+    original_length = reader.unpack("I", "channel length")
+    count = reader.unpack("I", "window count")
+    if original_length < 1:
+        raise CompressionError("channel declares zero samples")
+    if count != expected_n_windows(original_length, window_size):
+        raise CompressionError(
+            f"channel of {original_length} samples needs "
+            f"{expected_n_windows(original_length, window_size)} windows "
+            f"of {window_size}, stream declares {count}"
+        )
+    windows = tuple(_read_window(reader, window_size) for _ in range(count))
+    return CompressedChannel(
+        windows=windows,
+        variant=variant,
+        window_size=window_size,
+        original_length=original_length,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Waveform records.
+# ---------------------------------------------------------------------------
+
+
+def serialize_waveform(compressed: CompressedWaveform) -> bytes:
+    """Pack one compressed waveform into its canonical wire record."""
+    if compressed.variant not in _VARIANT_IDS:
+        raise CompressionError(f"unknown variant {compressed.variant!r}")
+    if compressed.i_channel.variant != compressed.q_channel.variant:
+        raise CompressionError(
+            f"I and Q channels disagree on variant: "
+            f"{compressed.i_channel.variant!r} vs "
+            f"{compressed.q_channel.variant!r}"
+        )
+    if compressed.i_channel.window_size != compressed.q_channel.window_size:
+        raise CompressionError("I and Q channels disagree on window size")
+    writer = _Writer()
+    writer.raw(WAVEFORM_MAGIC)
+    writer.pack("BB", _VARIANT_IDS[compressed.variant], 0)
+    writer.pack("I", compressed.window_size)
+    writer.string(compressed.name)
+    writer.string(compressed.gate)
+    if len(compressed.qubits) > 0xFF:
+        raise CompressionError(f"{len(compressed.qubits)} qubits exceed the u8 count")
+    writer.pack("B", len(compressed.qubits))
+    for qubit in compressed.qubits:
+        writer.pack("H", qubit)
+    writer.pack("d", compressed.dt)
+    _write_channel(writer, compressed.i_channel)
+    _write_channel(writer, compressed.q_channel)
+    return writer.getvalue()
+
+
+def _read_waveform(reader: _Reader) -> CompressedWaveform:
+    if reader.take(4, "waveform magic") != WAVEFORM_MAGIC:
+        raise CompressionError("not a COMPAQT waveform bitstream (bad magic)")
+    variant_id, flags = reader.unpack("BB", "waveform header")
+    if variant_id not in _VARIANT_NAMES:
+        raise CompressionError(f"unknown variant id {variant_id}")
+    if flags != 0:
+        raise CompressionError(f"reserved flags 0x{flags:02x} set")
+    variant = _VARIANT_NAMES[variant_id]
+    window_size = reader.unpack("I", "window size")
+    if window_size < 1:
+        raise CompressionError(f"window size must be >= 1, got {window_size}")
+    name = reader.string("waveform name")
+    gate = reader.string("gate name")
+    n_qubits = reader.unpack("B", "qubit count")
+    qubits = tuple(reader.unpack("H", "qubit index") for _ in range(n_qubits))
+    dt = reader.unpack("d", "dt")
+    if not dt > 0:
+        raise CompressionError(f"dt must be positive, got {dt}")
+    i_channel = _read_channel(reader, variant, window_size)
+    q_channel = _read_channel(reader, variant, window_size)
+    return CompressedWaveform(
+        name=name,
+        gate=gate,
+        qubits=qubits,
+        dt=dt,
+        i_channel=i_channel,
+        q_channel=q_channel,
+    )
+
+
+def parse_waveform(data: bytes) -> CompressedWaveform:
+    """Parse one standalone waveform record; rejects trailing bytes."""
+    reader = _Reader(bytes(data))
+    compressed = _read_waveform(reader)
+    reader.expect_end("waveform record")
+    return compressed
+
+
+# ---------------------------------------------------------------------------
+# Library containers.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One library slot: a gate binding plus its compressed waveform."""
+
+    gate: str
+    qubits: Tuple[int, ...]
+    mse: float
+    threshold: float
+    compressed: CompressedWaveform
+
+
+@dataclass(frozen=True)
+class LibraryBitstream:
+    """A parsed (or about-to-be-serialized) compressed library image."""
+
+    device_name: str
+    window_size: int
+    variant: str
+    entries: Tuple[LibraryEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(serialize_library(self))
+
+
+def serialize_library(library: LibraryBitstream) -> bytes:
+    """Pack a whole compiled library into one canonical container."""
+    if library.variant not in _VARIANT_IDS:
+        raise CompressionError(f"unknown variant {library.variant!r}")
+    writer = _Writer()
+    writer.raw(LIBRARY_MAGIC)
+    writer.pack("BB", _VARIANT_IDS[library.variant], 0)
+    writer.pack("I", library.window_size)
+    writer.string(library.device_name)
+    writer.pack("I", len(library.entries))
+    for entry in library.entries:
+        # Fail at save time, not at a (possibly much later) load: the
+        # container is single-variant, and the duplicated binding must
+        # agree with the embedded record.
+        if entry.compressed.variant != library.variant:
+            raise CompressionError(
+                f"entry variant {entry.compressed.variant!r} disagrees "
+                f"with container variant {library.variant!r}"
+            )
+        if (entry.gate, entry.qubits) != (
+            entry.compressed.gate,
+            entry.compressed.qubits,
+        ):
+            raise CompressionError(
+                f"entry binding ({entry.gate!r}, {entry.qubits}) disagrees "
+                f"with its waveform record "
+                f"({entry.compressed.gate!r}, {entry.compressed.qubits})"
+            )
+        writer.string(entry.gate)
+        if len(entry.qubits) > 0xFF:
+            raise CompressionError(
+                f"{len(entry.qubits)} qubits exceed the u8 count"
+            )
+        writer.pack("B", len(entry.qubits))
+        for qubit in entry.qubits:
+            writer.pack("H", qubit)
+        writer.pack("dd", entry.mse, entry.threshold)
+        record = serialize_waveform(entry.compressed)
+        writer.pack("I", len(record))
+        writer.raw(record)
+    return writer.getvalue()
+
+
+def parse_library(data: bytes) -> LibraryBitstream:
+    """Parse a library container back into entries, losslessly."""
+    reader = _Reader(bytes(data))
+    if reader.take(4, "library magic") != LIBRARY_MAGIC:
+        raise CompressionError("not a COMPAQT library bitstream (bad magic)")
+    variant_id, flags = reader.unpack("BB", "library header")
+    if variant_id not in _VARIANT_NAMES:
+        raise CompressionError(f"unknown variant id {variant_id}")
+    if flags != 0:
+        raise CompressionError(f"reserved flags 0x{flags:02x} set")
+    variant = _VARIANT_NAMES[variant_id]
+    window_size = reader.unpack("I", "window size")
+    device_name = reader.string("device name")
+    n_entries = reader.unpack("I", "entry count")
+    entries: List[LibraryEntry] = []
+    for _ in range(n_entries):
+        gate = reader.string("gate name")
+        n_qubits = reader.unpack("B", "qubit count")
+        qubits = tuple(reader.unpack("H", "qubit index") for _ in range(n_qubits))
+        mse, threshold = reader.unpack("dd", "entry metrics")
+        record_len = reader.unpack("I", "record length")
+        record = _Reader(
+            reader.data, reader.offset, reader.offset + record_len
+        )
+        if record.end > reader.end:
+            raise CompressionError(
+                f"truncated bitstream: record of {record_len} bytes "
+                f"overruns the container"
+            )
+        compressed = _read_waveform(record)
+        record.expect_end("waveform record")
+        reader.offset = record.end
+        if compressed.variant != variant:
+            raise CompressionError(
+                f"entry variant {compressed.variant!r} disagrees with "
+                f"container variant {variant!r}"
+            )
+        if (gate, qubits) != (compressed.gate, compressed.qubits):
+            raise CompressionError(
+                f"entry binding ({gate!r}, {qubits}) disagrees with its "
+                f"waveform record ({compressed.gate!r}, {compressed.qubits})"
+            )
+        entries.append(
+            LibraryEntry(
+                gate=gate,
+                qubits=qubits,
+                mse=mse,
+                threshold=threshold,
+                compressed=compressed,
+            )
+        )
+    reader.expect_end("library container")
+    return LibraryBitstream(
+        device_name=device_name,
+        window_size=window_size,
+        variant=variant,
+        entries=tuple(entries),
+    )

@@ -9,13 +9,20 @@ controller's compressed waveform memory.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
 
 from repro.errors import CompressionError, DeviceError
-from repro.compression.batch import compress_batch
+from repro.compression.batch import compress_batch, decompress_batch
+from repro.compression.bitstream import (
+    LibraryBitstream,
+    LibraryEntry,
+    parse_library,
+    serialize_library,
+)
 from repro.compression.pipeline import (
     CompressionResult,
     DEFAULT_THRESHOLD,
@@ -131,6 +138,77 @@ class CompressedPulseLibrary:
             mean_mse=float(np.mean(mses)),
         )
 
+    # -- wire-format persistence ---------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the library image to its canonical bitstream.
+
+        The bytes carry everything the runtime needs -- the tagged-word
+        window streams plus per-entry bindings, MSE and threshold -- so
+        a compiled library can be persisted and shipped to a controller
+        (or :mod:`repro.microarch.pipeline_sim`) without Python objects.
+        """
+        entries = tuple(
+            LibraryEntry(
+                gate=gate,
+                qubits=qubits,
+                mse=result.mse,
+                threshold=result.threshold,
+                compressed=result.compressed,
+            )
+            for (gate, qubits), result in self
+        )
+        return serialize_library(
+            LibraryBitstream(
+                device_name=self.device_name,
+                window_size=self.window_size,
+                variant=self.variant,
+                entries=entries,
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CompressedPulseLibrary":
+        """Rebuild a library from its bitstream.
+
+        The compressed streams round-trip losslessly; the as-played
+        waveforms are regenerated through the batched decode engine,
+        which is bit-identical to the scalar decompressor, so a loaded
+        library is interchangeable with a freshly compiled one.
+        """
+        parsed = parse_library(data)
+        library = cls(
+            device_name=parsed.device_name,
+            window_size=parsed.window_size,
+            variant=parsed.variant,
+        )
+        if parsed.entries:
+            reconstructed = decompress_batch(
+                [entry.compressed for entry in parsed.entries]
+            )
+            for entry, waveform in zip(parsed.entries, reconstructed):
+                library.add(
+                    (entry.gate, entry.qubits),
+                    CompressionResult(
+                        compressed=entry.compressed,
+                        reconstructed=waveform,
+                        mse=entry.mse,
+                        threshold=entry.threshold,
+                    ),
+                )
+        return library
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the bitstream to disk; returns the resolved path."""
+        out = pathlib.Path(path)
+        out.write_bytes(self.to_bytes())
+        return out.resolve()
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "CompressedPulseLibrary":
+        """Read a library bitstream back from disk."""
+        return cls.from_bytes(pathlib.Path(path).read_bytes())
+
     def qubit_gate_ratio(self, gate: str, qubit: int) -> float:
         """Mean ratio of ``gate`` pulses touching ``qubit`` (Fig 14 bars).
 
@@ -228,3 +306,16 @@ class CompaqtCompiler:
             for key in keys:
                 compressed.add(key, self.compile_waveform(library.waveform(*key)))
         return compressed
+
+    def save_library(
+        self,
+        compiled: CompressedPulseLibrary,
+        path: Union[str, pathlib.Path],
+    ) -> pathlib.Path:
+        """Persist a compiled library as a wire-format bitstream."""
+        return compiled.save(path)
+
+    @staticmethod
+    def load_library(path: Union[str, pathlib.Path]) -> CompressedPulseLibrary:
+        """Load a previously saved library bitstream."""
+        return CompressedPulseLibrary.load(path)

@@ -21,6 +21,7 @@ from typing import List
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.compression.bitstream import parse_waveform
 from repro.compression.packing import idct_engines_needed
 from repro.compression.pipeline import (
     CompressedChannel,
@@ -56,6 +57,7 @@ class StreamReport:
     fabric_cycles: int
     bram_reads: int
     idct_windows: int
+    rle_windows_decoded: int
     rle_zeros_expanded: int
     bypass_samples: int
     dac_underruns: int
@@ -148,10 +150,25 @@ class DecompressionPipeline:
             fabric_cycles=cycles,
             bram_reads=i_memory.stats.reads + q_memory.stats.reads,
             idct_windows=i_engine.windows_processed + q_engine.windows_processed,
+            rle_windows_decoded=i_decoder.windows_decoded
+            + q_decoder.windows_decoded,
             rle_zeros_expanded=i_decoder.zeros_expanded + q_decoder.zeros_expanded,
             bypass_samples=0,
             dac_underruns=i_dac.underruns + q_dac.underruns,
         )
+
+    def stream_bitstream(self, data: bytes) -> StreamReport:
+        """Play one waveform directly from its wire-format bitstream.
+
+        This is the shipped-artifact path: the compiler serializes a
+        :class:`CompressedWaveform` with
+        :func:`repro.compression.bitstream.serialize_waveform`, the
+        bytes travel to the controller, and the pipeline parses and
+        streams them.  Malformed bytes raise
+        :class:`~repro.errors.CompressionError` before any sample is
+        emitted.
+        """
+        return self.stream(parse_waveform(data))
 
     # -- adaptive decompression (Fig 13b) ------------------------------------
 
@@ -167,6 +184,7 @@ class DecompressionPipeline:
         cycles = 0
         bram_reads = 0
         idct_windows = 0
+        rle_windows = 0
         rle_zeros = 0
         bypass = 0
         window_size = 0
@@ -186,6 +204,7 @@ class DecompressionPipeline:
             cycles += report.fabric_cycles
             bram_reads += report.bram_reads
             idct_windows += report.idct_windows
+            rle_windows += report.rle_windows_decoded
             rle_zeros += report.rle_zeros_expanded
             i_out.append(report.i_samples)
             q_out.append(report.q_samples)
@@ -206,6 +225,7 @@ class DecompressionPipeline:
             fabric_cycles=cycles,
             bram_reads=bram_reads,
             idct_windows=idct_windows,
+            rle_windows_decoded=rle_windows,
             rle_zeros_expanded=rle_zeros,
             bypass_samples=bypass,
             dac_underruns=0,
@@ -257,6 +277,7 @@ class BaselineStreamer:
             fabric_cycles=cycles,
             bram_reads=2 * i_codes.size,
             idct_windows=0,
+            rle_windows_decoded=0,
             rle_zeros_expanded=0,
             bypass_samples=0,
             dac_underruns=0,

@@ -37,12 +37,19 @@ class RleDecoder:
     def decode(self, words: Sequence[MemoryWord]) -> np.ndarray:
         """Decode one window's words into ``window_size`` coefficients.
 
+        The counters update only when the whole window decodes cleanly,
+        so ``zeros_expanded`` stays exactly the sum of the consumed
+        windows' zero runs (and ``windows_decoded`` their count) even if
+        a malformed stream was rejected along the way -- the tests hold
+        both against analytically computed values.
+
         Raises:
             CompressionError: On malformed streams -- payload after the
-                codeword, repeat words (those bypass this stage), or a
-                length mismatch.
+                codeword, repeat words (those bypass this stage), a run
+                overflowing the window, or a length mismatch.
         """
         coeffs: List[int] = []
+        zeros = 0
         run_seen = False
         for word in words:
             if run_seen:
@@ -59,7 +66,13 @@ class RleDecoder:
             elif word.tag == TAG_ZERO_RUN:
                 if word.value < 1:
                     raise CompressionError(f"empty zero run in {word}")
-                self.zeros_expanded += word.value
+                if len(coeffs) + word.value > self.window_size:
+                    raise CompressionError(
+                        f"zero run of {word.value} overflows the window: "
+                        f"{len(coeffs)} coefficients already decoded of "
+                        f"{self.window_size}"
+                    )
+                zeros = word.value
                 coeffs.extend([0] * word.value)
                 run_seen = True
             elif word.tag == TAG_REPEAT:
@@ -75,4 +88,5 @@ class RleDecoder:
                 f"expected {self.window_size}"
             )
         self.windows_decoded += 1
+        self.zeros_expanded += zeros
         return np.asarray(coeffs, dtype=np.int64)

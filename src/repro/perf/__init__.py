@@ -3,6 +3,7 @@
 from repro.perf.runner import TimingStats, time_callable
 from repro.perf.compression_bench import (
     BENCH_SCHEMA,
+    BENCH_MODES,
     DEFAULT_OUTPUT,
     QUICK_DEVICE_SPECS,
     FULL_DEVICE_SPECS,
@@ -16,6 +17,7 @@ __all__ = [
     "TimingStats",
     "time_callable",
     "BENCH_SCHEMA",
+    "BENCH_MODES",
     "DEFAULT_OUTPUT",
     "QUICK_DEVICE_SPECS",
     "FULL_DEVICE_SPECS",

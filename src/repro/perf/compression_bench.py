@@ -1,16 +1,25 @@
-"""Scalar-vs-batched compression benchmark with machine-readable output.
+"""Encode/decode/bitstream benchmark with machine-readable output.
 
 This is the repo's perf baseline: for every requested device (IBM
 heavy-hex family, Google grid, fluxonium) and every pipeline variant it
-times a full pulse-library compile through both the per-window scalar
-reference and the vectorized batch engine, verifies the two produce
-bit-identical compressed streams, and reports throughput
-(samples/sec, pulses/sec), speedup, compression ratio and MSE.
+measures three pipelines over a full pulse-library compile:
+
+* **encode** -- the per-window scalar reference vs the vectorized batch
+  engine (PR 1), with a bit-identity parity check between the two;
+* **decode** -- per-window scalar playback
+  (:func:`~repro.compression.pipeline.decompress_waveform`) vs the
+  batched decode engine
+  (:func:`~repro.compression.batch.decompress_batch`), again gated on
+  bit-identical samples;
+* **bitstream** -- wire-format serialize/parse throughput plus a
+  canonical round-trip check (``serialize(parse(b)) == b`` and the
+  parsed streams equal to the compiled ones).
 
 The payload serializes to ``BENCH_compression.json`` (see
 ``python -m repro bench``) so CI and later PRs can diff numbers
 mechanically; :func:`render_bench_table` renders the same payload as a
-human-readable table through :mod:`repro.analysis.report`.
+human-readable table through :mod:`repro.analysis.report`.  CI fails
+when any parity or round-trip gate reports a mismatch.
 """
 
 from __future__ import annotations
@@ -20,16 +29,21 @@ import pathlib
 import time
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import DeviceError
 from repro.analysis.report import render_table
-from repro.compression.pipeline import VARIANTS
-from repro.core.compiler import CompaqtCompiler
+from repro.compression.batch import decompress_batch
+from repro.compression.bitstream import parse_library, serialize_library
+from repro.compression.pipeline import VARIANTS, decompress_waveform
+from repro.core.compiler import CompaqtCompiler, CompressedPulseLibrary
 from repro.devices import IBM_DEVICE_NAMES, fluxonium_device, google_device, ibm_device
 from repro.perf.runner import TimingStats, time_callable
 from repro.version import __version__
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_MODES",
     "DEFAULT_OUTPUT",
     "QUICK_DEVICE_SPECS",
     "FULL_DEVICE_SPECS",
@@ -39,7 +53,10 @@ __all__ = [
     "write_bench_json",
 ]
 
-BENCH_SCHEMA = "compaqt-bench-compression/v1"
+BENCH_SCHEMA = "compaqt-bench-compression/v2"
+
+#: What to measure: the full pipeline, or just one side of the codec.
+BENCH_MODES = ("all", "encode", "decode")
 
 DEFAULT_OUTPUT = "BENCH_compression.json"
 
@@ -80,7 +97,7 @@ def _timing_dict(stats: TimingStats, samples: int, pulses: int) -> Dict[str, flo
     return out
 
 
-def _parity_ok(scalar_lib, batched_lib) -> bool:
+def _encode_parity_ok(scalar_lib, batched_lib) -> bool:
     """True iff both compiles produced bit-identical compressed streams."""
     keys = scalar_lib.keys()
     if set(keys) != set(batched_lib.keys()):
@@ -92,6 +109,82 @@ def _parity_ok(scalar_lib, batched_lib) -> bool:
     return True
 
 
+def _decode_parity_ok(scalar_waveforms, batched_waveforms) -> bool:
+    """True iff scalar and batched playback emit bit-identical samples."""
+    if len(scalar_waveforms) != len(batched_waveforms):
+        return False
+    for s, b in zip(scalar_waveforms, batched_waveforms):
+        if s.name != b.name or not np.array_equal(s.samples, b.samples):
+            return False
+    return True
+
+
+def _bench_encode(
+    library, compiler_kwargs: Dict, repeats: int, warmup: int
+) -> tuple[Dict, "CompressedPulseLibrary"]:
+    scalar = CompaqtCompiler(batched=False, **compiler_kwargs)
+    batched = CompaqtCompiler(batched=True, **compiler_kwargs)
+    n_pulses = len(library)
+    total_samples = library.total_samples
+    scalar_stats, scalar_lib = time_callable(
+        lambda: scalar.compile_library(library), repeats, warmup
+    )
+    batched_stats, batched_lib = time_callable(
+        lambda: batched.compile_library(library), repeats, warmup
+    )
+    section = {
+        "scalar": _timing_dict(scalar_stats, total_samples, n_pulses),
+        "batched": _timing_dict(batched_stats, total_samples, n_pulses),
+        "speedup": scalar_stats.best_s / batched_stats.best_s,
+        "parity": _encode_parity_ok(scalar_lib, batched_lib),
+    }
+    return section, batched_lib
+
+
+def _bench_decode(compiled, repeats: int, warmup: int) -> Dict:
+    entries = [result.compressed for _key, result in compiled]
+    total_samples = sum(e.original_samples for e in entries)
+    n_pulses = len(entries)
+    scalar_stats, scalar_out = time_callable(
+        lambda: [decompress_waveform(e) for e in entries], repeats, warmup
+    )
+    batched_stats, batched_out = time_callable(
+        lambda: decompress_batch(entries), repeats, warmup
+    )
+    return {
+        "scalar": _timing_dict(scalar_stats, total_samples, n_pulses),
+        "batched": _timing_dict(batched_stats, total_samples, n_pulses),
+        "speedup": scalar_stats.best_s / batched_stats.best_s,
+        "parity": _decode_parity_ok(scalar_out, batched_out),
+    }
+
+
+def _bench_bitstream(compiled, repeats: int, warmup: int) -> Dict:
+    total_samples = sum(
+        r.compressed.original_samples for _key, r in compiled
+    )
+    n_pulses = len(compiled)
+    serialize_stats, blob = time_callable(compiled.to_bytes, repeats, warmup)
+    parse_stats, parsed = time_callable(lambda: parse_library(blob), repeats, warmup)
+    roundtrip_ok = serialize_library(parsed) == blob
+    if roundtrip_ok:
+        loaded = CompressedPulseLibrary.from_bytes(blob)
+        for key, result in compiled:
+            twin = loaded.result(*key)
+            if twin.compressed != result.compressed or not np.array_equal(
+                twin.reconstructed.samples, result.reconstructed.samples
+            ):
+                roundtrip_ok = False
+                break
+    return {
+        "serialize": _timing_dict(serialize_stats, total_samples, n_pulses),
+        "parse": _timing_dict(parse_stats, total_samples, n_pulses),
+        "n_bytes": len(blob),
+        "bytes_per_pulse": len(blob) / max(1, n_pulses),
+        "roundtrip_ok": roundtrip_ok,
+    }
+
+
 def run_compression_bench(
     device_specs: Sequence[str] = QUICK_DEVICE_SPECS,
     variants: Sequence[str] = VARIANTS,
@@ -99,17 +192,26 @@ def run_compression_bench(
     repeats: int = 3,
     warmup: int = 1,
     threshold: Optional[float] = None,
+    mode: str = "all",
 ) -> Dict:
-    """Run the scalar-vs-batched library-compile benchmark.
+    """Run the encode/decode/bitstream library benchmark.
+
+    Args:
+        mode: ``"all"`` measures everything; ``"encode"`` times only the
+            compile side; ``"decode"`` skips the (slow) scalar compile
+            timing and measures playback and the wire format.
 
     Returns the machine-readable payload (plain dicts/lists/floats, JSON
-    serializable as-is).  ``payload["summary"]["all_parity_ok"]`` is the
-    bit-identity verdict CI gates on.
+    serializable as-is).  The ``summary`` gates --
+    ``all_parity_ok``, ``all_decode_parity_ok``, ``all_roundtrip_ok`` --
+    are the bit-identity verdicts CI fails on.
     """
     if not device_specs:
         raise DeviceError("bench needs at least one device spec")
     if not variants:
         raise DeviceError("bench needs at least one variant")
+    if mode not in BENCH_MODES:
+        raise DeviceError(f"unknown bench mode {mode!r}; expected one of {BENCH_MODES}")
     entries: List[Dict] = []
     for spec in device_specs:
         device = resolve_device(spec)
@@ -120,34 +222,45 @@ def run_compression_bench(
             kwargs = {"window_size": window_size, "variant": variant}
             if threshold is not None:
                 kwargs["threshold"] = threshold
-            scalar = CompaqtCompiler(batched=False, **kwargs)
-            batched = CompaqtCompiler(batched=True, **kwargs)
-            scalar_stats, scalar_lib = time_callable(
-                lambda: scalar.compile_library(library), repeats, warmup
-            )
-            batched_stats, batched_lib = time_callable(
-                lambda: batched.compile_library(library), repeats, warmup
-            )
-            entries.append(
-                {
-                    "device": device.name,
-                    "spec": spec,
-                    "variant": variant,
-                    "window_size": window_size,
-                    "n_pulses": n_pulses,
-                    "total_samples": int(total_samples),
-                    "scalar": _timing_dict(scalar_stats, total_samples, n_pulses),
-                    "batched": _timing_dict(batched_stats, total_samples, n_pulses),
-                    "speedup": scalar_stats.best_s / batched_stats.best_s,
-                    "compression_ratio_uniform": float(batched_lib.overall_ratio),
-                    "compression_ratio_variable": float(
-                        batched_lib.overall_ratio_variable
-                    ),
-                    "mean_mse": float(batched_lib.mean_mse),
-                    "parity": _parity_ok(scalar_lib, batched_lib),
-                }
-            )
-    speedups = [e["speedup"] for e in entries]
+            if mode == "decode":
+                compiled = CompaqtCompiler(batched=True, **kwargs).compile_library(
+                    library
+                )
+                encode_section = None
+            else:
+                encode_section, compiled = _bench_encode(
+                    library, kwargs, repeats, warmup
+                )
+            entry = {
+                "device": device.name,
+                "spec": spec,
+                "variant": variant,
+                "window_size": window_size,
+                "n_pulses": n_pulses,
+                "total_samples": int(total_samples),
+                "encode": encode_section,
+                "decode": None,
+                "bitstream": None,
+                "compression_ratio_uniform": float(compiled.overall_ratio),
+                "compression_ratio_variable": float(
+                    compiled.overall_ratio_variable
+                ),
+                "mean_mse": float(compiled.mean_mse),
+            }
+            if mode != "encode":
+                entry["decode"] = _bench_decode(compiled, repeats, warmup)
+                entry["bitstream"] = _bench_bitstream(compiled, repeats, warmup)
+            entries.append(entry)
+
+    def _gate(section: str, key: str) -> bool:
+        checked = [e[section][key] for e in entries if e[section] is not None]
+        return all(checked) if checked else True
+
+    def _speedups(section: str) -> List[float]:
+        return [e[section]["speedup"] for e in entries if e[section] is not None]
+
+    encode_speedups = _speedups("encode")
+    decode_speedups = _speedups("decode")
     return {
         "schema": BENCH_SCHEMA,
         "version": __version__,
@@ -159,53 +272,86 @@ def run_compression_bench(
             "repeats": repeats,
             "warmup": warmup,
             "threshold": threshold,
+            "mode": mode,
         },
         "entries": entries,
         "summary": {
-            "all_parity_ok": all(e["parity"] for e in entries),
-            "min_speedup": min(speedups),
-            "max_speedup": max(speedups),
+            "all_parity_ok": _gate("encode", "parity"),
+            "all_decode_parity_ok": _gate("decode", "parity"),
+            "all_roundtrip_ok": _gate("bitstream", "roundtrip_ok"),
+            "min_speedup": min(encode_speedups) if encode_speedups else None,
+            "max_speedup": max(encode_speedups) if encode_speedups else None,
+            "min_decode_speedup": min(decode_speedups) if decode_speedups else None,
+            "max_decode_speedup": max(decode_speedups) if decode_speedups else None,
             "n_entries": len(entries),
         },
     }
+
+
+def _fmt_speedup(section: Optional[Dict]) -> str:
+    return f"{section['speedup']:.1f}x" if section else "-"
+
+
+def _entry_gates_ok(entry: Dict) -> bool:
+    if entry["encode"] is not None and not entry["encode"]["parity"]:
+        return False
+    if entry["decode"] is not None and not entry["decode"]["parity"]:
+        return False
+    if entry["bitstream"] is not None and not entry["bitstream"]["roundtrip_ok"]:
+        return False
+    return True
 
 
 def render_bench_table(payload: Dict) -> str:
     """Render a bench payload as the repo's standard ASCII table."""
     rows = []
     for e in payload["entries"]:
+        bitstream = e["bitstream"]
         rows.append(
             [
                 e["device"],
                 e["variant"],
                 e["n_pulses"],
-                f"{e['scalar']['best_s'] * 1e3:.1f}",
-                f"{e['batched']['best_s'] * 1e3:.1f}",
-                f"{e['speedup']:.1f}x",
-                f"{e['batched']['samples_per_s'] / 1e6:.1f}",
+                _fmt_speedup(e["encode"]),
+                _fmt_speedup(e["decode"]),
+                f"{bitstream['n_bytes'] / 1e3:.1f}" if bitstream else "-",
                 f"{e['compression_ratio_variable']:.2f}",
-                "ok" if e["parity"] else "MISMATCH",
+                "ok" if _entry_gates_ok(e) else "MISMATCH",
             ]
         )
     summary = payload["summary"]
+    gates_ok = (
+        summary["all_parity_ok"]
+        and summary["all_decode_parity_ok"]
+        and summary["all_roundtrip_ok"]
+    )
+    notes = []
+    if summary["min_speedup"] is not None:
+        notes.append(
+            f"encode {summary['min_speedup']:.1f}x..{summary['max_speedup']:.1f}x"
+        )
+    if summary["min_decode_speedup"] is not None:
+        notes.append(
+            f"decode {summary['min_decode_speedup']:.1f}x"
+            f"..{summary['max_decode_speedup']:.1f}x"
+        )
+    notes.append(f"parity {'ok' if gates_ok else 'FAILED'}")
     return render_table(
-        f"Library compile: scalar vs batched (WS={payload['config']['window_size']})",
+        "Library codec: scalar vs batched "
+        f"(WS={payload['config']['window_size']}, "
+        f"mode={payload['config']['mode']})",
         [
             "device",
             "variant",
             "pulses",
-            "scalar ms",
-            "batched ms",
-            "speedup",
-            "Msamp/s",
+            "enc speedup",
+            "dec speedup",
+            "wire KB",
             "R(var)",
             "parity",
         ],
         rows,
-        note=(
-            f"speedup {summary['min_speedup']:.1f}x..{summary['max_speedup']:.1f}x, "
-            f"parity {'ok' if summary['all_parity_ok'] else 'FAILED'}"
-        ),
+        note=", ".join(notes),
     )
 
 

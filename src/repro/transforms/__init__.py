@@ -54,6 +54,8 @@ from repro.transforms.rle import (
     EncodedWindow,
     rle_encode_window,
     rle_decode_window,
+    rle_encode_blocks,
+    rle_expand_blocks,
 )
 from repro.transforms.threshold import (
     hard_threshold,
@@ -101,6 +103,8 @@ __all__ = [
     "EncodedWindow",
     "rle_encode_window",
     "rle_decode_window",
+    "rle_encode_blocks",
+    "rle_expand_blocks",
     "hard_threshold",
     "trailing_zero_run",
     "kept_coefficients",

@@ -1,0 +1,401 @@
+"""Wire-format tests: lossless round-trips and total, garbage-free parsing.
+
+Two properties lock the bitstream down:
+
+* **round-trip** -- ``parse(serialize(x)) == x`` for every compressed
+  waveform/library, and ``serialize(parse(b)) == b`` for every stream
+  the serializer produced (canonical encoding);
+* **totality** -- malformed bytes (truncation, bad magic, unknown tags,
+  runs overflowing the window, trailing garbage, random fuzz) raise
+  :class:`~repro.errors.CompressionError`; the parser never emits
+  garbage samples or any other exception type.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError
+from repro.compression import (
+    compress_waveform,
+    decompress_waveform,
+    parse_library,
+    parse_waveform,
+    serialize_library,
+    serialize_waveform,
+)
+from repro.compression.bitstream import (
+    LIBRARY_MAGIC,
+    WAVEFORM_MAGIC,
+    LibraryBitstream,
+    LibraryEntry,
+)
+from repro.compression.pipeline import CompressedChannel, CompressedWaveform
+from repro.core import CompaqtCompiler, CompressedPulseLibrary
+from repro.devices import ibm_device
+from repro.microarch import DecompressionPipeline
+from repro.pulses import Waveform
+from repro.transforms.rle import EncodedWindow
+
+
+def _make_waveform(n=40, name="wf", gate="x", qubits=(0,)):
+    t = np.linspace(0, 1, n)
+    samples = 0.6 * np.exp(-(((t - 0.5) / 0.2) ** 2)) * (1 + 0.4j)
+    return Waveform(name, samples, dt=1e-9, gate=gate, qubits=qubits)
+
+
+def _compressed(n=40, variant="int-DCT-W", window_size=16, **kwargs):
+    return compress_waveform(
+        _make_waveform(n, **kwargs), window_size=window_size, variant=variant
+    ).compressed
+
+
+def _single_window_waveform(coeffs, zero_run, window_size=16):
+    """Build a CompressedWaveform around one hand-made window pair."""
+    window = EncodedWindow(coeffs=tuple(coeffs), zero_run=zero_run)
+    channel = CompressedChannel(
+        windows=(window,),
+        variant="int-DCT-W",
+        window_size=window_size,
+        original_length=window_size,
+    )
+    return CompressedWaveform(
+        name="w", gate="x", qubits=(0,), dt=1e-9, i_channel=channel,
+        q_channel=channel,
+    )
+
+
+class TestWaveformRoundTrip:
+    @pytest.mark.parametrize("variant", ("DCT-N", "DCT-W", "int-DCT-W"))
+    @pytest.mark.parametrize("window_size", (8, 16, 32))
+    def test_lossless_and_canonical(self, variant, window_size):
+        compressed = _compressed(variant=variant, window_size=window_size)
+        blob = serialize_waveform(compressed)
+        assert blob.startswith(WAVEFORM_MAGIC)
+        parsed = parse_waveform(blob)
+        assert parsed == compressed
+        assert serialize_waveform(parsed) == blob
+
+    def test_decode_after_round_trip_bit_identical(self):
+        compressed = _compressed()
+        parsed = parse_waveform(serialize_waveform(compressed))
+        np.testing.assert_array_equal(
+            decompress_waveform(parsed).samples,
+            decompress_waveform(compressed).samples,
+        )
+
+    def test_binding_preserved(self):
+        compressed = _compressed(
+            name="cx_q3_q7", gate="cx", qubits=(3, 7)
+        )
+        parsed = parse_waveform(serialize_waveform(compressed))
+        assert parsed.name == "cx_q3_q7"
+        assert parsed.gate == "cx"
+        assert parsed.qubits == (3, 7)
+        assert parsed.dt == compressed.dt
+
+    @given(
+        n=st.integers(min_value=1, max_value=120),
+        threshold=st.integers(min_value=0, max_value=2000),
+        variant=st.sampled_from(("DCT-N", "DCT-W", "int-DCT-W")),
+        window_size=st.sampled_from((8, 16, 32)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fuzz_round_trip(self, n, threshold, variant, window_size, seed):
+        rng = np.random.default_rng(seed)
+        samples = 0.65 * (rng.uniform(-1, 1, n) + 1j * rng.uniform(-1, 1, n))
+        waveform = Waveform("fuzz", samples / max(1.0, np.max(np.abs(samples))),
+                            dt=1e-9, gate="x", qubits=(0,))
+        compressed = compress_waveform(
+            waveform, window_size=window_size, variant=variant,
+            threshold=threshold,
+        ).compressed
+        blob = serialize_waveform(compressed)
+        parsed = parse_waveform(blob)
+        assert parsed == compressed
+        assert serialize_waveform(parsed) == blob
+        np.testing.assert_array_equal(
+            decompress_waveform(parsed).samples,
+            decompress_waveform(compressed).samples,
+        )
+
+
+class TestLibraryRoundTrip:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return CompaqtCompiler(window_size=16).compile_library(
+            ibm_device("bogota").pulse_library()
+        )
+
+    def test_library_lossless_and_canonical(self, compiled):
+        blob = compiled.to_bytes()
+        assert blob.startswith(LIBRARY_MAGIC)
+        assert serialize_library(parse_library(blob)) == blob
+        loaded = CompressedPulseLibrary.from_bytes(blob)
+        assert loaded.device_name == compiled.device_name
+        assert loaded.window_size == compiled.window_size
+        assert loaded.variant == compiled.variant
+        assert set(loaded.keys()) == set(compiled.keys())
+        for key in compiled.keys():
+            original = compiled.result(*key)
+            twin = loaded.result(*key)
+            assert twin.compressed == original.compressed
+            assert twin.mse == original.mse
+            assert twin.threshold == original.threshold
+            np.testing.assert_array_equal(
+                twin.reconstructed.samples, original.reconstructed.samples
+            )
+
+    def test_save_load_file(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "bogota.cqt")
+        loaded = CompaqtCompiler.load_library(path)
+        assert loaded.to_bytes() == compiled.to_bytes()
+        assert loaded.overall_ratio == compiled.overall_ratio
+
+    def test_empty_library_round_trips(self):
+        stream = LibraryBitstream(
+            device_name="empty", window_size=16, variant="int-DCT-W", entries=()
+        )
+        blob = serialize_library(stream)
+        assert parse_library(blob) == stream
+        assert serialize_library(parse_library(blob)) == blob
+
+    def test_entry_metrics_are_exact_float64(self):
+        compressed = _compressed()
+        entry = LibraryEntry(
+            gate="x", qubits=(0,), mse=1.2345678912345e-7,
+            threshold=128.5, compressed=compressed,
+        )
+        stream = LibraryBitstream(
+            device_name="d", window_size=16, variant="int-DCT-W",
+            entries=(entry,),
+        )
+        parsed = parse_library(serialize_library(stream))
+        assert parsed.entries[0].mse == entry.mse
+        assert parsed.entries[0].threshold == entry.threshold
+
+
+class TestMicroarchConsumesBitstreams:
+    def test_stream_bitstream_bit_identical(self):
+        compressed = _compressed()
+        report = DecompressionPipeline(16).stream_bitstream(
+            serialize_waveform(compressed)
+        )
+        reference = decompress_waveform(compressed)
+        i_codes, q_codes = reference.to_fixed_point()
+        np.testing.assert_array_equal(report.i_samples, i_codes.astype(np.int64))
+        np.testing.assert_array_equal(report.q_samples, q_codes.astype(np.int64))
+
+    def test_stream_bitstream_rejects_garbage(self):
+        with pytest.raises(CompressionError):
+            DecompressionPipeline(16).stream_bitstream(b"not a bitstream")
+
+
+class TestMalformedInputs:
+    """Every corruption raises CompressionError -- never garbage samples."""
+
+    def test_truncated_stream_every_prefix(self):
+        blob = serialize_waveform(_compressed(n=24))
+        for cut in range(len(blob)):
+            with pytest.raises(CompressionError):
+                parse_waveform(blob[:cut])
+
+    def test_truncated_library(self):
+        blob = CompaqtCompiler().compile_library(
+            ibm_device("bogota").pulse_library()
+        ).to_bytes()
+        for cut in (0, 3, 10, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CompressionError):
+                parse_library(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        blob = serialize_waveform(_compressed())
+        with pytest.raises(CompressionError, match="trailing"):
+            parse_waveform(blob + b"\x00")
+        lib_blob = serialize_library(
+            LibraryBitstream("d", 16, "int-DCT-W", ())
+        )
+        with pytest.raises(CompressionError, match="trailing"):
+            parse_library(lib_blob + b"junk")
+
+    def test_bad_magic(self):
+        blob = serialize_waveform(_compressed())
+        with pytest.raises(CompressionError, match="magic"):
+            parse_waveform(b"XXXX" + blob[4:])
+        with pytest.raises(CompressionError, match="magic"):
+            parse_library(b"XXXX" + blob[4:])
+
+    def test_magic_confusion_rejected(self):
+        """A waveform record is not a library container and vice versa."""
+        waveform_blob = serialize_waveform(_compressed())
+        with pytest.raises(CompressionError):
+            parse_library(waveform_blob)
+        library_blob = serialize_library(
+            LibraryBitstream("d", 16, "int-DCT-W", ())
+        )
+        with pytest.raises(CompressionError):
+            parse_waveform(library_blob)
+
+    def test_bad_variant_id(self):
+        blob = bytearray(serialize_waveform(_compressed()))
+        blob[4] = 0x7F
+        with pytest.raises(CompressionError, match="variant"):
+            parse_waveform(bytes(blob))
+
+    def test_reserved_flags_rejected(self):
+        blob = bytearray(serialize_waveform(_compressed()))
+        blob[5] = 0x01
+        with pytest.raises(CompressionError, match="flags"):
+            parse_waveform(bytes(blob))
+
+    # -- word-level corruptions ------------------------------------------
+
+    @staticmethod
+    def _patch_word(blob: bytes, old_word: int, new_word: int) -> bytes:
+        needle = struct.pack("<I", old_word)
+        index = blob.index(needle)
+        return blob[:index] + struct.pack("<I", new_word) + blob[index + 4 :]
+
+    def test_unknown_tag_rejected(self):
+        # One window: coefficient 9999, then a 15-zero run codeword.
+        blob = serialize_waveform(_single_window_waveform((9999,), 15))
+        for bad_tag in (2, 3):  # repeat / undefined
+            patched = self._patch_word(blob, 9999, (bad_tag << 16) | 9999)
+            with pytest.raises(CompressionError, match="tag"):
+                parse_waveform(patched)
+
+    def test_reserved_word_bits_rejected(self):
+        blob = serialize_waveform(_single_window_waveform((9999,), 15))
+        patched = self._patch_word(blob, 9999, (1 << 20) | 9999)
+        with pytest.raises(CompressionError, match="reserved"):
+            parse_waveform(patched)
+
+    def test_run_overflowing_window_rejected(self):
+        blob = serialize_waveform(_single_window_waveform((9999,), 15))
+        run_word = (1 << 16) | 15
+        patched = self._patch_word(blob, run_word, (1 << 16) | 0xFFFF)
+        with pytest.raises(CompressionError, match="decodes to"):
+            parse_waveform(patched)
+
+    def test_run_underfilling_window_rejected(self):
+        blob = serialize_waveform(_single_window_waveform((9999,), 15))
+        run_word = (1 << 16) | 15
+        patched = self._patch_word(blob, run_word, (1 << 16) | 3)
+        with pytest.raises(CompressionError, match="decodes to"):
+            parse_waveform(patched)
+
+    def test_empty_zero_run_rejected(self):
+        blob = serialize_waveform(_single_window_waveform((9999,), 15))
+        run_word = (1 << 16) | 15
+        patched = self._patch_word(blob, run_word, 1 << 16)
+        with pytest.raises(CompressionError):
+            parse_waveform(patched)
+
+    def test_word_after_codeword_rejected(self):
+        # Stream [coeff 9999, coeff 7777, run 14]; turning the first
+        # coefficient into a 14-run leaves payload after the codeword.
+        blob = serialize_waveform(_single_window_waveform((9999, 7777), 14))
+        patched = self._patch_word(blob, 9999, (1 << 16) | 14)
+        with pytest.raises(CompressionError, match="codeword"):
+            parse_waveform(patched)
+
+    def test_serializer_validations(self):
+        oversized = _single_window_waveform((70000,), 15)
+        with pytest.raises(CompressionError, match="16-bit"):
+            serialize_waveform(oversized)
+
+    def test_mixed_channel_variants_rejected_at_serialize(self):
+        """A record stores one variant id; channels that disagree would
+        silently decode the Q channel through the wrong inverse."""
+        base = _single_window_waveform((9999,), 15)
+        mixed = CompressedWaveform(
+            name="w", gate="x", qubits=(0,), dt=1e-9,
+            i_channel=base.i_channel,
+            q_channel=CompressedChannel(
+                windows=base.q_channel.windows,
+                variant="DCT-W",
+                window_size=base.q_channel.window_size,
+                original_length=base.q_channel.original_length,
+            ),
+        )
+        with pytest.raises(CompressionError, match="variant"):
+            serialize_waveform(mixed)
+
+    def test_entry_variant_mismatch_fails_at_save(self):
+        """A container is single-variant; saving a stray entry must fail
+        immediately, not produce bytes that can never load."""
+        compressed = _compressed(variant="DCT-W")
+        stream = LibraryBitstream(
+            device_name="d", window_size=16, variant="int-DCT-W",
+            entries=(
+                LibraryEntry(
+                    gate="x", qubits=(0,), mse=0.0, threshold=128.0,
+                    compressed=compressed,
+                ),
+            ),
+        )
+        with pytest.raises(CompressionError, match="container variant"):
+            serialize_library(stream)
+
+    def test_entry_binding_mismatch_rejected_both_ways(self):
+        compressed = _compressed(gate="x", qubits=(0,))
+        stream = LibraryBitstream(
+            device_name="d", window_size=16, variant="int-DCT-W",
+            entries=(
+                LibraryEntry(
+                    gate="sx", qubits=(0,), mse=0.0, threshold=128.0,
+                    compressed=compressed,
+                ),
+            ),
+        )
+        with pytest.raises(CompressionError, match="binding"):
+            serialize_library(stream)
+        # A foreign stream where the duplicated binding disagrees with
+        # the embedded record must not parse into inconsistent metadata.
+        good = serialize_library(
+            LibraryBitstream(
+                device_name="d", window_size=16, variant="int-DCT-W",
+                entries=(
+                    LibraryEntry(
+                        gate="x", qubits=(0,), mse=0.0, threshold=128.0,
+                        compressed=compressed,
+                    ),
+                ),
+            )
+        )
+        # Entry gate "x" appears (length-prefixed) after the u32 entry
+        # count; patch that first occurrence to "y".
+        header_end = good.index(b"\x01\x00x") + 2
+        patched = good[:header_end] + b"y" + good[header_end + 1 :]
+        with pytest.raises(CompressionError, match="binding"):
+            parse_library(patched)
+
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=120, deadline=None)
+    def test_random_bytes_never_crash(self, data):
+        """Fuzz totality: arbitrary bytes either parse (practically
+        impossible) or raise CompressionError -- nothing else."""
+        for parser in (parse_waveform, parse_library):
+            try:
+                parser(data)
+            except CompressionError:
+                pass
+
+    @given(cut=st.integers(min_value=0, max_value=10**6), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bitflip_fuzz(self, cut, seed):
+        """Single corrupted byte in a valid stream: parse must either
+        reject it or decode without crashing (a flipped coefficient bit
+        can still be a valid stream -- but never an undefined error)."""
+        blob = bytearray(serialize_waveform(_compressed(n=24)))
+        rng = np.random.default_rng(seed)
+        index = cut % len(blob)
+        blob[index] ^= int(rng.integers(1, 256))
+        try:
+            parse_waveform(bytes(blob))
+        except CompressionError:
+            pass

@@ -50,3 +50,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "192" in out  # WS=16 qubits
         assert "5.33x" in out
+
+
+class TestPackCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["pack", "bogota"])
+        assert args.device == "bogota"
+        assert args.window_size == 16
+        assert args.variant == "int-DCT-W"
+        assert args.output is None
+
+    def test_pack_writes_verified_bitstream(self, tmp_path, capsys):
+        out = tmp_path / "bogota.cqt"
+        assert main(["pack", "bogota", "--output", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "round-trip verified" in stdout
+        data = out.read_bytes()
+        assert data.startswith(b"CQL1")
+
+        from repro.core import CompaqtCompiler, CompressedPulseLibrary
+        from repro.devices import ibm_device
+
+        loaded = CompressedPulseLibrary.load(out)
+        compiled = CompaqtCompiler(window_size=16).compile_library(
+            ibm_device("bogota").pulse_library()
+        )
+        assert len(loaded) == len(compiled)
+        for key in compiled.keys():
+            assert loaded.result(*key).compressed == compiled.result(*key).compressed
+
+    def test_pack_variant_option(self, tmp_path, capsys):
+        out = tmp_path / "f.cqt"
+        code = main(
+            [
+                "pack",
+                "fluxonium-3",
+                "--variant",
+                "DCT-W",
+                "--window-size",
+                "8",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        from repro.core import CompressedPulseLibrary
+
+        loaded = CompressedPulseLibrary.load(out)
+        assert loaded.variant == "DCT-W"
+        assert loaded.window_size == 8

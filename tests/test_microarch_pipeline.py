@@ -68,6 +68,30 @@ class TestRleDecoderUnit:
         with pytest.raises(CompressionError):
             RleDecoder(16).decode([MemoryWord(TAG_ZERO_RUN, 0)])
 
+    def test_run_overflowing_window_rejected(self):
+        words = [MemoryWord(TAG_COEFF, 1), MemoryWord(TAG_COEFF, 2)]
+        with pytest.raises(CompressionError, match="overflow"):
+            RleDecoder(16).decode(words + [MemoryWord(TAG_ZERO_RUN, 15)])
+
+    def test_counters_untouched_by_rejected_windows(self):
+        """A malformed window must not pollute the access accounting:
+        after any number of failures the counters still equal the
+        analytic values for the successfully decoded windows only."""
+        decoder = RleDecoder(16)
+        for bad in (
+            [MemoryWord(TAG_ZERO_RUN, 20)],  # run overflows the window
+            [MemoryWord(TAG_ZERO_RUN, 0)],  # empty run
+            [MemoryWord(TAG_COEFF, 1)],  # short window
+            [MemoryWord(TAG_REPEAT, 4, 7)],  # wrong pipeline
+        ):
+            with pytest.raises(CompressionError):
+                decoder.decode(bad)
+        assert decoder.windows_decoded == 0
+        assert decoder.zeros_expanded == 0
+        decoder.decode(rle_encode_window([5] + [0] * 15).to_words())
+        assert decoder.windows_decoded == 1
+        assert decoder.zeros_expanded == 15
+
 
 class TestIdctEngineUnit:
     def test_wrong_size_rejected(self):
@@ -164,6 +188,101 @@ class TestPipelineStreaming:
         assert (
             stored_payload - n_codewords + report.rle_zeros_expanded == decoded
         )
+
+
+def _analytic_counters(compressed):
+    """Counter values derived from the compressed image alone."""
+    zeros = sum(w.zero_run for w in compressed.i_channel.windows) + sum(
+        w.zero_run for w in compressed.q_channel.windows
+    )
+    windows = 2 * compressed.n_windows
+    reads = 2 * compressed.n_windows * compressed.worst_case_window_words
+    return zeros, windows, reads
+
+
+class TestDecodeEdgeCases:
+    """The regimes where RLE accounting off-by-ones hide: all-zero
+    windows, incompressible windows, and padded single-sample tails."""
+
+    def test_all_zero_waveform_analytic_counters(self):
+        n, ws = 80, 16
+        wf = Waveform(
+            "zero", np.zeros(n, dtype=complex), dt=1e-9, gate="x", qubits=(0,)
+        )
+        compressed = compress_waveform(wf, window_size=ws).compressed
+        n_windows = -(-n // ws)
+        # Every window must collapse to a single zero-run codeword.
+        for channel in (compressed.i_channel, compressed.q_channel):
+            assert all(
+                w.coeffs == () and w.zero_run == ws for w in channel.windows
+            )
+        assert compressed.worst_case_window_words == 1
+        report = DecompressionPipeline(16).stream(compressed)
+        assert report.rle_windows_decoded == 2 * n_windows
+        assert report.rle_zeros_expanded == 2 * n_windows * ws
+        assert report.idct_windows == 2 * n_windows
+        assert report.bram_reads == 2 * n_windows
+        assert not report.i_samples.any() and not report.q_samples.any()
+
+    def test_incompressible_waveform_analytic_counters(self):
+        """Worst case: threshold 0 on noise leaves (almost) no trailing
+        zeros, so windows stay at full width and the RLE decoder must
+        expand exactly the residual runs -- no more, no fewer."""
+        rng = np.random.default_rng(7)
+        n, ws = 64, 16
+        samples = 0.65 * (rng.uniform(-1, 1, n) + 1j * rng.uniform(-1, 1, n))
+        wf = Waveform("noise", samples, dt=1e-9, gate="x", qubits=(0,))
+        compressed = compress_waveform(wf, window_size=ws, threshold=0).compressed
+        # The workload is genuinely incompressible: at least one window
+        # carries no codeword at all (zero_run == 0, full occupancy).
+        all_windows = (
+            compressed.i_channel.windows + compressed.q_channel.windows
+        )
+        assert any(w.zero_run == 0 and len(w.coeffs) == ws for w in all_windows)
+        zeros, windows, reads = _analytic_counters(compressed)
+        report = DecompressionPipeline(16).stream(compressed)
+        assert report.rle_zeros_expanded == zeros
+        assert report.rle_windows_decoded == windows
+        assert report.idct_windows == windows
+        assert report.bram_reads == reads
+        reference = decompress_waveform(compressed)
+        i_codes, q_codes = reference.to_fixed_point()
+        np.testing.assert_array_equal(report.i_samples, i_codes.astype(np.int64))
+        np.testing.assert_array_equal(report.q_samples, q_codes.astype(np.int64))
+
+    @pytest.mark.parametrize("n", [1, 17, 33])
+    def test_single_sample_tails(self, n):
+        """Lengths of ws*k + 1: the padded tail window must decode to
+        exactly one extra sample, and the counters still cover the full
+        padded window."""
+        ws = 16
+        t = np.linspace(0, 1, n)
+        wf = Waveform(
+            "tail", 0.5 * np.exp(2j * np.pi * t) * 0.9, dt=1e-9, gate="x",
+            qubits=(0,),
+        )
+        compressed = compress_waveform(wf, window_size=ws).compressed
+        assert compressed.n_windows == -(-n // ws)
+        report = DecompressionPipeline(16).stream(compressed)
+        assert report.n_samples == n
+        zeros, windows, reads = _analytic_counters(compressed)
+        assert report.rle_zeros_expanded == zeros
+        assert report.rle_windows_decoded == windows
+        assert report.bram_reads == reads
+        reference = decompress_waveform(compressed)
+        i_codes, _ = reference.to_fixed_point()
+        np.testing.assert_array_equal(report.i_samples, i_codes.astype(np.int64))
+
+    def test_counters_match_compressed_accounting(self):
+        """Analytic counter identities on realistic pulses."""
+        for factory in (_drag_wf, _flat_wf):
+            compressed = compress_waveform(factory(), window_size=16).compressed
+            zeros, windows, reads = _analytic_counters(compressed)
+            report = DecompressionPipeline(16).stream(compressed)
+            assert report.rle_zeros_expanded == zeros
+            assert report.rle_windows_decoded == windows
+            assert report.idct_windows == windows
+            assert report.bram_reads == reads
 
 
 class TestAdaptiveStreaming:

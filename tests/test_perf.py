@@ -69,27 +69,62 @@ def payload():
     )
 
 
+@pytest.fixture(scope="module")
+def decode_payload():
+    return run_compression_bench(
+        device_specs=("bogota",), repeats=1, warmup=0, mode="decode"
+    )
+
+
 class TestCompressionBench:
     def test_schema_and_coverage(self, payload):
         assert payload["schema"] == BENCH_SCHEMA
         assert len(payload["entries"]) == 2 * 3  # devices x variants
         variants = {e["variant"] for e in payload["entries"]}
         assert variants == {"DCT-N", "DCT-W", "int-DCT-W"}
+        assert payload["config"]["mode"] == "all"
 
-    def test_entries_have_both_timings(self, payload):
+    def test_entries_have_all_sections(self, payload):
         for entry in payload["entries"]:
-            for side in ("scalar", "batched"):
-                timing = entry[side]
-                assert timing["best_s"] > 0
-                assert timing["samples_per_s"] > 0
-                assert timing["pulses_per_s"] > 0
-            assert entry["speedup"] > 0
+            for section in ("encode", "decode"):
+                for side in ("scalar", "batched"):
+                    timing = entry[section][side]
+                    assert timing["best_s"] > 0
+                    assert timing["samples_per_s"] > 0
+                    assert timing["pulses_per_s"] > 0
+                assert entry[section]["speedup"] > 0
+            bitstream = entry["bitstream"]
+            assert bitstream["serialize"]["best_s"] > 0
+            assert bitstream["parse"]["best_s"] > 0
+            assert bitstream["n_bytes"] > 0
+            assert bitstream["bytes_per_pulse"] > 0
             assert entry["compression_ratio_variable"] > 1
             assert entry["mean_mse"] >= 0
 
-    def test_parity_holds(self, payload):
-        assert payload["summary"]["all_parity_ok"]
-        assert all(e["parity"] for e in payload["entries"])
+    def test_parity_gates_hold(self, payload):
+        summary = payload["summary"]
+        assert summary["all_parity_ok"]
+        assert summary["all_decode_parity_ok"]
+        assert summary["all_roundtrip_ok"]
+        for e in payload["entries"]:
+            assert e["encode"]["parity"]
+            assert e["decode"]["parity"]
+            assert e["bitstream"]["roundtrip_ok"]
+
+    def test_decode_mode_skips_encode_timing(self, decode_payload):
+        assert decode_payload["config"]["mode"] == "decode"
+        for entry in decode_payload["entries"]:
+            assert entry["encode"] is None
+            assert entry["decode"]["parity"]
+            assert entry["bitstream"]["roundtrip_ok"]
+        summary = decode_payload["summary"]
+        assert summary["min_speedup"] is None
+        assert summary["all_parity_ok"]  # vacuous: no encode sections
+        assert summary["min_decode_speedup"] > 0
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(DeviceError):
+            run_compression_bench(device_specs=("bogota",), mode="nope")
 
     def test_json_serializable_and_written(self, payload, tmp_path):
         path = write_bench_json(payload, tmp_path / "bench.json")
@@ -103,11 +138,43 @@ class TestCompressionBench:
         assert "fluxonium_3" in text
         assert "parity ok" in text
 
+    def test_render_table_decode_mode(self, decode_payload):
+        text = render_bench_table(decode_payload)
+        assert "mode=decode" in text
+        assert "parity ok" in text
+
 
 class TestCliBench:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.quick and args.devices is None and args.output is None
+        assert not args.decode
+
+    def test_parser_decode_flag(self):
+        assert build_parser().parse_args(["bench", "--decode"]).decode
+
+    def test_bench_decode_command(self, tmp_path, capsys):
+        out = tmp_path / "bench_decode.json"
+        code = main(
+            [
+                "bench",
+                "--decode",
+                "--devices",
+                "fluxonium-3",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["mode"] == "decode"
+        assert payload["summary"]["all_decode_parity_ok"]
+        assert payload["summary"]["all_roundtrip_ok"]
+        assert all(e["encode"] is None for e in payload["entries"])
 
     def test_bench_command_writes_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_compression.json"
