@@ -1,12 +1,13 @@
-"""Command-line interface: inspect devices, compression reports, perf.
+"""Command-line interface: inspect devices, codecs, reports, perf.
 
 Usage::
 
     python -m repro devices
+    python -m repro codecs
     python -m repro report --device guadalupe --window-size 16
-    python -m repro report --device bogota --variant DCT-W --fidelity-aware
+    python -m repro report --device bogota --variant delta
     python -m repro scalability --window-size 16
-    python -m repro bench --quick
+    python -m repro bench --quick --variants int-DCT-W,delta
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import argparse
 from typing import List, Optional
 
 from repro.analysis import render_table
+from repro.compression.codecs import get_codec, list_codecs
 from repro.core import CompaqtCompiler, qubit_gain, qubits_supported
 from repro.devices import IBM_DEVICE_NAMES, ibm_device
 
@@ -30,6 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("devices", help="list available synthetic devices")
 
+    subparsers.add_parser(
+        "codecs", help="list registered codecs and their capability flags"
+    )
+
     report = subparsers.add_parser(
         "report", help="compression report for one device's pulse library"
     )
@@ -40,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--variant",
         default="int-DCT-W",
-        choices=("DCT-N", "DCT-W", "int-DCT-W"),
+        choices=list_codecs(),
     )
     report.add_argument(
         "--threshold", type=float, default=128, help="coefficient threshold"
@@ -83,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         "with --quick",
     )
     bench.add_argument(
+        "--variants",
+        default=None,
+        help="comma-separated codec names (see `repro codecs`); defaults "
+        "to every registered codec",
+    )
+    bench.add_argument(
         "--window-size", type=int, default=16, choices=(8, 16, 32)
     )
     bench.add_argument("--repeats", type=int, default=None)
@@ -106,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument(
         "--variant",
         default="int-DCT-W",
-        choices=("DCT-N", "DCT-W", "int-DCT-W"),
+        choices=list_codecs(),
     )
     pack.add_argument(
         "--threshold", type=float, default=128, help="coefficient threshold"
@@ -136,6 +148,38 @@ def _cmd_devices() -> str:
         "Synthetic IBM devices",
         ["device", "qubits", "couplings", "waveforms", "memory/qubit"],
         rows,
+    )
+
+
+def _cmd_codecs() -> str:
+    rows = []
+    for name in list_codecs():
+        codec = get_codec(name)
+        sizes = codec.supported_window_sizes
+        rows.append(
+            [
+                codec.wire_id,
+                codec.name,
+                "yes" if codec.windowed else "full-frame",
+                "yes" if codec.batchable else "no",
+                "yes" if codec.exact_rational_rows else "no",
+                "yes" if codec.lossless else "no",
+                "any" if sizes is None else "/".join(str(s) for s in sizes),
+            ]
+        )
+    return render_table(
+        "Registered codecs",
+        [
+            "id",
+            "codec",
+            "windowed",
+            "batchable",
+            "exact rows",
+            "lossless",
+            "windows",
+        ],
+        rows,
+        note="register new codecs via repro.compression.codecs.register_codec",
     )
 
 
@@ -215,9 +259,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
     else:
         specs = QUICK_DEVICE_SPECS if args.quick else FULL_DEVICE_SPECS
+    if args.variants is not None:
+        variants = tuple(
+            dict.fromkeys(
+                v.strip() for v in args.variants.split(",") if v.strip()
+            )
+        )
+        if not variants:
+            print(f"error: --variants {args.variants!r} names no codecs")
+            return 2
+        unknown = [v for v in variants if v not in list_codecs()]
+        if unknown:
+            print(
+                f"error: unknown codecs {unknown}; registered: "
+                f"{', '.join(list_codecs())}"
+            )
+            return 2
+    else:
+        variants = list_codecs()
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
     payload = run_compression_bench(
         device_specs=specs,
+        variants=variants,
         window_size=args.window_size,
         repeats=repeats,
         warmup=args.warmup,
@@ -284,6 +347,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "devices":
         print(_cmd_devices())
+    elif args.command == "codecs":
+        print(_cmd_codecs())
     elif args.command == "report":
         print(_cmd_report(args))
     elif args.command == "scalability":

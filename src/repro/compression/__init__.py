@@ -1,5 +1,12 @@
-"""Compression pipelines (DCT-N / DCT-W / int-DCT-W) and memory packing."""
+"""Compression pipeline, pluggable codec registry, and memory packing."""
 
+from repro.compression.codecs import (
+    Codec,
+    get_codec,
+    list_codecs,
+    register_codec,
+    resolve_codec,
+)
 from repro.compression.pipeline import (
     VARIANTS,
     DEFAULT_THRESHOLD,
@@ -47,6 +54,11 @@ from repro.compression.overlap import (
 )
 
 __all__ = [
+    "Codec",
+    "get_codec",
+    "list_codecs",
+    "register_codec",
+    "resolve_codec",
     "VARIANTS",
     "DEFAULT_THRESHOLD",
     "CompressedChannel",

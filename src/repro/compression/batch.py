@@ -8,10 +8,11 @@ every channel of every pulse into a single ``(n_windows, window_size)``
 matrix and runs each pipeline stage once:
 
 1. quantize all envelopes to int16 I/Q codes;
-2. one matmul against the cached DCT / integer-DCT matrix;
+2. one call into the codec's vectorized forward kernel (one matmul for
+   the DCT family, one pass of integer arithmetic for delta/dictionary);
 3. one vectorized hard-threshold (plus optional top-k cap);
 4. one vectorized trailing-zero reduction feeding the RLE encoder;
-5. one inverse matmul to reconstruct the as-played samples.
+5. one inverse block-kernel call to reconstruct the as-played samples.
 
 The result is a :class:`BatchCompressionResult` whose per-pulse entries
 are ordinary :class:`~repro.compression.pipeline.CompressionResult`
@@ -33,21 +34,18 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.compression.codecs import ensure_registered, resolve_codec
 from repro.compression.metrics import mean_squared_error
 from repro.compression.pipeline import (
     DEFAULT_THRESHOLD,
     CompressedChannel,
     CompressedWaveform,
     CompressionResult,
-    forward_transform_blocks,
-    inverse_transform_blocks,
-    _check_variant,
+    VariantLike,
 )
 from repro.compression.window import merge_windows, split_windows
 from repro.pulses.waveform import Waveform
-from repro.transforms.integer_dct import SUPPORTED_SIZES
 from repro.transforms.rle import rle_encode_blocks, rle_expand_blocks
-from repro.transforms.threshold import hard_threshold, top_k_blocks
 
 __all__ = [
     "BatchCompressionResult",
@@ -120,7 +118,7 @@ class BatchCompressionResult:
 def compress_batch(
     waveforms: Sequence[Waveform],
     window_size: int = 16,
-    variant: str = "int-DCT-W",
+    variant: VariantLike = "int-DCT-W",
     threshold: float = DEFAULT_THRESHOLD,
     max_coefficients: int = 0,
 ) -> BatchCompressionResult:
@@ -128,9 +126,10 @@ def compress_batch(
 
     Args:
         waveforms: The pulses to compress (e.g. a whole device library).
-        window_size: DCT window (8/16/32); ignored for DCT-N, which uses
-            each pulse's full length.
-        variant: "DCT-N", "DCT-W" or "int-DCT-W".
+        window_size: Codec window (8/16/32 for the DCT family); ignored
+            by full-frame codecs (DCT-N), which use each pulse's length.
+        variant: A registered codec name or a
+            :class:`~repro.compression.codecs.Codec` object.
         threshold: Hard threshold in integer coefficient units.
         max_coefficients: Optional per-window top-k cap.
 
@@ -139,7 +138,7 @@ def compress_batch(
         to per-pulse :func:`~repro.compression.pipeline.compress_waveform`
         calls with the same configuration.
     """
-    _check_variant(variant)
+    codec = ensure_registered(resolve_codec(variant))
     if not waveforms:
         raise CompressionError("cannot batch-compress an empty waveform list")
     if threshold < 0:
@@ -148,10 +147,8 @@ def compress_batch(
         raise CompressionError(
             f"max_coefficients must be >= 0, got {max_coefficients}"
         )
-    if variant != "DCT-N" and window_size not in SUPPORTED_SIZES:
-        raise CompressionError(
-            f"window size {window_size} not in {SUPPORTED_SIZES}"
-        )
+    if codec.windowed:
+        codec.check_window_size(window_size)
 
     # Quantize every envelope and split each channel into windows.  A
     # "channel" here is one of the 2 * n_pulses int16 streams; channels
@@ -161,16 +158,16 @@ def compress_batch(
     lengths: List[int] = []  # original sample count per channel
     pulse_window_sizes: List[int] = []
     for waveform in waveforms:
-        ws = waveform.n_samples if variant == "DCT-N" else window_size
+        ws = codec.resolve_window_size(waveform.n_samples, window_size)
         pulse_window_sizes.append(ws)
         i_codes, q_codes = waveform.to_fixed_point()
         channels.append(np.asarray(i_codes, dtype=np.int64))
         channels.append(np.asarray(q_codes, dtype=np.int64))
         lengths.extend([i_codes.size, q_codes.size])
 
-    # Group channels by window size (one group for windowed variants;
-    # one group per distinct pulse length for DCT-N), then run every
-    # pipeline stage once per group.
+    # Group channels by window size (one group for windowed codecs;
+    # one group per distinct pulse length for full-frame codecs), then
+    # run every pipeline stage once per group.
     groups: Dict[int, List[int]] = {}
     for index, codes in enumerate(channels):
         ws = pulse_window_sizes[index // 2]
@@ -185,12 +182,12 @@ def compress_batch(
         counts = [b.shape[0] for b in blocks_per_channel]
         stacked = np.vstack(blocks_per_channel)
 
-        coeffs = forward_transform_blocks(stacked, variant)
-        kept = hard_threshold(coeffs, threshold)
+        coeffs = codec.forward_blocks(stacked)
+        kept = codec.threshold_blocks(coeffs, threshold)
         if max_coefficients:
-            kept = top_k_blocks(kept, max_coefficients)
+            kept = codec.top_k_blocks(kept, max_coefficients)
         encoded = rle_encode_blocks(kept)
-        recon = inverse_transform_blocks(kept, variant)
+        recon = codec.inverse_blocks(kept)
 
         offset = 0
         for i, count in zip(indices, counts):
@@ -212,13 +209,13 @@ def compress_batch(
             dt=waveform.dt,
             i_channel=CompressedChannel(
                 windows=encoded_by_channel[i_index],
-                variant=variant,
+                variant=codec.name,
                 window_size=ws,
                 original_length=lengths[i_index],
             ),
             q_channel=CompressedChannel(
                 windows=encoded_by_channel[q_index],
-                variant=variant,
+                variant=codec.name,
                 window_size=ws,
                 original_length=lengths[q_index],
             ),
@@ -227,7 +224,7 @@ def compress_batch(
             np.clip(recon_by_channel[i_index], -32768, 32767).astype(np.int16),
             np.clip(recon_by_channel[q_index], -32768, 32767).astype(np.int16),
             dt=waveform.dt,
-            name=f"{waveform.name}~{variant}",
+            name=f"{waveform.name}~{codec.name}",
             gate=waveform.gate,
             qubits=waveform.qubits,
         )
@@ -241,7 +238,7 @@ def compress_batch(
         )
     return BatchCompressionResult(
         results=tuple(results),
-        variant=variant,
+        variant=codec.name,
         window_size=window_size,
         threshold=threshold,
     )
@@ -279,10 +276,11 @@ def decompress_channels(channels: Sequence[CompressedChannel]) -> List[np.ndarra
 
     codes: List[np.ndarray] = [None] * len(channels)
     for (ws, variant), indices in groups.items():
+        codec = resolve_codec(variant)
         counts = [channels[i].n_windows for i in indices]
         stacked_windows = [w for i in indices for w in channels[i].windows]
-        coeffs = rle_expand_blocks(stacked_windows, ws)
-        recon = inverse_transform_blocks(coeffs, variant)
+        coeffs = rle_expand_blocks(stacked_windows, codec.coeff_count(ws))
+        recon = codec.inverse_blocks(coeffs)
         offset = 0
         for i, count in zip(indices, counts):
             codes[i] = merge_windows(

@@ -21,9 +21,10 @@ the file format rounds up to 32 bits so the stream is byte-addressable.)
 A **waveform record** is::
 
     magic   b"CQW1"
-    u8      variant id (0 DCT-N, 1 DCT-W, 2 int-DCT-W)
+    u8      codec id (the codec's registered wire id: 0 DCT-N, 1 DCT-W,
+            2 int-DCT-W, 3 delta, 4 dictionary, ...)
     u8      flags (reserved, zero)
-    u32     window size (DCT-N: the full pulse length)
+    u32     window size (full-frame codecs: the whole pulse length)
     u16+s   name (utf-8, length-prefixed)
     u16+s   gate
     u8      qubit count, then u16 per qubit index
@@ -33,9 +34,21 @@ A **waveform record** is::
               u32 window count
               per window: u16 word-count header, then that many words
 
+A window must decode to exactly ``codec.coeff_count(window_size)``
+coefficient slots (``window_size`` for the DCT family and delta;
+``window_size + 1`` for the dictionary codec, whose leading slot is the
+per-window dictionary entry).
+
 A **library container** (magic ``b"CQL1"``) carries the device name and
 compile configuration, then one length-prefixed waveform record per
 entry together with its gate/qubit binding, MSE and threshold.
+
+**Versioning.**  The codec id byte is the registry's wire id
+(:func:`repro.compression.codecs.codec_for_wire_id`); ids 0..2 are the
+frozen v1 layout, so every pre-registry ``CQW1``/``CQL1`` blob parses
+byte-for-byte identically (a golden-bytes test pins this).  New codecs
+claim new ids; an id this build does not know raises
+:class:`~repro.errors.CompressionError` instead of guessing.
 
 Parsing is total: every malformed input -- truncation, bad magic, an
 unknown tag, a zero-run overflowing its window, payload after the
@@ -52,8 +65,8 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.errors import CompressionError
+from repro.compression.codecs import Codec, codec_for_wire_id, get_codec
 from repro.compression.pipeline import (
-    VARIANTS,
     CompressedChannel,
     CompressedWaveform,
 )
@@ -83,8 +96,21 @@ _PAYLOAD_MASK = 0xFFFF
 _TAG_MASK = 0x3
 _RESERVED_MASK = 0xFFFFFFFF ^ (_PAYLOAD_MASK | (_TAG_MASK << _TAG_SHIFT))
 
-_VARIANT_IDS = {variant: i for i, variant in enumerate(VARIANTS)}
-_VARIANT_NAMES = {i: variant for variant, i in _VARIANT_IDS.items()}
+
+def _codec_for_name(name: str) -> Codec:
+    """Resolve a codec name for serialization (must be registered)."""
+    try:
+        return get_codec(name)
+    except CompressionError:
+        raise CompressionError(f"unknown variant {name!r}") from None
+
+
+def _codec_for_id(wire_id: int) -> Codec:
+    """Resolve a parsed codec id (must be registered)."""
+    try:
+        return codec_for_wire_id(wire_id)
+    except CompressionError:
+        raise CompressionError(f"unknown variant id {wire_id}") from None
 
 
 # ---------------------------------------------------------------------------
@@ -209,7 +235,7 @@ def _write_window(writer: _Writer, window: EncodedWindow) -> None:
         writer.pack("I", word)
 
 
-def _read_window(reader: _Reader, window_size: int) -> EncodedWindow:
+def _read_window(reader: _Reader, decoded_size: int) -> EncodedWindow:
     n_words = reader.unpack("H", "window header")
     if n_words < 1:
         raise CompressionError("window header declares zero words")
@@ -230,9 +256,9 @@ def _read_window(reader: _Reader, window_size: int) -> EncodedWindow:
         else:
             raise CompressionError(f"unknown memory word tag {tag}")
     decoded = len(coeffs) + zero_run
-    if decoded != window_size:
+    if decoded != decoded_size:
         raise CompressionError(
-            f"window decodes to {decoded} samples, expected {window_size} "
+            f"window decodes to {decoded} samples, expected {decoded_size} "
             f"({len(coeffs)} coefficients + {zero_run}-zero run)"
         )
     return EncodedWindow(coeffs=tuple(coeffs), zero_run=zero_run)
@@ -246,7 +272,7 @@ def _write_channel(writer: _Writer, channel: CompressedChannel) -> None:
 
 
 def _read_channel(
-    reader: _Reader, variant: str, window_size: int
+    reader: _Reader, codec: Codec, window_size: int
 ) -> CompressedChannel:
     original_length = reader.unpack("I", "channel length")
     count = reader.unpack("I", "window count")
@@ -258,10 +284,11 @@ def _read_channel(
             f"{expected_n_windows(original_length, window_size)} windows "
             f"of {window_size}, stream declares {count}"
         )
-    windows = tuple(_read_window(reader, window_size) for _ in range(count))
+    decoded_size = codec.coeff_count(window_size)
+    windows = tuple(_read_window(reader, decoded_size) for _ in range(count))
     return CompressedChannel(
         windows=windows,
-        variant=variant,
+        variant=codec.name,
         window_size=window_size,
         original_length=original_length,
     )
@@ -274,8 +301,7 @@ def _read_channel(
 
 def serialize_waveform(compressed: CompressedWaveform) -> bytes:
     """Pack one compressed waveform into its canonical wire record."""
-    if compressed.variant not in _VARIANT_IDS:
-        raise CompressionError(f"unknown variant {compressed.variant!r}")
+    codec = _codec_for_name(compressed.variant)
     if compressed.i_channel.variant != compressed.q_channel.variant:
         raise CompressionError(
             f"I and Q channels disagree on variant: "
@@ -286,7 +312,7 @@ def serialize_waveform(compressed: CompressedWaveform) -> bytes:
         raise CompressionError("I and Q channels disagree on window size")
     writer = _Writer()
     writer.raw(WAVEFORM_MAGIC)
-    writer.pack("BB", _VARIANT_IDS[compressed.variant], 0)
+    writer.pack("BB", codec.wire_id, 0)
     writer.pack("I", compressed.window_size)
     writer.string(compressed.name)
     writer.string(compressed.gate)
@@ -305,11 +331,9 @@ def _read_waveform(reader: _Reader) -> CompressedWaveform:
     if reader.take(4, "waveform magic") != WAVEFORM_MAGIC:
         raise CompressionError("not a COMPAQT waveform bitstream (bad magic)")
     variant_id, flags = reader.unpack("BB", "waveform header")
-    if variant_id not in _VARIANT_NAMES:
-        raise CompressionError(f"unknown variant id {variant_id}")
+    codec = _codec_for_id(variant_id)
     if flags != 0:
         raise CompressionError(f"reserved flags 0x{flags:02x} set")
-    variant = _VARIANT_NAMES[variant_id]
     window_size = reader.unpack("I", "window size")
     if window_size < 1:
         raise CompressionError(f"window size must be >= 1, got {window_size}")
@@ -320,8 +344,8 @@ def _read_waveform(reader: _Reader) -> CompressedWaveform:
     dt = reader.unpack("d", "dt")
     if not dt > 0:
         raise CompressionError(f"dt must be positive, got {dt}")
-    i_channel = _read_channel(reader, variant, window_size)
-    q_channel = _read_channel(reader, variant, window_size)
+    i_channel = _read_channel(reader, codec, window_size)
+    q_channel = _read_channel(reader, codec, window_size)
     return CompressedWaveform(
         name=name,
         gate=gate,
@@ -375,11 +399,10 @@ class LibraryBitstream:
 
 def serialize_library(library: LibraryBitstream) -> bytes:
     """Pack a whole compiled library into one canonical container."""
-    if library.variant not in _VARIANT_IDS:
-        raise CompressionError(f"unknown variant {library.variant!r}")
+    codec = _codec_for_name(library.variant)
     writer = _Writer()
     writer.raw(LIBRARY_MAGIC)
-    writer.pack("BB", _VARIANT_IDS[library.variant], 0)
+    writer.pack("BB", codec.wire_id, 0)
     writer.pack("I", library.window_size)
     writer.string(library.device_name)
     writer.pack("I", len(library.entries))
@@ -422,11 +445,9 @@ def parse_library(data: bytes) -> LibraryBitstream:
     if reader.take(4, "library magic") != LIBRARY_MAGIC:
         raise CompressionError("not a COMPAQT library bitstream (bad magic)")
     variant_id, flags = reader.unpack("BB", "library header")
-    if variant_id not in _VARIANT_NAMES:
-        raise CompressionError(f"unknown variant id {variant_id}")
+    variant = _codec_for_id(variant_id).name
     if flags != 0:
         raise CompressionError(f"reserved flags 0x{flags:02x} set")
-    variant = _VARIANT_NAMES[variant_id]
     window_size = reader.unpack("I", "window size")
     device_name = reader.string("device name")
     n_entries = reader.unpack("I", "entry count")

@@ -1,0 +1,133 @@
+"""The dictionary codec: per-window mode dictionary plus residuals.
+
+This promotes the paper's dictionary baseline (the hit-rate study in
+:mod:`repro.transforms.dictionary`) to a first-class pipeline codec.
+Each window carries a one-entry dictionary -- its most frequent sample
+value -- in the leading coefficient slot, followed by every sample's
+residual against that entry, wrapped into the 16-bit payload with
+modular arithmetic:
+
+    coeffs[0]   = mode(block)            (the dictionary entry)
+    coeffs[1+j] = wrap16(block[j] - mode)
+
+Samples equal to the dictionary entry become zero residuals, so
+constant tails (the zero run after a pulse, a flat-top plateau) fold
+into one RLE codeword; thresholding additionally snaps near-entry
+samples onto the entry, the classic lossy dictionary substitution.
+Because stored residuals are wrapped, the threshold cut is made on the
+**un-wrapped** distance to the entry
+(:meth:`DictionaryCodec.threshold_blocks`), and the entry slot itself
+is exempt -- zeroing it would re-base every wrapped residual and alias
+far samples across the int16 boundary.  The
+entry itself costs one extra stored word per window
+(``coeff_count = window_size + 1``) -- the dictionary overhead the
+paper charges this scheme -- so windows with "arbitrary values, which
+rarely repeat" *expand*, mechanizing Section IV-B's verdict while still
+round-tripping losslessly at threshold 0.
+
+Ties for the most frequent value break toward the smallest value, so
+the transform is deterministic and the scalar and batched kernels are
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.codecs.base import Codec, wrap_int16
+from repro.transforms.threshold import top_k_blocks
+
+__all__ = ["DictionaryCodec"]
+
+
+def _row_modes(blocks: np.ndarray) -> np.ndarray:
+    """Most frequent value of each row; ties break to the smallest value.
+
+    Vectorized over rows: sort each row, measure run lengths, and pick
+    the value whose run is longest (``argmax`` returns the first --
+    i.e. smallest, since rows are sorted ascending -- maximal run).
+    """
+    ordered = np.sort(blocks, axis=1)
+    n, width = ordered.shape
+    index = np.arange(width)
+    starts_here = np.ones((n, width), dtype=bool)
+    starts_here[:, 1:] = ordered[:, 1:] != ordered[:, :-1]
+    run_start = np.maximum.accumulate(np.where(starts_here, index, 0), axis=1)
+    ends_here = np.ones((n, width), dtype=bool)
+    ends_here[:, :-1] = starts_here[:, 1:]
+    run_lengths = np.where(ends_here, index - run_start + 1, 0)
+    best = np.argmax(run_lengths, axis=1)
+    return ordered[np.arange(n), best]
+
+
+class DictionaryCodec(Codec):
+    """Per-window one-entry frequency dictionary with wrapped residuals."""
+
+    name = "dictionary"
+    wire_id = 4
+    windowed = True
+    batchable = True
+    exact_rational_rows = False
+    lossless = True
+    supported_window_sizes = None  # any window length >= 1
+
+    def coeff_count(self, window_size: int) -> int:
+        """One slot for the dictionary entry plus one residual per sample."""
+        return window_size + 1
+
+    def forward(self, block: np.ndarray) -> np.ndarray:
+        block = self._require_1d(block, "window")
+        return self.forward_blocks(block.reshape(1, -1))[0]
+
+    def inverse(self, coeffs: np.ndarray) -> np.ndarray:
+        coeffs = self._require_1d(coeffs, "coefficient window")
+        return self.inverse_blocks(coeffs.reshape(1, -1))[0]
+
+    def forward_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        blocks = self._require_2d(blocks, "blocks")
+        modes = _row_modes(blocks)
+        out = np.empty((blocks.shape[0], blocks.shape[1] + 1), dtype=np.int64)
+        out[:, 0] = wrap_int16(modes)
+        out[:, 1:] = wrap_int16(blocks - modes[:, None])
+        return out
+
+    def inverse_blocks(self, coeffs: np.ndarray) -> np.ndarray:
+        coeffs = self._require_2d(coeffs, "coefficients")
+        return wrap_int16(coeffs[:, :1] + coeffs[:, 1:])
+
+    def _true_residuals(self, coeffs: np.ndarray) -> np.ndarray:
+        """Un-wrapped per-sample distance to the window's entry."""
+        return self.inverse_blocks(coeffs) - wrap_int16(coeffs[:, :1])
+
+    def threshold_blocks(
+        self, coeffs: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Threshold residuals on their un-wrapped distance to the entry.
+
+        A sample 40000 codes away from the dictionary entry stores the
+        wrapped residual -25536; the cut must see the true 40000, not
+        the wrapped word, or near-boundary samples get snapped onto the
+        entry from across the range.  The entry slot (column 0) is never
+        thresholded: it is the dictionary, not a coefficient, and every
+        residual in the window is relative to it.
+        """
+        coeffs = self._require_2d(coeffs, "coefficients")
+        self._check_threshold(threshold)
+        out = coeffs.copy()
+        out[:, 1:][np.abs(self._true_residuals(coeffs)) < threshold] = 0
+        return out
+
+    def top_k_blocks(
+        self, coeffs: np.ndarray, max_coefficients: int
+    ) -> np.ndarray:
+        """Top-k by un-wrapped residual magnitude; the entry never drops.
+
+        The entry slot ranks above every residual (it re-bases the whole
+        window), so it counts as one of the k kept words and the cap
+        still bounds each window's non-zero count.
+        """
+        coeffs = self._require_2d(coeffs, "coefficients")
+        rank = np.empty_like(coeffs)
+        rank[:, 0] = np.iinfo(np.int64).max  # the entry outranks everything
+        rank[:, 1:] = np.abs(self._true_residuals(coeffs))
+        return top_k_blocks(coeffs, max_coefficients, rank=rank)

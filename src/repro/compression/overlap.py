@@ -25,15 +25,15 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.compression.codecs import ensure_registered, resolve_codec
 from repro.compression.metrics import mean_squared_error
 from repro.compression.pipeline import (
+    VariantLike,
     forward_transform,
     inverse_transform,
-    _check_variant,
 )
 from repro.pulses.waveform import Waveform
 from repro.transforms.rle import EncodedWindow, rle_encode_window, rle_decode_window
-from repro.transforms.threshold import hard_threshold
 
 __all__ = [
     "OverlappingChannel",
@@ -108,14 +108,21 @@ def _crossfade(window_size: int) -> np.ndarray:
 def compress_channel_overlapping(
     codes: np.ndarray,
     window_size: int,
-    variant: str = "int-DCT-W",
+    variant: VariantLike = "int-DCT-W",
     threshold: float = 128,
     max_coefficients: int = 0,
 ) -> OverlappingChannel:
     """Compress one integer channel with 50%-overlapping windows."""
-    _check_variant(variant)
-    if variant == "DCT-N":
+    codec = ensure_registered(resolve_codec(variant))
+    if not codec.windowed:
         raise CompressionError("overlap requires a windowed variant")
+    if threshold < 0:
+        raise CompressionError(f"threshold must be >= 0, got {threshold}")
+    if max_coefficients < 0:
+        raise CompressionError(
+            f"max_coefficients must be >= 0, got {max_coefficients}"
+        )
+    variant = codec.name
     if window_size % 2:
         raise CompressionError(f"window size must be even, got {window_size}")
     codes = np.asarray(codes, dtype=np.int64)
@@ -126,12 +133,11 @@ def compress_channel_overlapping(
         block = np.zeros(window_size, dtype=np.int64)
         chunk = codes[start : start + window_size]
         block[: chunk.size] = chunk
-        coeffs = forward_transform(block, variant)
-        kept = hard_threshold(coeffs, threshold)
-        if max_coefficients and np.count_nonzero(kept) > max_coefficients:
-            order = np.argsort(np.abs(kept))
-            kept[order[: kept.size - max_coefficients]] = 0
-        encoded.append(rle_encode_window(kept))
+        coeffs = forward_transform(block, codec)
+        kept = codec.threshold_blocks(coeffs.reshape(1, -1), threshold)
+        if max_coefficients:
+            kept = codec.top_k_blocks(kept, max_coefficients)
+        encoded.append(rle_encode_window(kept[0]))
     return OverlappingChannel(
         windows=tuple(encoded),
         variant=variant,
@@ -166,7 +172,7 @@ def decompress_channel_overlapping(channel: OverlappingChannel) -> np.ndarray:
 def compress_waveform_overlapping(
     waveform: Waveform,
     window_size: int = 8,
-    variant: str = "int-DCT-W",
+    variant: VariantLike = "int-DCT-W",
     threshold: float = 128,
     max_coefficients: int = 0,
 ) -> OverlappingCompressionResult:

@@ -1,11 +1,16 @@
-"""The COMPAQT compression pipelines: DCT-N, DCT-W, int-DCT-W.
+"""The COMPAQT compression pipeline over pluggable codecs.
+
+Variant dispatch lives in :mod:`repro.compression.codecs`: any
+registered codec (the DCT family of Table II, delta, dictionary, or a
+third-party registration) flows through the same window / threshold /
+RLE machinery below.
 
 Compression (software, compile time -- Section IV-C):
 
 1. quantize the float envelope to 16-bit I/Q codes (memory contents);
-2. per window: transform (float DCT or integer DCT), storing
-   coefficients at 16-bit width with a ``1/sqrt(N)`` fixed-point
-   convention so any window content fits;
+2. per window: the codec's forward transform, storing coefficients at
+   16-bit width (the DCT family uses a ``1/sqrt(N)`` fixed-point
+   convention so any window content fits);
 3. hard-threshold small coefficients to zero;
 4. fold the trailing zero run of each window into one RLE codeword.
 
@@ -21,27 +26,17 @@ the I and Q occupancies.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.compression.codecs import Codec, ensure_registered, resolve_codec
 from repro.compression.metrics import compression_ratio, mean_squared_error
 from repro.compression.window import merge_windows, split_windows
 from repro.pulses.waveform import Waveform
-from repro.transforms.dct import dct_matrix
-from repro.transforms.integer_dct import (
-    SUPPORTED_SIZES,
-    int_dct,
-    int_dct_blocks,
-    int_idct,
-    int_idct_blocks,
-)
 from repro.transforms.rle import EncodedWindow, rle_encode_window
-from repro.transforms.threshold import hard_threshold
 
 __all__ = [
     "VARIANTS",
@@ -59,8 +54,13 @@ __all__ = [
     "inverse_transform_blocks",
 ]
 
-#: Supported pipeline variants (Table II).
+#: The paper's Table II DCT variants.  Kept as a back-compat constant;
+#: the codec registry (:func:`repro.compression.codecs.list_codecs`) is
+#: the authoritative catalog and also carries delta and dictionary.
 VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W")
+
+#: A codec argument: a registry name or a first-class Codec object.
+VariantLike = Union[str, Codec]
 
 #: Default hard threshold in integer-coefficient units (16-bit codes).
 #: 128 codes (~0.4% of full scale) keeps every IBM-library window at
@@ -191,7 +191,7 @@ class CompressionResult:
 def compress_channel(
     codes: np.ndarray,
     window_size: int,
-    variant: str,
+    variant: VariantLike,
     threshold: float,
     max_coefficients: int = 0,
 ) -> CompressedChannel:
@@ -199,8 +199,9 @@ def compress_channel(
 
     Args:
         codes: Quantized samples (int16 range).
-        window_size: Window length; for DCT-N pass the channel length.
-        variant: One of :data:`VARIANTS`.
+        window_size: Window length; for a full-frame codec (DCT-N) pass
+            the channel length.
+        variant: A registered codec name or a :class:`Codec` object.
         threshold: Hard threshold in coefficient units.
         max_coefficients: If positive, additionally keep only the k
             largest-magnitude coefficients per window.  This enforces a
@@ -208,24 +209,25 @@ def compress_channel(
             fixed input-buffer design) at the cost of extra distortion
             -- the mechanism behind Fig 15's WS=8 fidelity losses.
     """
-    _check_variant(variant)
+    codec = ensure_registered(resolve_codec(variant))
     if max_coefficients < 0:
         raise CompressionError(
             f"max_coefficients must be >= 0, got {max_coefficients}"
         )
+    if threshold < 0:
+        raise CompressionError(f"threshold must be >= 0, got {threshold}")
     codes = np.asarray(codes, dtype=np.int64)
     blocks = split_windows(codes, window_size)
     encoded: List[EncodedWindow] = []
     for block in blocks:
-        coeffs = _forward(block, variant)
-        kept = hard_threshold(coeffs, threshold)
-        if max_coefficients and np.count_nonzero(kept) > max_coefficients:
-            order = np.argsort(np.abs(kept))
-            kept[order[: kept.size - max_coefficients]] = 0
-        encoded.append(rle_encode_window(kept))
+        coeffs = codec.forward(block)
+        kept = codec.threshold_blocks(coeffs.reshape(1, -1), threshold)
+        if max_coefficients:
+            kept = codec.top_k_blocks(kept, max_coefficients)
+        encoded.append(rle_encode_window(kept[0]))
     return CompressedChannel(
         windows=tuple(encoded),
-        variant=variant,
+        variant=codec.name,
         window_size=window_size,
         original_length=int(codes.size),
     )
@@ -233,12 +235,12 @@ def compress_channel(
 
 def decompress_channel(channel: CompressedChannel) -> np.ndarray:
     """Reconstruct the int16 sample codes of one channel."""
+    codec = resolve_codec(channel.variant)
+    width = codec.coeff_count(channel.window_size)
     blocks = []
     for window in channel.windows:
-        coeffs = np.zeros(channel.window_size, dtype=np.int64)
-        expanded = _expand_window(window, channel.window_size)
-        coeffs[: expanded.size] = expanded
-        blocks.append(_inverse(coeffs, channel.variant))
+        # _expand_window returns the full zero-padded width-length vector.
+        blocks.append(codec.inverse(_expand_window(window, width)))
     return merge_windows(np.asarray(blocks), channel.original_length)
 
 
@@ -260,7 +262,7 @@ def _expand_window(window: EncodedWindow, window_size: int) -> np.ndarray:
 def compress_waveform(
     waveform: Waveform,
     window_size: int = 16,
-    variant: str = "int-DCT-W",
+    variant: VariantLike = "int-DCT-W",
     threshold: float = DEFAULT_THRESHOLD,
     max_coefficients: int = 0,
 ) -> CompressionResult:
@@ -268,9 +270,10 @@ def compress_waveform(
 
     Args:
         waveform: The pulse to compress.
-        window_size: DCT window (8/16/32); ignored for DCT-N, which uses
-            the full waveform length.
-        variant: "DCT-N", "DCT-W" or "int-DCT-W".
+        window_size: Codec window (8/16/32 for the DCT family); ignored
+            by full-frame codecs (DCT-N), which use the waveform length.
+        variant: A registered codec name (``"int-DCT-W"``, ``"delta"``,
+            ...) or a :class:`~repro.compression.codecs.Codec` object.
         threshold: Hard threshold in integer coefficient units.
         max_coefficients: Optional per-window top-k cap (see
             :func:`compress_channel`).
@@ -279,21 +282,17 @@ def compress_waveform(
         A :class:`CompressionResult` carrying the compressed form, the
         decompressed (as-played) waveform, MSE and R.
     """
-    _check_variant(variant)
-    if variant == "DCT-N":
-        window_size = waveform.n_samples
-    elif window_size not in SUPPORTED_SIZES:
-        raise CompressionError(
-            f"window size {window_size} not in {SUPPORTED_SIZES}"
-        )
+    codec = resolve_codec(variant)
+    window_size = codec.resolve_window_size(waveform.n_samples, window_size)
+    codec.check_window_size(window_size)
     if threshold < 0:
         raise CompressionError(f"threshold must be >= 0, got {threshold}")
     i_codes, q_codes = waveform.to_fixed_point()
     i_channel = compress_channel(
-        i_codes, window_size, variant, threshold, max_coefficients
+        i_codes, window_size, codec, threshold, max_coefficients
     )
     q_channel = compress_channel(
-        q_codes, window_size, variant, threshold, max_coefficients
+        q_codes, window_size, codec, threshold, max_coefficients
     )
     compressed = CompressedWaveform(
         name=waveform.name,
@@ -332,150 +331,34 @@ def decompress_waveform(compressed: CompressedWaveform) -> Waveform:
 
 
 # ---------------------------------------------------------------------------
-# Transforms with a common 16-bit fixed-point convention.
+# Transform entry points, kept for API stability.
 #
-# Stored coefficients approximate ``DCT(x) / sqrt(N)``, which is bounded
-# by ``max|x|`` (Cauchy-Schwarz), so every window fits 16-bit storage.
-# The integer path realizes the same convention through the HEVC forward
-# shift of ``6 + log2(N)`` bits.
+# All dispatch lives in :mod:`repro.compression.codecs`; these wrappers
+# resolve the codec (name or object) and delegate to its kernels.  The
+# cycle-level microarchitecture reuses them so the hardware model is
+# bit-identical to the functional codec.
 # ---------------------------------------------------------------------------
 
 
-def _forward(block: np.ndarray, variant: str) -> np.ndarray:
-    n = block.size
-    if variant == "int-DCT-W":
-        if n not in SUPPORTED_SIZES:
-            raise CompressionError(
-                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
-            )
-        return int_dct(block).astype(np.int64)
-    matrix = dct_matrix(n)
-    coeffs = (matrix @ block.astype(np.float64)) / math.sqrt(n)
-    out = np.rint(coeffs).astype(np.int64)
-    _fix_rational_rows(block.reshape(1, -1), out.reshape(1, -1))
-    return out
+def forward_transform(block: np.ndarray, variant: VariantLike) -> np.ndarray:
+    """Public forward transform in the common 16-bit convention."""
+    return resolve_codec(variant).forward(np.asarray(block, dtype=np.int64))
 
 
-def _inverse(coeffs: np.ndarray, variant: str) -> np.ndarray:
-    n = coeffs.size
-    if variant == "int-DCT-W":
-        if n not in SUPPORTED_SIZES:
-            raise CompressionError(
-                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
-            )
-        return int_idct(coeffs).astype(np.int64)
-    matrix = dct_matrix(n)
-    samples = matrix.T @ (coeffs.astype(np.float64) * math.sqrt(n))
-    return np.rint(samples).astype(np.int64)
-
-
-def _rint_div_exact(s: np.ndarray, n: int) -> np.ndarray:
-    """Round-half-even of ``s / n`` in exact integer arithmetic."""
-    q, r = np.divmod(s, n)
-    twice = 2 * r
-    round_up = (twice > n) | ((twice == n) & (q % 2 != 0))
-    return q + round_up
-
-
-@lru_cache(maxsize=64)
-def _nyquist_signs(n: int) -> np.ndarray:
-    """Sign pattern of the DCT's Nyquist row: cos(pi*(2j+1)/4) signs."""
-    j = np.arange(n) % 4
-    signs = np.where((j == 0) | (j == 3), 1, -1).astype(np.int64)
-    signs.setflags(write=False)
-    return signs
-
-
-def _fix_rational_rows(blocks: np.ndarray, out: np.ndarray) -> None:
-    """Recompute the exactly-rational coefficient rows in integer math.
-
-    In the stored convention ``DCT(x) / sqrt(N)``, the DC coefficient is
-    exactly ``sum(x) / N`` and (for even N) the Nyquist coefficient is
-    exactly ``sum(+-x) / N`` -- both can land exactly on a rounding
-    half-point, where the float matmul's last-ulp error (which differs
-    between BLAS gemv and gemm kernels) would flip ``rint``.  Computing
-    the two rows exactly keeps scalar and batched streams bit-identical
-    on any BLAS.  ``out`` is modified in place; rows are coefficient
-    columns of the ``(n_windows, N)`` layout.
-    """
-    n = blocks.shape[1]
-    out[:, 0] = _rint_div_exact(blocks.sum(axis=1), n)
-    if n % 2 == 0:
-        out[:, n // 2] = _rint_div_exact(blocks @ _nyquist_signs(n), n)
-
-
-def _check_variant(variant: str) -> None:
-    if variant not in VARIANTS:
-        raise CompressionError(
-            f"unknown variant {variant!r}; expected one of {VARIANTS}"
-        )
-
-
-def forward_transform(block: np.ndarray, variant: str) -> np.ndarray:
-    """Public forward transform in the common 16-bit convention.
-
-    The cycle-level microarchitecture reuses this so the hardware model
-    is bit-identical to the functional codec.
-    """
-    _check_variant(variant)
-    return _forward(np.asarray(block, dtype=np.int64), variant)
-
-
-def inverse_transform(coeffs: np.ndarray, variant: str) -> np.ndarray:
+def inverse_transform(coeffs: np.ndarray, variant: VariantLike) -> np.ndarray:
     """Public inverse transform (what the IDCT engine computes)."""
-    _check_variant(variant)
-    return _inverse(np.asarray(coeffs, dtype=np.int64), variant)
+    return resolve_codec(variant).inverse(np.asarray(coeffs, dtype=np.int64))
 
 
-# ---------------------------------------------------------------------------
-# Batched (row-wise) transforms: one matmul for a whole window matrix.
-#
-# These apply the same fixed-point convention as the scalar `_forward` /
-# `_inverse` pair, but to a ``(n_windows, window_size)`` matrix in a
-# single pass.  The integer path is exact, so it is bit-identical to the
-# scalar reference by construction; the float path performs the same
-# dot products in float64 and is verified bit-identical by the parity
-# test suite.
-# ---------------------------------------------------------------------------
-
-
-def forward_transform_blocks(blocks: np.ndarray, variant: str) -> np.ndarray:
+def forward_transform_blocks(
+    blocks: np.ndarray, variant: VariantLike
+) -> np.ndarray:
     """Row-wise :func:`forward_transform` of a window matrix (int64 out)."""
-    _check_variant(variant)
-    blocks = np.asarray(blocks)
-    if blocks.ndim != 2:
-        raise CompressionError(
-            f"expected (n_windows, ws) blocks, got shape {blocks.shape}"
-        )
-    n = blocks.shape[1]
-    if variant == "int-DCT-W":
-        if n not in SUPPORTED_SIZES:
-            raise CompressionError(
-                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
-            )
-        return int_dct_blocks(blocks).astype(np.int64)
-    matrix = dct_matrix(n)
-    coeffs = (blocks.astype(np.float64) @ matrix.T) / math.sqrt(n)
-    out = np.rint(coeffs).astype(np.int64)
-    _fix_rational_rows(np.asarray(blocks, dtype=np.int64), out)
-    return out
+    return resolve_codec(variant).forward_blocks(blocks)
 
 
-def inverse_transform_blocks(coeffs: np.ndarray, variant: str) -> np.ndarray:
+def inverse_transform_blocks(
+    coeffs: np.ndarray, variant: VariantLike
+) -> np.ndarray:
     """Row-wise :func:`inverse_transform` of a coefficient matrix."""
-    _check_variant(variant)
-    coeffs = np.asarray(coeffs)
-    if coeffs.ndim != 2:
-        raise CompressionError(
-            f"expected (n_windows, ws) coefficients, got shape {coeffs.shape}"
-        )
-    n = coeffs.shape[1]
-    if variant == "int-DCT-W":
-        if n not in SUPPORTED_SIZES:
-            raise CompressionError(
-                f"int-DCT-W needs a window in {SUPPORTED_SIZES}, got {n}"
-            )
-        return int_idct_blocks(coeffs).astype(np.int64)
-    matrix = dct_matrix(n)
-    samples = (coeffs.astype(np.float64) * math.sqrt(n)) @ matrix
-    return np.rint(samples).astype(np.int64)
+    return resolve_codec(variant).inverse_blocks(coeffs)

@@ -19,9 +19,11 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.compression.codecs import resolve_codec
 from repro.compression.metrics import mean_squared_error
 from repro.compression.pipeline import (
     CompressedChannel,
+    VariantLike,
     compress_channel,
     decompress_channel,
 )
@@ -119,7 +121,7 @@ class AdaptiveCompressionResult:
 def adaptive_compress(
     waveform: Waveform,
     window_size: int = 16,
-    variant: str = "int-DCT-W",
+    variant: VariantLike = "int-DCT-W",
     threshold: float = 128,
     min_plateau_windows: int = 2,
 ) -> AdaptiveCompressionResult:
@@ -132,8 +134,9 @@ def adaptive_compress(
 
     Args:
         waveform: Pulse to compress (flat-top pulses benefit most).
-        window_size: DCT window for the ramp segments.
-        variant: Transform variant for the ramp segments.
+        window_size: Codec window for the ramp segments.
+        variant: Codec (registry name or object) for the ramp segments;
+            must be a windowed codec.
         threshold: Hard threshold for the ramp segments.
         min_plateau_windows: Minimum plateau length, in windows, worth a
             repeat codeword.
@@ -142,6 +145,12 @@ def adaptive_compress(
         raise CompressionError(
             f"min_plateau_windows must be >= 1, got {min_plateau_windows}"
         )
+    codec = resolve_codec(variant)
+    if not codec.windowed:
+        raise CompressionError(
+            f"adaptive compression needs a windowed codec, got {codec.name!r}"
+        )
+    variant = codec
     i_codes, q_codes = waveform.to_fixed_point()
     plateau = _find_plateau(
         i_codes, q_codes, window_size, min_plateau_windows * window_size
@@ -207,7 +216,7 @@ def _window_segment(
     i_codes: np.ndarray,
     q_codes: np.ndarray,
     window_size: int,
-    variant: str,
+    variant: VariantLike,
     threshold: float,
 ) -> WindowSegment:
     return WindowSegment(

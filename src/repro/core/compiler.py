@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import CompressionError, DeviceError
 from repro.compression.batch import compress_batch, decompress_batch
+from repro.compression.codecs import resolve_codec
 from repro.compression.bitstream import (
     LibraryBitstream,
     LibraryEntry,
@@ -25,6 +26,7 @@ from repro.compression.bitstream import (
 )
 from repro.compression.pipeline import (
     CompressionResult,
+    VariantLike,
     DEFAULT_THRESHOLD,
     compress_waveform,
 )
@@ -229,8 +231,11 @@ class CompaqtCompiler:
     """Compile-time waveform compressor (one configuration, many pulses).
 
     Args:
-        window_size: DCT window (8/16/32; ignored by DCT-N).
-        variant: "DCT-N", "DCT-W" or "int-DCT-W".
+        window_size: Codec window (8/16/32 for the DCT family; ignored
+            by full-frame codecs such as DCT-N).
+        variant: A registered codec name (``"int-DCT-W"``, ``"delta"``,
+            ...) or a first-class
+            :class:`~repro.compression.codecs.Codec` object.
         threshold: Fixed hard threshold (coefficient codes) when
             fidelity-aware search is off.
         fidelity_aware: Enable Algorithm 1's per-pulse threshold search.
@@ -239,12 +244,17 @@ class CompaqtCompiler:
             engine (one matmul per library instead of one per window).
             Bit-identical to the scalar path; set False to force the
             per-window reference implementation.
+
+    Attributes:
+        codec: The resolved :class:`~repro.compression.codecs.Codec`.
+        variant: Its canonical name (kept for library metadata and
+            back-compat with the string API).
     """
 
     def __init__(
         self,
         window_size: int = 16,
-        variant: str = "int-DCT-W",
+        variant: VariantLike = "int-DCT-W",
         threshold: float = DEFAULT_THRESHOLD,
         fidelity_aware: bool = False,
         target_mse: float = DEFAULT_TARGET_MSE,
@@ -252,7 +262,8 @@ class CompaqtCompiler:
         batched: bool = True,
     ) -> None:
         self.window_size = window_size
-        self.variant = variant
+        self.codec = resolve_codec(variant)
+        self.variant = self.codec.name
         self.threshold = threshold
         self.fidelity_aware = fidelity_aware
         self.target_mse = target_mse
@@ -266,12 +277,12 @@ class CompaqtCompiler:
                 waveform,
                 target_mse=self.target_mse,
                 window_size=self.window_size,
-                variant=self.variant,
+                variant=self.codec,
             )
         return compress_waveform(
             waveform,
             window_size=self.window_size,
-            variant=self.variant,
+            variant=self.codec,
             threshold=self.threshold,
             max_coefficients=self.max_coefficients,
         )
@@ -296,7 +307,7 @@ class CompaqtCompiler:
             batch = compress_batch(
                 [library.waveform(*key) for key in keys],
                 window_size=self.window_size,
-                variant=self.variant,
+                variant=self.codec,
                 threshold=self.threshold,
                 max_coefficients=self.max_coefficients,
             )

@@ -12,7 +12,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import CompressionError
-from repro.compression.pipeline import CompressionResult, compress_waveform
+from repro.compression.codecs import resolve_codec
+from repro.compression.pipeline import (
+    CompressionResult,
+    VariantLike,
+    compress_waveform,
+)
 from repro.pulses.waveform import Waveform
 
 __all__ = ["fidelity_aware_compress", "DEFAULT_TARGET_MSE"]
@@ -30,7 +35,7 @@ def fidelity_aware_compress(
     waveform: Waveform,
     target_mse: float = DEFAULT_TARGET_MSE,
     window_size: int = 16,
-    variant: str = "int-DCT-W",
+    variant: VariantLike = "int-DCT-W",
     initial_threshold: Optional[float] = None,
 ) -> CompressionResult:
     """Compress ``waveform`` with the largest threshold meeting the target.
@@ -43,8 +48,10 @@ def fidelity_aware_compress(
     Args:
         waveform: Pulse to compress.
         target_mse: The ε of Algorithm 1.
-        window_size: DCT window size.
-        variant: Compression variant (int-DCT-W in the paper).
+        window_size: Codec window size.
+        variant: Codec to search over -- a registry name or a
+            :class:`~repro.compression.codecs.Codec` object
+            (int-DCT-W in the paper).
         initial_threshold: Starting threshold in coefficient codes;
             defaults to 1/8 of full scale.
 
@@ -57,6 +64,7 @@ def fidelity_aware_compress(
     """
     if target_mse <= 0:
         raise CompressionError(f"target MSE must be positive, got {target_mse}")
+    variant = resolve_codec(variant)
     threshold = float(initial_threshold) if initial_threshold else 4096.0
     while threshold >= _MIN_THRESHOLD:
         result = compress_waveform(

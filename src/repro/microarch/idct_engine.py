@@ -40,7 +40,8 @@ class IdctEngine:
     def __post_init__(self) -> None:
         if self.variant not in ("int-DCT-W", "DCT-W"):
             raise CompressionError(
-                f"IDCT engine variant must be windowed, got {self.variant!r}"
+                f"IDCT engine needs a windowed DCT codec "
+                f"(int-DCT-W or DCT-W), got {self.variant!r}"
             )
         self._ops = idct_op_counts(self.window_size, self.variant)
 

@@ -1,8 +1,10 @@
 """Encode/decode/bitstream benchmark with machine-readable output.
 
 This is the repo's perf baseline: for every requested device (IBM
-heavy-hex family, Google grid, fluxonium) and every pipeline variant it
-measures three pipelines over a full pulse-library compile:
+heavy-hex family, Google grid, fluxonium) and every registered codec
+(all five built-ins by default -- the DCT family plus delta and
+dictionary) it measures three pipelines over a full pulse-library
+compile:
 
 * **encode** -- the per-window scalar reference vs the vectorized batch
   engine (PR 1), with a bit-identity parity check between the two;
@@ -35,7 +37,8 @@ from repro.errors import DeviceError
 from repro.analysis.report import render_table
 from repro.compression.batch import decompress_batch
 from repro.compression.bitstream import parse_library, serialize_library
-from repro.compression.pipeline import VARIANTS, decompress_waveform
+from repro.compression.codecs import list_codecs
+from repro.compression.pipeline import decompress_waveform
 from repro.core.compiler import CompaqtCompiler, CompressedPulseLibrary
 from repro.devices import IBM_DEVICE_NAMES, fluxonium_device, google_device, ibm_device
 from repro.perf.runner import TimingStats, time_callable
@@ -53,7 +56,7 @@ __all__ = [
     "write_bench_json",
 ]
 
-BENCH_SCHEMA = "compaqt-bench-compression/v2"
+BENCH_SCHEMA = "compaqt-bench-compression/v3"
 
 #: What to measure: the full pipeline, or just one side of the codec.
 BENCH_MODES = ("all", "encode", "decode")
@@ -187,7 +190,7 @@ def _bench_bitstream(compiled, repeats: int, warmup: int) -> Dict:
 
 def run_compression_bench(
     device_specs: Sequence[str] = QUICK_DEVICE_SPECS,
-    variants: Sequence[str] = VARIANTS,
+    variants: Optional[Sequence[str]] = None,
     window_size: int = 16,
     repeats: int = 3,
     warmup: int = 1,
@@ -197,15 +200,20 @@ def run_compression_bench(
     """Run the encode/decode/bitstream library benchmark.
 
     Args:
+        variants: Codec names to measure; defaults to every registered
+            codec (``repro codecs``).
         mode: ``"all"`` measures everything; ``"encode"`` times only the
             compile side; ``"decode"`` skips the (slow) scalar compile
             timing and measures playback and the wire format.
 
     Returns the machine-readable payload (plain dicts/lists/floats, JSON
-    serializable as-is).  The ``summary`` gates --
-    ``all_parity_ok``, ``all_decode_parity_ok``, ``all_roundtrip_ok`` --
-    are the bit-identity verdicts CI fails on.
+    serializable as-is; schema v3 adds the per-codec ``codecs``
+    aggregation).  The ``summary`` gates -- ``all_parity_ok``,
+    ``all_decode_parity_ok``, ``all_roundtrip_ok`` -- are the
+    bit-identity verdicts CI fails on.
     """
+    if variants is None:
+        variants = tuple(list_codecs())
     if not device_specs:
         raise DeviceError("bench needs at least one device spec")
     if not variants:
@@ -252,15 +260,43 @@ def run_compression_bench(
                 entry["bitstream"] = _bench_bitstream(compiled, repeats, warmup)
             entries.append(entry)
 
-    def _gate(section: str, key: str) -> bool:
-        checked = [e[section][key] for e in entries if e[section] is not None]
+    def _gate(rows: List[Dict], section: str, key: str) -> bool:
+        checked = [e[section][key] for e in rows if e[section] is not None]
         return all(checked) if checked else True
 
-    def _speedups(section: str) -> List[float]:
-        return [e[section]["speedup"] for e in entries if e[section] is not None]
+    def _speedups(rows: List[Dict], section: str) -> List[float]:
+        return [e[section]["speedup"] for e in rows if e[section] is not None]
 
-    encode_speedups = _speedups("encode")
-    decode_speedups = _speedups("decode")
+    # Per-codec aggregation (schema v3): one encode/decode/bitstream
+    # roll-up per registered codec so CI legs and later PRs can gate on
+    # a single scheme without re-deriving it from the entry list.
+    codecs_section: Dict[str, Dict] = {}
+    for variant in variants:
+        rows = [e for e in entries if e["variant"] == variant]
+        enc, dec = _speedups(rows, "encode"), _speedups(rows, "decode")
+        codecs_section[variant] = {
+            "n_entries": len(rows),
+            "encode": {
+                "parity_ok": _gate(rows, "encode", "parity"),
+                "min_speedup": min(enc) if enc else None,
+                "max_speedup": max(enc) if enc else None,
+            },
+            "decode": {
+                "parity_ok": _gate(rows, "decode", "parity"),
+                "min_speedup": min(dec) if dec else None,
+                "max_speedup": max(dec) if dec else None,
+            },
+            "bitstream": {
+                "roundtrip_ok": _gate(rows, "bitstream", "roundtrip_ok"),
+            },
+            "mean_compression_ratio_variable": float(
+                np.mean([e["compression_ratio_variable"] for e in rows])
+            ),
+            "mean_mse": float(np.mean([e["mean_mse"] for e in rows])),
+        }
+
+    encode_speedups = _speedups(entries, "encode")
+    decode_speedups = _speedups(entries, "decode")
     return {
         "schema": BENCH_SCHEMA,
         "version": __version__,
@@ -275,10 +311,11 @@ def run_compression_bench(
             "mode": mode,
         },
         "entries": entries,
+        "codecs": codecs_section,
         "summary": {
-            "all_parity_ok": _gate("encode", "parity"),
-            "all_decode_parity_ok": _gate("decode", "parity"),
-            "all_roundtrip_ok": _gate("bitstream", "roundtrip_ok"),
+            "all_parity_ok": _gate(entries, "encode", "parity"),
+            "all_decode_parity_ok": _gate(entries, "decode", "parity"),
+            "all_roundtrip_ok": _gate(entries, "bitstream", "roundtrip_ok"),
             "min_speedup": min(encode_speedups) if encode_speedups else None,
             "max_speedup": max(encode_speedups) if encode_speedups else None,
             "min_decode_speedup": min(decode_speedups) if decode_speedups else None,

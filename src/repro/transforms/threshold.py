@@ -34,13 +34,21 @@ def hard_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
     return out
 
 
-def top_k_blocks(blocks: np.ndarray, max_coefficients: int) -> np.ndarray:
-    """Keep only the k largest-magnitude coefficients of each row.
+def top_k_blocks(
+    blocks: np.ndarray, max_coefficients: int, rank: np.ndarray = None
+) -> np.ndarray:
+    """Keep only the k highest-ranked coefficients of each row.
 
     Rows already at or under the cap pass through untouched.  Ties break
     by ``argsort`` order per row, matching the scalar pipeline's
     ``order = argsort(|kept|); kept[order[:size - k]] = 0`` exactly, so
     the batched engine stays bit-identical to the reference.
+
+    Args:
+        rank: Optional per-slot ranking matrix (same shape as
+            ``blocks``); defaults to ``|blocks|``.  Wrapped-residual
+            codecs rank by the un-wrapped residual magnitude instead of
+            the stored word.
     """
     blocks = np.asarray(blocks)
     if blocks.ndim != 2:
@@ -52,7 +60,8 @@ def top_k_blocks(blocks: np.ndarray, max_coefficients: int) -> np.ndarray:
     if not np.any(over):
         return out
     rows = out[over]
-    order = np.argsort(np.abs(rows), axis=1, kind="quicksort")
+    ranks = np.abs(rows) if rank is None else np.asarray(rank)[over]
+    order = np.argsort(ranks, axis=1, kind="quicksort")
     drop = order[:, : rows.shape[1] - max_coefficients]
     np.put_along_axis(rows, drop, 0, axis=1)
     out[over] = rows

@@ -19,7 +19,7 @@ from repro.compression import (
     compress_waveform,
 )
 from repro.compression.pipeline import (
-    _forward,
+    forward_transform,
     forward_transform_blocks,
     inverse_transform_blocks,
     inverse_transform,
@@ -35,7 +35,8 @@ from repro.transforms.threshold import (
 )
 
 WINDOW_SIZES = (8, 16, 32)
-VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W")
+#: Every registered codec: the DCT family plus the promoted baselines.
+VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W", "delta", "dictionary")
 
 
 @pytest.fixture(scope="module")
@@ -148,7 +149,7 @@ class TestKernelParity:
         for variant in VARIANTS:
             batched = forward_transform_blocks(blocks, variant)
             for row, out in zip(blocks, batched):
-                assert np.array_equal(_forward(row, variant), out)
+                assert np.array_equal(forward_transform(row, variant), out)
 
     @given(st.lists(st.lists(int16s, min_size=16, max_size=16), min_size=1, max_size=8))
     @settings(max_examples=50, deadline=None)

@@ -31,10 +31,15 @@ from repro.microarch import DecompressionPipeline
 from repro.pulses import Waveform
 
 WINDOW_SIZES = (8, 16, 32)
-VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W")
-#: Variants the cycle-level hardware model supports (DCT-N has no
-#: fixed-size IDCT engine).
-WINDOWED_VARIANTS = ("DCT-W", "int-DCT-W")
+#: Every registered codec: the Table II DCT family plus the promoted
+#: delta and dictionary baselines.
+VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W", "delta", "dictionary")
+#: Windowed codecs (everything but the full-frame DCT-N).
+WINDOWED_VARIANTS = ("DCT-W", "int-DCT-W", "delta", "dictionary")
+#: Variants the cycle-level hardware model supports (its RLE decoder
+#: and IDCT engine are fixed-size DCT units; DCT-N has no fixed-size
+#: engine and delta/dictionary have no IDCT at all).
+MICROARCH_VARIANTS = ("DCT-W", "int-DCT-W")
 
 
 @st.composite
@@ -86,7 +91,23 @@ class TestRandomWaveformConformance:
         compressed = compress_waveform(
             waveform, window_size=window_size, variant=variant, threshold=threshold
         ).compressed
-        _assert_three_way_identical(compressed, check_microarch=True)
+        _assert_three_way_identical(
+            compressed, check_microarch=variant in MICROARCH_VARIANTS
+        )
+
+    @pytest.mark.parametrize("variant", ("delta", "dictionary"))
+    @given(waveform=waveforms())
+    @settings(max_examples=25, deadline=None)
+    def test_promoted_codecs_lossless_at_zero_threshold(self, variant, waveform):
+        """delta and dictionary are exact at threshold 0: the decoded
+        sample codes equal the quantized input codes bit for bit."""
+        result = compress_waveform(
+            waveform, window_size=16, variant=variant, threshold=0
+        )
+        i_codes, q_codes = waveform.to_fixed_point()
+        out_i, out_q = result.reconstructed.to_fixed_point()
+        np.testing.assert_array_equal(out_i, i_codes)
+        np.testing.assert_array_equal(out_q, q_codes)
 
     @given(waveform=waveforms(), threshold=thresholds)
     @settings(max_examples=40, deadline=None)
@@ -131,7 +152,7 @@ class TestLibraryConformance:
             np.testing.assert_array_equal(decompress_channel(entry.i_channel),
                                           i_codes.astype(np.int64))
 
-    @pytest.mark.parametrize("variant", WINDOWED_VARIANTS)
+    @pytest.mark.parametrize("variant", MICROARCH_VARIANTS)
     def test_microarch_stream_matches_batch_decode(self, libraries, variant):
         compiled = libraries[variant]
         pipeline = DecompressionPipeline(16)
@@ -166,6 +187,8 @@ class TestLibraryConformance:
             compress_waveform(wf, window_size=32, variant="DCT-W").compressed,
             compress_waveform(wf, variant="DCT-N").compressed,
             compress_waveform(wf, window_size=16, variant="int-DCT-W").compressed,
+            compress_waveform(wf, window_size=16, variant="delta").compressed,
+            compress_waveform(wf, window_size=8, variant="dictionary").compressed,
         ]
         decoded = decompress_batch(entries)
         for entry, waveform in zip(entries, decoded):

@@ -68,8 +68,12 @@ def _single_window_waveform(coeffs, zero_run, window_size=16):
     )
 
 
+#: Every registered codec name.
+ALL_VARIANTS = ("DCT-N", "DCT-W", "int-DCT-W", "delta", "dictionary")
+
+
 class TestWaveformRoundTrip:
-    @pytest.mark.parametrize("variant", ("DCT-N", "DCT-W", "int-DCT-W"))
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
     @pytest.mark.parametrize("window_size", (8, 16, 32))
     def test_lossless_and_canonical(self, variant, window_size):
         compressed = _compressed(variant=variant, window_size=window_size)
@@ -100,7 +104,7 @@ class TestWaveformRoundTrip:
     @given(
         n=st.integers(min_value=1, max_value=120),
         threshold=st.integers(min_value=0, max_value=2000),
-        variant=st.sampled_from(("DCT-N", "DCT-W", "int-DCT-W")),
+        variant=st.sampled_from(ALL_VARIANTS),
         window_size=st.sampled_from((8, 16, 32)),
         seed=st.integers(min_value=0, max_value=2**31 - 1),
     )
@@ -374,6 +378,132 @@ class TestMalformedInputs:
         with pytest.raises(CompressionError, match="binding"):
             parse_library(patched)
 
+#: Golden blobs produced by the pre-registry (v1, DCT-only) serializer.
+#: The codec-id allocation must keep these parsing byte-for-byte: ids
+#: 0..2 are frozen, and re-serializing must reproduce the exact bytes.
+_GOLDEN_V1_WAVEFORM = bytes.fromhex(
+    "435157310200100000000600676f6c64656e01007801000095d626e80b2e113e"
+    "1c000000020000000400b0040000f9ff0000030000000d000100030000800000"
+    "ff7f00000e0001001c000000020000000400b0040000f9ff0000030000000d00"
+    "0100030000800000ff7f00000e000100"
+)
+_GOLDEN_V1_LIBRARY = bytes.fromhex(
+    "43514c310200100000000900676f6c64656e64657601000000010078010000"
+    "8dedb5a0f7c6803e00000000000060407000000043515731020010000000"
+    "0600676f6c64656e01007801000095d626e80b2e113e1c0000000200000004"
+    "00b0040000f9ff0000030000000d000100030000800000ff7f00000e000100"
+    "1c000000020000000400b0040000f9ff0000030000000d000100030000"
+    "800000ff7f00000e000100"
+)
+_GOLDEN_V1_DCT_N = bytes.fromhex(
+    "435157310000100000000200673202007378020100020095d626e80b2ef13d"
+    "10000000010000000400b0040000f9ff0000030000000d0001001000000001"
+    "0000000400b0040000f9ff0000030000000d000100"
+)
+_GOLDEN_V1_DCT_W = bytes.fromhex(
+    "435157310100100000000200673202007378020100020095d626e80b2ef13d"
+    "10000000010000000400b0040000f9ff0000030000000d0001001000000001"
+    "0000000400b0040000f9ff0000030000000d000100"
+)
+
+
+class TestGoldenV1Compatibility:
+    """Pre-registry bitstreams must survive the codec-id reallocation."""
+
+    def test_waveform_fields_decode_identically(self):
+        parsed = parse_waveform(_GOLDEN_V1_WAVEFORM)
+        assert parsed.variant == "int-DCT-W"
+        assert parsed.window_size == 16
+        assert parsed.name == "golden"
+        assert parsed.gate == "x"
+        assert parsed.qubits == (0,)
+        assert parsed.dt == 1e-9
+        assert parsed.i_channel.original_length == 28
+        assert parsed.i_channel.windows == (
+            EncodedWindow(coeffs=(1200, -7, 3), zero_run=13),
+            EncodedWindow(coeffs=(-32768, 32767), zero_run=14),
+        )
+        assert parsed.q_channel == parsed.i_channel
+
+    @pytest.mark.parametrize(
+        "blob, variant",
+        [
+            (_GOLDEN_V1_WAVEFORM, "int-DCT-W"),
+            (_GOLDEN_V1_DCT_N, "DCT-N"),
+            (_GOLDEN_V1_DCT_W, "DCT-W"),
+        ],
+    )
+    def test_waveform_reserializes_byte_for_byte(self, blob, variant):
+        parsed = parse_waveform(blob)
+        assert parsed.variant == variant
+        assert serialize_waveform(parsed) == blob
+
+    def test_library_reserializes_byte_for_byte(self):
+        parsed = parse_library(_GOLDEN_V1_LIBRARY)
+        assert parsed.device_name == "goldendev"
+        assert parsed.variant == "int-DCT-W"
+        assert parsed.window_size == 16
+        assert len(parsed.entries) == 1
+        assert parsed.entries[0].mse == 1.25e-07
+        assert parsed.entries[0].threshold == 128.0
+        assert serialize_library(parsed) == _GOLDEN_V1_LIBRARY
+
+    def test_golden_decode_matches_functional_codec(self):
+        from repro.compression.pipeline import decompress_channel
+
+        parsed = parse_waveform(_GOLDEN_V1_WAVEFORM)
+        report = DecompressionPipeline(16).stream_bitstream(_GOLDEN_V1_WAVEFORM)
+        np.testing.assert_array_equal(
+            report.i_samples, decompress_channel(parsed.i_channel)
+        )
+        np.testing.assert_array_equal(
+            report.q_samples, decompress_channel(parsed.q_channel)
+        )
+
+    @given(
+        index=st.integers(min_value=0, max_value=10**6),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_golden_bytes_corruption_fuzz(self, index, flip):
+        """Any single-byte corruption of a v1 stream either still parses
+        (a flipped payload bit is a legal stream) or raises
+        CompressionError -- never garbage or another exception type."""
+        blob = bytearray(_GOLDEN_V1_WAVEFORM)
+        blob[index % len(blob)] ^= flip
+        try:
+            parse_waveform(bytes(blob))
+        except CompressionError:
+            pass
+
+
+class TestNewCodecStreams:
+    """The reallocated codec ids round-trip the promoted codecs."""
+
+    @pytest.mark.parametrize(
+        "variant, wire_id", [("delta", 3), ("dictionary", 4)]
+    )
+    def test_codec_id_on_the_wire(self, variant, wire_id):
+        blob = serialize_waveform(_compressed(variant=variant))
+        assert blob[:4] == WAVEFORM_MAGIC
+        assert blob[4] == wire_id
+        assert blob[5] == 0  # flags stay reserved
+
+    def test_dictionary_windows_carry_entry_slot(self):
+        """A dictionary window decodes to window_size + 1 slots."""
+        compressed = _compressed(n=32, variant="dictionary", window_size=16)
+        parsed = parse_waveform(serialize_waveform(compressed))
+        for window in parsed.i_channel.windows:
+            assert len(window.coeffs) + window.zero_run == 17
+
+    def test_unknown_codec_id_rejected(self):
+        blob = bytearray(serialize_waveform(_compressed(variant="delta")))
+        blob[4] = 0x7E
+        with pytest.raises(CompressionError, match="variant id"):
+            parse_waveform(bytes(blob))
+
+
+class TestMalformedFuzz:
     @given(data=st.binary(max_size=300))
     @settings(max_examples=120, deadline=None)
     def test_random_bytes_never_crash(self, data):

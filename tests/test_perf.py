@@ -76,13 +76,30 @@ def decode_payload():
     )
 
 
+ALL_CODECS = {"DCT-N", "DCT-W", "int-DCT-W", "delta", "dictionary"}
+
+
 class TestCompressionBench:
     def test_schema_and_coverage(self, payload):
         assert payload["schema"] == BENCH_SCHEMA
-        assert len(payload["entries"]) == 2 * 3  # devices x variants
+        assert len(payload["entries"]) == 2 * 5  # devices x codecs
         variants = {e["variant"] for e in payload["entries"]}
-        assert variants == {"DCT-N", "DCT-W", "int-DCT-W"}
+        assert variants == ALL_CODECS
         assert payload["config"]["mode"] == "all"
+
+    def test_per_codec_sections(self, payload):
+        """Schema v3: one encode/decode/bitstream roll-up per codec."""
+        codecs = payload["codecs"]
+        assert set(codecs) == ALL_CODECS
+        for name, section in codecs.items():
+            assert section["n_entries"] == 2
+            assert section["encode"]["parity_ok"]
+            assert section["decode"]["parity_ok"]
+            assert section["bitstream"]["roundtrip_ok"]
+            assert section["encode"]["min_speedup"] > 0
+            assert section["decode"]["min_speedup"] > 0
+            assert section["mean_compression_ratio_variable"] > 0
+            assert section["mean_mse"] >= 0
 
     def test_entries_have_all_sections(self, payload):
         for entry in payload["entries"]:
@@ -197,8 +214,30 @@ class TestCliBench:
         assert "scalar vs batched" in stdout
         payload = json.loads(out.read_text())
         assert payload["summary"]["all_parity_ok"]
-        assert {e["variant"] for e in payload["entries"]} == {
-            "DCT-N",
-            "DCT-W",
-            "int-DCT-W",
-        }
+        assert {e["variant"] for e in payload["entries"]} == ALL_CODECS
+
+    def test_bench_variants_option(self, tmp_path, capsys):
+        out = tmp_path / "bench_delta.json"
+        code = main(
+            [
+                "bench",
+                "--devices",
+                "fluxonium-3",
+                "--variants",
+                "delta",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert {e["variant"] for e in payload["entries"]} == {"delta"}
+        assert payload["codecs"]["delta"]["encode"]["parity_ok"]
+
+    def test_bench_unknown_variant_rejected(self, capsys):
+        assert main(["bench", "--variants", "DCT-Z"]) == 2
+        assert "registered" in capsys.readouterr().out
