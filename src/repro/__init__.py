@@ -11,6 +11,8 @@ The package is organized bottom-up:
   int-DCT-W) and memory packing.
 - :mod:`repro.core` -- the COMPAQT compiler module, adaptive compression,
   fidelity-aware thresholding, controller and scalability models.
+- :mod:`repro.store` -- the CQS1 sharded pulse store, decoded LRU
+  cache, and concurrent serving front end.
 - :mod:`repro.microarch` -- cycle-level decompression pipeline, banked
   memory, resource / timing / power models.
 - :mod:`repro.quantum` -- statevector and pulse-level simulation,
@@ -39,6 +41,7 @@ from repro.errors import (
     DeviceError,
     ScheduleError,
     SimulationError,
+    StoreError,
 )
 from repro.pulses import Waveform
 from repro.devices import ibm_device, google_device, fluxonium_device
@@ -55,6 +58,13 @@ from repro.core import (
     RfsocModel,
     qubits_supported,
 )
+from repro.store import (
+    PulseCache,
+    PulseServer,
+    ShardedStore,
+    open_store,
+    save_store,
+)
 
 __all__ = [
     "__version__",
@@ -63,6 +73,7 @@ __all__ = [
     "DeviceError",
     "ScheduleError",
     "SimulationError",
+    "StoreError",
     "Waveform",
     "ibm_device",
     "google_device",
@@ -76,4 +87,9 @@ __all__ = [
     "adaptive_compress",
     "RfsocModel",
     "qubits_supported",
+    "ShardedStore",
+    "PulseCache",
+    "PulseServer",
+    "save_store",
+    "open_store",
 ]

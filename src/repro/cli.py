@@ -8,6 +8,9 @@ Usage::
     python -m repro report --device bogota --variant delta
     python -m repro scalability --window-size 16
     python -m repro bench --quick --variants int-DCT-W,delta
+    python -m repro bench --serving --quick
+    python -m repro pack guadalupe --shards 4 --codec int-DCT-W
+    python -m repro serve guadalupe.cqs --requests trace.json
 """
 
 from __future__ import annotations
@@ -82,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
         "measure batched playback and the wire format only",
     )
     bench.add_argument(
+        "--serving",
+        action="store_true",
+        help="serving profile: sharded-store fetch_batch throughput vs "
+        "the naive per-pulse decode loop (writes BENCH_serving.json)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=7, help="serving-trace RNG seed"
+    )
+    bench.add_argument(
         "--devices",
         default=None,
         help="comma-separated device specs (IBM name, google-RxC, "
@@ -119,14 +131,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--variant",
         default="int-DCT-W",
         choices=list_codecs(),
+        help="codec name (alias of --codec)",
+    )
+    pack.add_argument(
+        "--codec",
+        dest="variant",
+        default=argparse.SUPPRESS,
+        choices=list_codecs(),
+        help="codec to pack with, validated against the registry "
+        "(see `repro codecs`)",
     )
     pack.add_argument(
         "--threshold", type=float, default=128, help="coefficient threshold"
     )
     pack.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="write a CQS1 sharded store directory with this many shard "
+        "files instead of a single CQL1 container (0 = single file)",
+    )
+    pack.add_argument(
         "--output",
         default=None,
-        help="bitstream output path (default <device>.cqt)",
+        help="output path (default <device>.cqt, or <device>.cqs with --shards)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve decoded pulses from a CQS1 store through the LRU cache",
+    )
+    serve.add_argument(
+        "store", help="CQS1 store directory (see `repro pack --shards`)"
+    )
+    serve.add_argument(
+        "--requests",
+        default=None,
+        help="JSON request trace; omitted: a synthetic Zipf trace over "
+        "the store's keys",
+    )
+    serve.add_argument(
+        "--synthetic",
+        type=int,
+        default=1024,
+        help="synthetic trace length when --requests is omitted",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="synthetic trace seed")
+    serve.add_argument(
+        "--cache-size", type=int, default=64, help="decoded LRU capacity (pulses)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="threads for cross-shard fills"
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=32, help="fetch_batch request size"
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identity check against the scalar decoder",
     )
     return parser
 
@@ -242,6 +305,66 @@ def _cmd_scalability(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_SERVING_OUTPUT,
+        SERVING_FULL_DEVICE_SPECS,
+        SERVING_QUICK_DEVICE_SPECS,
+        render_serving_table,
+        run_serving_bench,
+        serving_gates_ok,
+        write_serving_json,
+    )
+
+    if args.decode:
+        print("error: --decode and --serving are different bench profiles")
+        return 2
+    if args.devices:
+        specs = tuple(s.strip() for s in args.devices.split(",") if s.strip())
+        if not specs:
+            print(f"error: --devices {args.devices!r} names no devices")
+            return 2
+    else:
+        specs = (
+            SERVING_QUICK_DEVICE_SPECS if args.quick else SERVING_FULL_DEVICE_SPECS
+        )
+    variant = "int-DCT-W"
+    if args.variants is not None:
+        named = tuple(
+            dict.fromkeys(v.strip() for v in args.variants.split(",") if v.strip())
+        )
+        if len(named) != 1:
+            print(
+                f"error: the serving bench measures one codec per run; "
+                f"--variants named {list(named)}"
+            )
+            return 2
+        if named[0] not in list_codecs():
+            print(
+                f"error: unknown codec {named[0]!r}; registered: "
+                f"{', '.join(list_codecs())}"
+            )
+            return 2
+        variant = named[0]
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    payload = run_serving_bench(
+        device_specs=specs,
+        n_requests=512 if args.quick else 2048,
+        repeats=repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+        window_size=args.window_size,
+        variant=variant,
+    )
+    path = write_serving_json(payload, args.output or DEFAULT_SERVING_OUTPUT)
+    print(render_serving_table(payload))
+    print(f"   wrote: {path}")
+    ok, failures = serving_gates_ok(payload)
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         DEFAULT_OUTPUT,
@@ -252,6 +375,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    if args.serving:
+        return _cmd_bench_serving(args)
     if args.devices:
         specs = tuple(s.strip() for s in args.devices.split(",") if s.strip())
         if not specs:
@@ -305,6 +430,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.perf import resolve_device
 
+    if args.shards < 0:
+        print(f"error: --shards must be >= 0, got {args.shards}")
+        return 2
     device = resolve_device(args.device)
     compiler = CompaqtCompiler(
         window_size=args.window_size,
@@ -312,33 +440,140 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         threshold=args.threshold,
     )
     compiled = compiler.compile_library(device.pulse_library())
-    path = compiler.save_library(
-        compiled, args.output or f"{device.name}.cqt"
-    )
-    blob = path.read_bytes()
-    loaded = compiler.load_library(path)
-    if len(loaded) != len(compiled) or loaded.to_bytes() != blob:
-        print("ERROR: packed bitstream failed its round-trip check")
-        return 1
     uncompressed = sum(
         r.compressed.original_samples * 4 for _k, r in compiled
     )  # 16-bit I + 16-bit Q per sample
+
+    if args.shards:
+        store = compiler.save_store(
+            compiled, args.output or f"{device.name}.cqs", n_shards=args.shards
+        )
+        loaded = store.load_library()
+        identical = len(loaded) == len(compiled) and all(
+            loaded.result(*key).compressed == compiled.result(*key).compressed
+            for key in compiled.keys()
+        )
+        if not identical:
+            print("ERROR: packed store failed its round-trip check")
+            return 1
+        wire_bytes = store.total_shard_bytes
+        path = store.path.resolve()
+        rows = [
+            [
+                shard,
+                store.shard_path(shard).name,
+                sum(1 for k in store.keys() if store.shard_of(*k) == shard),
+                store.shard_path(shard).stat().st_size,
+            ]
+            for shard in range(store.n_shards)
+        ]
+        print(
+            render_table(
+                f"{device.name}: CQS1 store, {args.variant} "
+                f"WS={args.window_size}, {args.shards} shards",
+                ["shard", "file", "waveforms", "bytes"],
+                rows,
+                note=f"manifest: {path}/manifest.json (round-trip verified)",
+            )
+        )
+    else:
+        path = compiler.save_library(compiled, args.output or f"{device.name}.cqt")
+        blob = path.read_bytes()
+        loaded = compiler.load_library(path)
+        if len(loaded) != len(compiled) or loaded.to_bytes() != blob:
+            print("ERROR: packed bitstream failed its round-trip check")
+            return 1
+        wire_bytes = len(blob)
+        print(
+            render_table(
+                f"{device.name}: packed {args.variant} WS={args.window_size}",
+                ["waveforms", "wire bytes", "raw bytes", "wire ratio", "R(var)"],
+                [
+                    [
+                        len(compiled),
+                        wire_bytes,
+                        uncompressed,
+                        f"{uncompressed / wire_bytes:.2f}",
+                        f"{compiled.overall_ratio_variable:.2f}",
+                    ]
+                ],
+                note=f"wrote: {path} (round-trip verified)",
+            )
+        )
+    print(
+        f"packed {len(compiled)} waveforms -> {path} "
+        f"({wire_bytes} wire bytes, {uncompressed / wire_bytes:.2f}x over raw, "
+        f"R(var)={compiled.overall_ratio_variable:.2f})"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.compression.pipeline import decompress_waveform
+    from repro.store import PulseServer, load_trace, open_store, synthetic_trace
+
+    store = open_store(args.store)
+    if args.requests:
+        trace = load_trace(args.requests)
+        source = args.requests
+    else:
+        trace = synthetic_trace(store.keys(), args.synthetic, seed=args.seed)
+        source = f"synthetic (seed {args.seed})"
+
+    with PulseServer(
+        store, cache_capacity=args.cache_size, max_workers=args.workers
+    ) as server:
+        start = time.perf_counter()
+        for begin in range(0, len(trace), args.batch_size):
+            server.fetch_batch(trace[begin : begin + args.batch_size])
+        elapsed = time.perf_counter() - start
+        # Snapshot before the verify pass so the printed counters
+        # describe the trace replay, not the verification traffic.
+        stats = server.stats()
+        identity_ok = True
+        if not args.no_verify:
+            keys = store.keys()
+            served = server.fetch_batch(keys)
+            for key, waveform in zip(keys, served):
+                reference = decompress_waveform(store.read_record(*key))
+                if not np.array_equal(waveform.samples, reference.samples):
+                    identity_ok = False
+                    break
+
+    cache = stats.cache
     print(
         render_table(
-            f"{device.name}: packed {args.variant} WS={args.window_size}",
-            ["waveforms", "wire bytes", "raw bytes", "wire ratio", "R(var)"],
+            f"{store.device_name}: served {len(trace)} requests "
+            f"({store.n_shards} shards, cache {args.cache_size})",
+            ["requests", "pulses/s", "hits", "misses", "evictions", "hit rate"],
             [
                 [
-                    len(compiled),
-                    len(blob),
-                    uncompressed,
-                    f"{uncompressed / len(blob):.2f}",
-                    f"{compiled.overall_ratio_variable:.2f}",
+                    stats.requests,
+                    f"{len(trace) / elapsed:.0f}" if elapsed > 0 else "inf",
+                    cache.hits,
+                    cache.misses,
+                    cache.evictions,
+                    f"{cache.hit_rate:.0%}",
                 ]
             ],
-            note=f"wrote: {path} (round-trip verified)",
+            note=f"trace: {source}, shard fills: {stats.shard_fills}"
+            + (
+                ""
+                if args.no_verify
+                else (
+                    ", bit-identity vs scalar decode: "
+                    + ("ok" if identity_ok else "FAILED")
+                )
+            ),
         )
     )
+    if not identity_ok:
+        print("ERROR: served samples diverge from the scalar reference")
+        return 1
     return 0
 
 
@@ -357,4 +592,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     elif args.command == "pack":
         return _cmd_pack(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     return 0

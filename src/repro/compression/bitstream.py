@@ -79,9 +79,11 @@ __all__ = [
     "WORD_BYTES",
     "LibraryEntry",
     "LibraryBitstream",
+    "RecordSpan",
     "serialize_waveform",
     "parse_waveform",
     "serialize_library",
+    "serialize_library_indexed",
     "parse_library",
 ]
 
@@ -155,13 +157,19 @@ def _unpack_word(word: int) -> Tuple[int, int]:
 class _Writer:
     def __init__(self) -> None:
         self._parts: List[bytes] = []
+        self._n_bytes = 0
 
     def raw(self, data: bytes) -> None:
         self._parts.append(data)
+        self._n_bytes += len(data)
+
+    def tell(self) -> int:
+        """Bytes written so far (the offset of the next write)."""
+        return self._n_bytes
 
     def pack(self, fmt: str, *values) -> None:
         try:
-            self._parts.append(struct.pack("<" + fmt, *values))
+            self.raw(struct.pack("<" + fmt, *values))
         except struct.error as exc:
             raise CompressionError(
                 f"value {values!r} does not fit wire field {fmt!r}: {exc}"
@@ -397,8 +405,41 @@ class LibraryBitstream:
         return len(serialize_library(self))
 
 
+@dataclass(frozen=True)
+class RecordSpan:
+    """Byte extent of one embedded ``CQW1`` record inside a container.
+
+    The sharded store (:mod:`repro.store`) persists these spans in its
+    manifest so a single pulse record can be read with one
+    seek-and-read -- ``container[offset : offset + length]`` is a
+    complete standalone record for :func:`parse_waveform` -- without
+    parsing the rest of the shard.
+    """
+
+    gate: str
+    qubits: Tuple[int, ...]
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
 def serialize_library(library: LibraryBitstream) -> bytes:
     """Pack a whole compiled library into one canonical container."""
+    return serialize_library_indexed(library)[0]
+
+
+def serialize_library_indexed(
+    library: LibraryBitstream,
+) -> Tuple[bytes, Tuple[RecordSpan, ...]]:
+    """Serialize a container and report each record's byte extent.
+
+    Returns ``(blob, spans)`` where ``blob`` is exactly what
+    :func:`serialize_library` produces and ``spans[i]`` locates entry
+    ``i``'s embedded waveform record inside it.
+    """
     codec = _codec_for_name(library.variant)
     writer = _Writer()
     writer.raw(LIBRARY_MAGIC)
@@ -406,6 +447,7 @@ def serialize_library(library: LibraryBitstream) -> bytes:
     writer.pack("I", library.window_size)
     writer.string(library.device_name)
     writer.pack("I", len(library.entries))
+    spans: List[RecordSpan] = []
     for entry in library.entries:
         # Fail at save time, not at a (possibly much later) load: the
         # container is single-variant, and the duplicated binding must
@@ -435,8 +477,16 @@ def serialize_library(library: LibraryBitstream) -> bytes:
         writer.pack("dd", entry.mse, entry.threshold)
         record = serialize_waveform(entry.compressed)
         writer.pack("I", len(record))
+        spans.append(
+            RecordSpan(
+                gate=entry.gate,
+                qubits=entry.qubits,
+                offset=writer.tell(),
+                length=len(record),
+            )
+        )
         writer.raw(record)
-    return writer.getvalue()
+    return writer.getvalue(), tuple(spans)
 
 
 def parse_library(data: bytes) -> LibraryBitstream:

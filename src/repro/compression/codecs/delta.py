@@ -1,11 +1,22 @@
-"""The delta codec: intra-window sequential differences (Section IV-B).
+"""The delta codec and the paper's base-delta baseline (Section IV-B).
 
-This promotes the paper's base-delta baseline (the bit-width accounting
-study in :mod:`repro.transforms.delta`) to a first-class pipeline codec:
-each window stores its first sample code followed by sample-to-sample
-differences, all wrapped into the 16-bit payload with modular
-(mod 2**16) arithmetic so the round trip is *exactly* lossless even
-across sign-magnitude-style jumps.
+Two related pieces live here, both single-sourced in this module (the
+old :mod:`repro.transforms.delta` island is now a deprecation shim):
+
+* :class:`DeltaCodec` promotes the paper's base-delta baseline to a
+  first-class pipeline codec: each window stores its first sample code
+  followed by sample-to-sample differences, all wrapped into the
+  16-bit payload with modular (mod 2**16) arithmetic so the round trip
+  is *exactly* lossless even across sign-magnitude-style jumps.
+* :func:`delta_compress` / :func:`delta_decompress` mechanize the
+  paper's bit-width accounting argument (Fig 7a): deltas are taken on
+  integer *codes* in the chosen sample representation, and the encoded
+  width is the width of the largest code delta -- in sign-magnitude
+  form (what control-hardware DACs consume) any zero crossing flips
+  the sign bit, the delta occupies the full bit-field, and the gain
+  collapses.  ``representation="twos-complement"`` is the ablation
+  showing delta would survive zero crossings under a different sample
+  format.
 
 Where the gain comes from: a smooth pulse quantized to int16 changes by
 only a few codes per sample, so after thresholding most deltas are zero
@@ -29,12 +40,20 @@ error at a dropped sample is bounded by its run of dropped steps
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.errors import CompressionError
 from repro.compression.codecs.base import Codec, wrap_int16
 from repro.transforms.threshold import top_k_blocks
 
-__all__ = ["DeltaCodec"]
+__all__ = [
+    "DeltaCodec",
+    "DeltaEncoded",
+    "delta_compress",
+    "delta_decompress",
+]
 
 
 class DeltaCodec(Codec):
@@ -141,3 +160,121 @@ class DeltaCodec(Codec):
         if np.array_equal(pruned, coeffs):
             return pruned
         return self._rebase_kept(samples, pruned != 0)
+
+
+# ---------------------------------------------------------------------------
+# The paper's base-delta baseline (bit-width accounting, Fig 7a).
+# ---------------------------------------------------------------------------
+
+_REPRESENTATIONS = ("sign-magnitude", "twos-complement")
+
+
+@dataclass(frozen=True)
+class DeltaEncoded:
+    """A delta-compressed sample stream.
+
+    Attributes:
+        base: First sample's code, stored at full width.
+        deltas: Signed code differences (length ``n - 1``).
+        delta_bits: Bit width allocated to each stored delta.
+        sample_bits: Original sample width.
+        representation: Code mapping used ("sign-magnitude" matches the
+            paper's hardware model).
+    """
+
+    base: int
+    deltas: np.ndarray
+    delta_bits: int
+    sample_bits: int
+    representation: str
+
+    @property
+    def n_samples(self) -> int:
+        return 1 + self.deltas.size
+
+    @property
+    def encoded_bits(self) -> int:
+        """Total storage: one full-width base plus fixed-width deltas."""
+        return self.sample_bits + self.deltas.size * self.delta_bits
+
+    @property
+    def original_bits(self) -> int:
+        return self.n_samples * self.sample_bits
+
+    @property
+    def compression_ratio(self) -> float:
+        """old size / new size, as defined in the paper (R)."""
+        return self.original_bits / self.encoded_bits
+
+
+def delta_compress(
+    samples: np.ndarray,
+    sample_bits: int = 16,
+    representation: str = "sign-magnitude",
+) -> DeltaEncoded:
+    """Delta-compress integer samples.
+
+    If the widest delta needs at least ``sample_bits`` bits the stream is
+    effectively incompressible (R <= 1), which is what happens to
+    zero-crossing waveforms in sign-magnitude form.
+
+    Args:
+        samples: 1-D array of signed integer samples.
+        sample_bits: Width of one raw sample (16 for IBM I or Q).
+        representation: "sign-magnitude" (paper model) or
+            "twos-complement" (ablation).
+    """
+    if representation not in _REPRESENTATIONS:
+        raise CompressionError(f"unknown representation: {representation!r}")
+    samples = np.asarray(samples, dtype=np.int64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise CompressionError(f"expected non-empty 1-D samples, got {samples.shape}")
+    codes = _to_codes(samples, sample_bits, representation)
+    deltas = np.diff(codes)
+    delta_bits = _signed_width(deltas)
+    delta_bits = min(max(delta_bits, 1), sample_bits)
+    return DeltaEncoded(
+        base=int(codes[0]),
+        deltas=deltas,
+        delta_bits=delta_bits,
+        sample_bits=sample_bits,
+        representation=representation,
+    )
+
+
+def delta_decompress(encoded: DeltaEncoded) -> np.ndarray:
+    """Exact inverse of :func:`delta_compress`."""
+    codes = np.concatenate(([encoded.base], encoded.deltas)).cumsum()
+    return _from_codes(codes, encoded.sample_bits, encoded.representation)
+
+
+def _to_codes(samples: np.ndarray, bits: int, representation: str) -> np.ndarray:
+    limit = 1 << (bits - 1)
+    if np.any(np.abs(samples) >= limit):
+        raise CompressionError(f"samples exceed {bits}-bit signed range")
+    if representation == "twos-complement":
+        return samples.copy()
+    # Sign-magnitude: sign bit at the top, magnitude below.  Crossing
+    # zero jumps the code by ~2^(bits-1), which is the paper's point.
+    sign = (samples < 0).astype(np.int64)
+    return (sign << (bits - 1)) | np.abs(samples)
+
+
+def _from_codes(codes: np.ndarray, bits: int, representation: str) -> np.ndarray:
+    if representation == "twos-complement":
+        return codes.copy()
+    sign_bit = np.int64(1) << (bits - 1)
+    magnitude = codes & (sign_bit - 1)
+    negative = (codes & sign_bit) != 0
+    return np.where(negative, -magnitude, magnitude)
+
+
+def _signed_width(values: np.ndarray) -> int:
+    """Minimum two's-complement width holding every value."""
+    if values.size == 0:
+        return 1
+    lo, hi = int(values.min()), int(values.max())
+    width = 1
+    while not (-(1 << (width - 1)) <= lo and hi < (1 << (width - 1))):
+        width += 1
+    return width

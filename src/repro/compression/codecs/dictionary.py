@@ -1,7 +1,13 @@
 """The dictionary codec: per-window mode dictionary plus residuals.
 
-This promotes the paper's dictionary baseline (the hit-rate study in
-:mod:`repro.transforms.dictionary`) to a first-class pipeline codec.
+Two related pieces live here, both single-sourced in this module (the
+old :mod:`repro.transforms.dictionary` island is now a deprecation
+shim): the :class:`DictionaryCodec` pipeline codec, and the paper's
+frequency-dictionary baseline (:func:`dictionary_compress` /
+:func:`dictionary_decompress`, the hit-rate study showing that waveform
+samples "can have arbitrary values, which rarely repeat").
+
+The codec promotes that baseline to a first-class pipeline stage.
 Each window carries a one-entry dictionary -- its most frequent sample
 value -- in the leading coefficient slot, followed by every sample's
 residual against that entry, wrapped into the 16-bit payload with
@@ -32,12 +38,23 @@ bit-identical by construction.
 
 from __future__ import annotations
 
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
 import numpy as np
 
+from repro.errors import CompressionError
 from repro.compression.codecs.base import Codec, wrap_int16
 from repro.transforms.threshold import top_k_blocks
 
-__all__ = ["DictionaryCodec"]
+__all__ = [
+    "DictionaryCodec",
+    "DictionaryEncoded",
+    "dictionary_compress",
+    "dictionary_decompress",
+]
 
 
 def _row_modes(blocks: np.ndarray) -> np.ndarray:
@@ -131,3 +148,87 @@ class DictionaryCodec(Codec):
         rank[:, 0] = np.iinfo(np.int64).max  # the entry outranks everything
         rank[:, 1:] = np.abs(self._true_residuals(coeffs))
         return top_k_blocks(coeffs, max_coefficients, rank=rank)
+
+
+# ---------------------------------------------------------------------------
+# The paper's frequency-dictionary baseline (hit-rate study, Section IV-B).
+#
+# Encoding model: a dictionary of the ``dict_size`` most frequent sample
+# values is stored alongside the stream; every sample costs 1 flag bit
+# plus either ``log2(dict_size)`` index bits (hit) or the full sample
+# (miss).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DictionaryEncoded:
+    """A dictionary-compressed sample stream (lossless)."""
+
+    dictionary: Tuple[int, ...]
+    hits: np.ndarray  # bool per sample
+    indices: np.ndarray  # dictionary index where hit, else -1
+    misses: np.ndarray  # raw values of the missed samples, in order
+    sample_bits: int
+
+    @property
+    def n_samples(self) -> int:
+        return self.hits.size
+
+    @property
+    def index_bits(self) -> int:
+        return max(1, math.ceil(math.log2(max(len(self.dictionary), 2))))
+
+    @property
+    def encoded_bits(self) -> int:
+        dictionary_bits = len(self.dictionary) * self.sample_bits
+        hit_bits = int(self.hits.sum()) * self.index_bits
+        miss_bits = int(self.misses.size) * self.sample_bits
+        flag_bits = self.n_samples  # 1 hit/miss flag per sample
+        return dictionary_bits + hit_bits + miss_bits + flag_bits
+
+    @property
+    def compression_ratio(self) -> float:
+        return (self.n_samples * self.sample_bits) / self.encoded_bits
+
+    @property
+    def hit_rate(self) -> float:
+        return float(self.hits.mean()) if self.hits.size else 0.0
+
+
+def dictionary_compress(
+    samples: np.ndarray, dict_size: int = 64, sample_bits: int = 16
+) -> DictionaryEncoded:
+    """Compress with a most-frequent-values dictionary.
+
+    Args:
+        samples: 1-D integer samples.
+        dict_size: Dictionary entries (power of two recommended).
+        sample_bits: Raw sample width.
+    """
+    samples = np.asarray(samples, dtype=np.int64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise CompressionError(f"expected non-empty 1-D samples, got {samples.shape}")
+    if dict_size < 1:
+        raise CompressionError(f"dict_size must be >= 1, got {dict_size}")
+    counts = Counter(samples.tolist())
+    dictionary = tuple(value for value, _count in counts.most_common(dict_size))
+    lookup: Dict[int, int] = {value: i for i, value in enumerate(dictionary)}
+    indices = np.array([lookup.get(int(v), -1) for v in samples], dtype=np.int64)
+    hits = indices >= 0
+    misses = samples[~hits].copy()
+    return DictionaryEncoded(
+        dictionary=dictionary,
+        hits=hits,
+        indices=indices,
+        misses=misses,
+        sample_bits=sample_bits,
+    )
+
+
+def dictionary_decompress(encoded: DictionaryEncoded) -> np.ndarray:
+    """Exact inverse of :func:`dictionary_compress`."""
+    out = np.empty(encoded.n_samples, dtype=np.int64)
+    dictionary = np.asarray(encoded.dictionary, dtype=np.int64)
+    out[encoded.hits] = dictionary[encoded.indices[encoded.hits]]
+    out[~encoded.hits] = encoded.misses
+    return out

@@ -330,3 +330,28 @@ class CompaqtCompiler:
     def load_library(path: Union[str, pathlib.Path]) -> CompressedPulseLibrary:
         """Load a previously saved library bitstream."""
         return CompressedPulseLibrary.load(path)
+
+    def save_store(
+        self,
+        compiled: CompressedPulseLibrary,
+        path: Union[str, pathlib.Path],
+        n_shards: int = 4,
+    ):
+        """Persist a compiled library as a CQS1 sharded store directory.
+
+        The sharded layout (see :mod:`repro.store`) is the serving-side
+        twin of :meth:`save_library`: same compressed records, but split
+        into hash-routed shard files with a byte-offset index so single
+        pulses are demand-readable.  Returns the opened
+        :class:`~repro.store.ShardedStore`.
+        """
+        from repro.store import save_store
+
+        return save_store(compiled, path, n_shards=n_shards)
+
+    @staticmethod
+    def load_store(path: Union[str, pathlib.Path]):
+        """Open a CQS1 store directory written by :meth:`save_store`."""
+        from repro.store import open_store
+
+        return open_store(path)

@@ -1,4 +1,4 @@
-"""Performance harness: timing runner and the compression benchmark."""
+"""Performance harness: timing runner, compression and serving benches."""
 
 from repro.perf.runner import TimingStats, time_callable
 from repro.perf.compression_bench import (
@@ -11,6 +11,19 @@ from repro.perf.compression_bench import (
     run_compression_bench,
     render_bench_table,
     write_bench_json,
+)
+from repro.perf.serving_bench import (
+    SERVING_BENCH_SCHEMA,
+    DEFAULT_SERVING_OUTPUT,
+    SERVING_QUICK_DEVICE_SPECS,
+    SERVING_FULL_DEVICE_SPECS,
+    DEFAULT_SHARD_COUNTS,
+    DEFAULT_CACHE_FRACTIONS,
+    WARM_SPEEDUP_GATE,
+    run_serving_bench,
+    render_serving_table,
+    write_serving_json,
+    serving_gates_ok,
 )
 
 __all__ = [
@@ -25,4 +38,15 @@ __all__ = [
     "run_compression_bench",
     "render_bench_table",
     "write_bench_json",
+    "SERVING_BENCH_SCHEMA",
+    "DEFAULT_SERVING_OUTPUT",
+    "SERVING_QUICK_DEVICE_SPECS",
+    "SERVING_FULL_DEVICE_SPECS",
+    "DEFAULT_SHARD_COUNTS",
+    "DEFAULT_CACHE_FRACTIONS",
+    "WARM_SPEEDUP_GATE",
+    "run_serving_bench",
+    "render_serving_table",
+    "write_serving_json",
+    "serving_gates_ok",
 ]

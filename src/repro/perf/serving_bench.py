@@ -1,0 +1,346 @@
+"""Serving benchmark: pulse throughput of the sharded store front end.
+
+The compression bench (PR 1-3) measures compile- and decode-side
+*engine* speed; this bench measures the thing the north star actually
+cares about -- sustained pulses/second at the serving interface -- and
+how it moves with the two knobs the store exposes:
+
+* **cache size** (decoded hot set, as a fraction of the library), and
+* **shard count** (fetch granularity / fill parallelism).
+
+For every device it compiles the library once, writes a CQS1 store per
+shard count, and replays the same Zipf-skewed request trace three ways:
+
+* **naive** -- the pre-subsystem baseline: one offset-indexed record
+  read plus one scalar ``decompress_waveform`` per request, no cache;
+* **cold**  -- ``fetch_batch`` through a fresh :class:`PulseServer`
+  (demand fetch + batched decode + cache fill);
+* **warm**  -- the same server replaying the trace with the cache
+  already populated.
+
+Every measured config also runs a **bit-identity gate**: each unique
+pulse served by ``fetch_batch`` must equal the scalar reference
+(``decompress_waveform`` over the store record, i.e. the
+``decompress_channel`` path) sample for sample.  The JSON summary
+exposes ``all_identity_ok`` -- CI fails on it -- plus the headline
+``warm_speedup_full_cache_min``, the smallest warm-over-naive speedup
+among full-cache configs (the repo gates this at >= 5x for the
+committed ``BENCH_serving.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.analysis.report import render_table
+from repro.compression.pipeline import decompress_waveform
+from repro.core.compiler import CompaqtCompiler
+from repro.devices import IBM_DEVICE_NAMES
+from repro.perf.compression_bench import resolve_device
+from repro.perf.runner import time_callable
+from repro.store import PulseServer, ShardedStore, save_store, synthetic_trace
+from repro.version import __version__
+
+__all__ = [
+    "SERVING_BENCH_SCHEMA",
+    "DEFAULT_SERVING_OUTPUT",
+    "SERVING_QUICK_DEVICE_SPECS",
+    "SERVING_FULL_DEVICE_SPECS",
+    "DEFAULT_SHARD_COUNTS",
+    "DEFAULT_CACHE_FRACTIONS",
+    "WARM_SPEEDUP_GATE",
+    "run_serving_bench",
+    "render_serving_table",
+    "write_serving_json",
+    "serving_gates_ok",
+]
+
+SERVING_BENCH_SCHEMA = "compaqt-bench-serving/v1"
+
+DEFAULT_SERVING_OUTPUT = "BENCH_serving.json"
+
+#: Quick (CI smoke) profile: two library sizes, still every code path.
+SERVING_QUICK_DEVICE_SPECS = ("bogota", "guadalupe")
+
+#: The standard 11-device set: the full IBM catalog plus the default
+#: Google grid and fluxonium processor (matches the compression bench).
+SERVING_FULL_DEVICE_SPECS = tuple(IBM_DEVICE_NAMES) + (
+    "google-6x9",
+    "fluxonium-5",
+)
+
+DEFAULT_SHARD_COUNTS = (1, 4, 8)
+
+#: Cache capacity as a fraction of the library's pulse count; 1.0 is
+#: the fully resident hot set the headline warm gate is measured at.
+DEFAULT_CACHE_FRACTIONS = (0.125, 0.5, 1.0)
+
+#: Committed-baseline gate: warm full-cache ``fetch_batch`` must beat
+#: the naive per-pulse decode loop by at least this factor.
+WARM_SPEEDUP_GATE = 5.0
+
+
+def _serve_trace(
+    server: PulseServer,
+    trace: Sequence[Tuple[str, Tuple[int, ...]]],
+    batch_size: int,
+) -> int:
+    """Replay a trace through ``fetch_batch``; returns pulses served."""
+    served = 0
+    for start in range(0, len(trace), batch_size):
+        served += len(server.fetch_batch(trace[start : start + batch_size]))
+    return served
+
+
+def _identity_ok(
+    server: PulseServer,
+    store: ShardedStore,
+    reference: Dict[Tuple[str, Tuple[int, ...]], np.ndarray],
+) -> bool:
+    """Every pulse served batch-wise must match the scalar reference."""
+    keys = store.keys()
+    served = server.fetch_batch(keys)
+    for key, waveform in zip(keys, served):
+        if not np.array_equal(waveform.samples, reference[key]):
+            return False
+    return True
+
+
+def run_serving_bench(
+    device_specs: Sequence[str] = SERVING_QUICK_DEVICE_SPECS,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
+    n_requests: int = 2048,
+    batch_size: int = 32,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: int = 7,
+    window_size: int = 16,
+    variant: str = "int-DCT-W",
+    max_workers: int = 4,
+) -> Dict:
+    """Run the serving benchmark; returns the JSON-serializable payload.
+
+    One entry per ``device x shard count x cache fraction``.  The trace
+    (Zipf over the device's keys, fixed seed) and the naive baseline
+    are shared across a device's configs so speedups are comparable.
+    """
+    if not device_specs:
+        raise DeviceError("serving bench needs at least one device spec")
+    if min(shard_counts, default=0) < 1:
+        raise DeviceError(f"shard counts must be >= 1, got {tuple(shard_counts)}")
+    if min(cache_fractions, default=0.0) <= 0:
+        raise DeviceError(
+            f"cache fractions must be > 0, got {tuple(cache_fractions)}"
+        )
+    if n_requests < 1 or batch_size < 1:
+        raise DeviceError("n_requests and batch_size must be >= 1")
+
+    entries: List[Dict] = []
+    for spec in device_specs:
+        device = resolve_device(spec)
+        library = device.pulse_library()
+        compiled = CompaqtCompiler(
+            window_size=window_size, variant=variant
+        ).compile_library(library)
+        n_pulses = len(compiled)
+        with tempfile.TemporaryDirectory(prefix="cqs1-bench-") as tmp:
+            stores = {
+                n_shards: save_store(
+                    compiled,
+                    pathlib.Path(tmp) / f"{device.name}-{n_shards}.cqs",
+                    n_shards=n_shards,
+                )
+                for n_shards in shard_counts
+            }
+            trace = synthetic_trace(stores[shard_counts[0]].keys(), n_requests, seed)
+            reference = {
+                key: decompress_waveform(
+                    compiled.result(*key).compressed
+                ).samples
+                for key in stores[shard_counts[0]].keys()
+            }
+
+            # The naive baseline: per-request record read + scalar
+            # decode, straight off the first store layout.
+            naive_store = stores[shard_counts[0]]
+            naive_stats, _ = time_callable(
+                lambda: [
+                    decompress_waveform(naive_store.read_record(*key))
+                    for key in trace
+                ],
+                repeats,
+                warmup,
+            )
+            naive_pps = naive_stats.throughput(len(trace))
+
+            for n_shards in shard_counts:
+                store = stores[n_shards]
+                for fraction in cache_fractions:
+                    cache_size = max(1, round(fraction * n_pulses))
+
+                    # Cold: fresh server per repetition, best-of-N.
+                    cold_samples = []
+                    for _ in range(max(1, repeats)):
+                        with PulseServer(
+                            store,
+                            cache_capacity=cache_size,
+                            max_workers=max_workers,
+                        ) as cold_server:
+                            start = time.perf_counter()
+                            _serve_trace(cold_server, trace, batch_size)
+                            cold_samples.append(time.perf_counter() - start)
+                    cold_pps = len(trace) / min(cold_samples)
+
+                    # Warm: one server, cache populated by a first
+                    # pass, then timed replays.
+                    with PulseServer(
+                        store, cache_capacity=cache_size, max_workers=max_workers
+                    ) as server:
+                        _serve_trace(server, trace, batch_size)
+                        before = server.stats()
+                        warm_stats, _ = time_callable(
+                            lambda: _serve_trace(server, trace, batch_size),
+                            repeats,
+                            warmup,
+                        )
+                        after = server.stats()
+                        warm_lookups = after.cache.lookups - before.cache.lookups
+                        warm_hits = after.cache.hits - before.cache.hits
+                        identity = _identity_ok(server, store, reference)
+                    warm_pps = warm_stats.throughput(len(trace))
+
+                    entries.append(
+                        {
+                            "device": device.name,
+                            "spec": spec,
+                            "variant": variant,
+                            "window_size": window_size,
+                            "n_pulses": n_pulses,
+                            "n_requests": len(trace),
+                            "batch_size": batch_size,
+                            "n_shards": n_shards,
+                            "cache_fraction": fraction,
+                            "cache_size": cache_size,
+                            "store_bytes": store.total_shard_bytes,
+                            "naive_pulses_per_s": naive_pps,
+                            "cold_pulses_per_s": cold_pps,
+                            "warm_pulses_per_s": warm_pps,
+                            "cold_speedup_vs_naive": cold_pps / naive_pps,
+                            "warm_speedup_vs_naive": warm_pps / naive_pps,
+                            "warm_hit_rate": (
+                                warm_hits / warm_lookups if warm_lookups else 0.0
+                            ),
+                            "identity_ok": bool(identity),
+                        }
+                    )
+
+    full_cache = [e for e in entries if e["cache_size"] >= e["n_pulses"]]
+    warm_full = [e["warm_speedup_vs_naive"] for e in full_cache]
+    warm_all = [e["warm_speedup_vs_naive"] for e in entries]
+    summary = {
+        "all_identity_ok": all(e["identity_ok"] for e in entries),
+        "warm_speedup_full_cache_min": min(warm_full) if warm_full else None,
+        "warm_speedup_full_cache_max": max(warm_full) if warm_full else None,
+        "warm_speedup_gate": WARM_SPEEDUP_GATE,
+        "warm_speedup_gate_ok": (
+            min(warm_full) >= WARM_SPEEDUP_GATE if warm_full else False
+        ),
+        "min_warm_speedup": min(warm_all),
+        "max_warm_speedup": max(warm_all),
+        "n_entries": len(entries),
+    }
+    return {
+        "schema": SERVING_BENCH_SCHEMA,
+        "version": __version__,
+        "created_unix": time.time(),
+        "config": {
+            "devices": list(device_specs),
+            "shard_counts": list(shard_counts),
+            "cache_fractions": list(cache_fractions),
+            "n_requests": n_requests,
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "warmup": warmup,
+            "seed": seed,
+            "window_size": window_size,
+            "variant": variant,
+            "max_workers": max_workers,
+        },
+        "entries": entries,
+        "summary": summary,
+    }
+
+
+def render_serving_table(payload: Dict) -> str:
+    """Render a serving-bench payload as the repo's standard table."""
+    rows = []
+    for e in payload["entries"]:
+        rows.append(
+            [
+                e["device"],
+                e["n_shards"],
+                f"{e['cache_size']} ({e['cache_fraction']:.0%})",
+                f"{e['naive_pulses_per_s']:.0f}",
+                f"{e['cold_pulses_per_s']:.0f}",
+                f"{e['warm_pulses_per_s']:.0f}",
+                f"{e['warm_speedup_vs_naive']:.1f}x",
+                f"{e['warm_hit_rate']:.0%}",
+                "ok" if e["identity_ok"] else "MISMATCH",
+            ]
+        )
+    summary = payload["summary"]
+    notes = [
+        f"identity {'ok' if summary['all_identity_ok'] else 'FAILED'}",
+    ]
+    if summary["warm_speedup_full_cache_min"] is not None:
+        notes.append(
+            "warm full-cache >= "
+            f"{summary['warm_speedup_full_cache_min']:.1f}x naive "
+            f"(gate {summary['warm_speedup_gate']:.0f}x: "
+            f"{'ok' if summary['warm_speedup_gate_ok'] else 'FAILED'})"
+        )
+    return render_table(
+        "Pulse serving: store + cache + server vs naive decode loop "
+        f"(WS={payload['config']['window_size']}, "
+        f"{payload['config']['variant']})",
+        [
+            "device",
+            "shards",
+            "cache",
+            "naive p/s",
+            "cold p/s",
+            "warm p/s",
+            "warm speedup",
+            "warm hits",
+            "identity",
+        ],
+        rows,
+        note=", ".join(notes),
+    )
+
+
+def write_serving_json(
+    payload: Dict, path: str = DEFAULT_SERVING_OUTPUT
+) -> pathlib.Path:
+    """Write the payload to disk; returns the resolved path."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out.resolve()
+
+
+def serving_gates_ok(payload: Dict) -> Tuple[bool, List[str]]:
+    """CI verdict: (ok, failure messages).  Identity is the hard gate."""
+    failures: List[str] = []
+    if not payload["summary"]["all_identity_ok"]:
+        failures.append(
+            "served waveforms are not bit-identical to decompress_channel"
+        )
+    return (not failures, failures)

@@ -1,0 +1,63 @@
+"""Sharded waveform store and the concurrent pulse-serving subsystem.
+
+The read-path hierarchy between the codec/bitstream layers and a
+production controller:
+
+- :mod:`repro.store.sharded` -- the ``CQS1`` on-disk layout: a JSON
+  manifest plus N ``CQL1`` shard files, hash-sharded by channel, with a
+  byte-offset index so one pulse record is a single seek-and-read.
+- :mod:`repro.store.cache` -- :class:`PulseCache`, a bounded LRU of
+  *decoded* waveforms with exact hit/miss/eviction counters and a
+  batch-aware ``get_many`` that decodes misses through the vectorized
+  batched engine.
+- :mod:`repro.store.server` -- :class:`PulseServer`, the thread-safe
+  ``fetch`` / ``fetch_batch`` front end with per-shard single-flight
+  and cross-shard parallel fills.
+- :mod:`repro.store.trace` -- request traces (JSON files and synthetic
+  Zipf workloads) for ``repro serve`` and the serving benchmark.
+
+Quickstart::
+
+    from repro import CompaqtCompiler, ibm_device
+    from repro.store import PulseServer, open_store, save_store
+
+    compiler = CompaqtCompiler(window_size=16)
+    compiled = compiler.compile_library(ibm_device("guadalupe").pulse_library())
+    save_store(compiled, "guadalupe.cqs", n_shards=4)
+
+    with PulseServer(open_store("guadalupe.cqs"), cache_capacity=32) as server:
+        pulse = server.fetch("sx", (0,))
+        batch = server.fetch_batch([("x", (1,)), ("cx", (0, 1))])
+"""
+
+from repro.store.sharded import (
+    MANIFEST_NAME,
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    ShardedStore,
+    StoreRecord,
+    open_store,
+    save_store,
+    shard_index,
+)
+from repro.store.cache import CacheStats, PulseCache
+from repro.store.server import PulseServer, ServerStats
+from repro.store.trace import load_trace, synthetic_trace, write_trace
+
+__all__ = [
+    "STORE_MAGIC",
+    "STORE_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "StoreRecord",
+    "ShardedStore",
+    "shard_index",
+    "save_store",
+    "open_store",
+    "CacheStats",
+    "PulseCache",
+    "ServerStats",
+    "PulseServer",
+    "load_trace",
+    "write_trace",
+    "synthetic_trace",
+]

@@ -1,0 +1,219 @@
+"""A bounded LRU cache of *decoded* waveforms over a sharded store.
+
+This is the paper's memory hierarchy made explicit: the compressed
+image lives in the :class:`~repro.store.sharded.ShardedStore` (cheap,
+large), and a small hot set of fully decoded
+:class:`~repro.pulses.waveform.Waveform` objects lives here (expensive,
+bounded).  Every miss is a demand fetch -- one offset-indexed record
+read plus a decode -- and :meth:`PulseCache.get_many` amortizes decode
+cost by grouping miss reads per shard (sequential I/O) and pushing
+*all* missed records through the vectorized batched engine
+(:func:`repro.compression.batch.decompress_batch`) in one call instead
+of decoding pulse by pulse.
+
+The cache is thread-safe (a single reentrant lock guards the LRU map
+and counters) but deliberately does **not** deduplicate concurrent
+misses for the same pulse -- that single-flight policy belongs to the
+serving layer (:class:`repro.store.server.PulseServer`), which holds a
+per-shard lock around fills.
+
+Counters (hits / misses / insertions / evictions) are monotonic and
+exact: every :meth:`get`, :meth:`get_many`, or :meth:`lookup` resolves
+each distinct requested key to exactly one hit or one miss, capacity is
+never exceeded, and eviction strictly follows least-recent use.  The
+property suite in ``tests/test_serving.py`` holds the implementation to
+a shadow-model of exactly these rules.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StoreError
+from repro.compression.batch import decompress_batch
+from repro.pulses.waveform import Waveform
+from repro.store.sharded import ShardedStore, normalize_key
+
+__all__ = ["CacheStats", "PulseCache"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 before any traffic."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PulseCache:
+    """Bounded LRU of decoded waveforms, demand-filled from a store.
+
+    Args:
+        store: The compressed source of truth.
+        capacity: Maximum decoded pulses held (>= 1).  Decoded IBM
+            pulses run ~1-10 KB each, so capacity is effectively the
+            hot-set budget in pulse count.
+    """
+
+    def __init__(self, store: ShardedStore, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StoreError(f"cache capacity must be >= 1, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        self._lru: "OrderedDict[_Key, Waveform]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    # -- probes ---------------------------------------------------------------
+
+    def lookup(self, gate: str, qubits: Sequence[int]) -> Optional[Waveform]:
+        """Counted cache probe: hit refreshes recency, miss loads nothing."""
+        key = normalize_key(gate, qubits)
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._lru.move_to_end(key)
+            else:
+                self._misses += 1
+            return cached
+
+    def peek(self, gate: str, qubits: Sequence[int]) -> Optional[Waveform]:
+        """Uncounted probe: touches neither counters nor LRU order.
+
+        The serving layer uses this to re-check after acquiring a shard
+        lock without double-counting the original miss.
+        """
+        with self._lock:
+            return self._lru.get(normalize_key(gate, qubits))
+
+    # -- fills ----------------------------------------------------------------
+
+    def load_many(
+        self, keys: Sequence[Tuple[str, Sequence[int]]]
+    ) -> Dict[_Key, Waveform]:
+        """Fetch, batch-decode, and insert the given pulses unconditionally.
+
+        Records are read with per-shard grouped, offset-ordered I/O and
+        decoded in **one** :func:`decompress_batch` call.  Counters are
+        untouched (the caller already accounted the misses); insertions
+        and any evictions they force are recorded.
+        """
+        unique: List[_Key] = list(
+            dict.fromkeys(normalize_key(*key) for key in keys)
+        )
+        if not unique:
+            return {}
+        records = self.store.read_many(unique)
+        decoded = decompress_batch(records)
+        out = dict(zip(unique, decoded))
+        with self._lock:
+            for key, waveform in out.items():
+                self._insert(key, waveform)
+        return out
+
+    def _insert(self, key: _Key, waveform: Waveform) -> None:
+        """Insert under the lock, evicting least-recent entries to fit."""
+        already_present = key in self._lru
+        self._lru[key] = waveform
+        self._lru.move_to_end(key)
+        if not already_present:
+            self._insertions += 1
+            while len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+                self._evictions += 1
+
+    # -- the public read path -------------------------------------------------
+
+    def get(self, gate: str, qubits: Sequence[int]) -> Waveform:
+        """One decoded pulse: cache hit, or demand fetch + decode."""
+        cached = self.lookup(gate, qubits)
+        if cached is not None:
+            return cached
+        key = normalize_key(gate, qubits)
+        return self.load_many([key])[key]
+
+    def get_many(
+        self, requests: Sequence[Tuple[str, Sequence[int]]]
+    ) -> List[Waveform]:
+        """Batch read: misses are grouped per shard and decoded together.
+
+        Each *distinct* requested pulse counts exactly one hit or miss;
+        duplicate keys inside one call share the first occurrence's
+        outcome.  Results come back in request order.
+        """
+        keys = [normalize_key(*request) for request in requests]
+        resolved: Dict[_Key, Waveform] = {}
+        missing: List[_Key] = []
+        for key in dict.fromkeys(keys):
+            cached = self.lookup(*key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                missing.append(key)
+        if missing:
+            resolved.update(self.load_many(missing))
+        return [resolved[key] for key in keys]
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def __contains__(self, key: Tuple[str, Sequence[int]]) -> bool:
+        with self._lock:
+            return normalize_key(*key) in self._lru
+
+    def cached_keys(self) -> List[_Key]:
+        """Keys currently held, least-recently used first."""
+        with self._lock:
+            return list(self._lru.keys())
+
+    def clear(self) -> None:
+        """Drop every cached waveform (counters keep their history)."""
+        with self._lock:
+            self._lru.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._lru),
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+            )

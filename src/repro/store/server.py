@@ -1,0 +1,220 @@
+"""Concurrent pulse-serving front end over a sharded store.
+
+:class:`PulseServer` is the piece instruction-driven controllers hang
+off the compressed waveform memory: gate issue asks for a decoded
+pulse, the hot set answers from the
+:class:`~repro.store.cache.PulseCache`, and misses are demand-fetched
+from the :class:`~repro.store.sharded.ShardedStore` and decoded through
+the batched engine.  It is safe to call from many threads at once and
+adds two policies the cache deliberately does not have:
+
+* **Per-shard single-flight.**  Every fill happens under that shard's
+  lock: when N threads miss on the same (or co-sharded) pulses at the
+  same moment, one of them decodes while the rest wait and then take
+  the freshly cached result (counted in ``coalesced_fills``).  The
+  same window is never decoded twice concurrently.
+
+* **Cross-shard parallel fills.**  :meth:`fetch_batch` groups its
+  misses by shard and fans the per-shard fills out on a
+  :class:`concurrent.futures.ThreadPoolExecutor`, so a batch touching
+  K shards pays roughly one shard's fill latency, not K.
+
+Served samples are bit-identical to the scalar reference
+(:func:`repro.compression.pipeline.decompress_channel` via
+``decompress_waveform``): the cache decodes through
+:func:`~repro.compression.batch.decompress_batch`, whose conformance
+with the scalar path is enforced by the PR 2 test suite and re-checked
+end-to-end by the serving benchmark's identity gate.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StoreError
+from repro.pulses.waveform import Waveform
+from repro.store.cache import CacheStats, PulseCache
+from repro.store.sharded import ShardedStore, normalize_key
+
+__all__ = ["ServerStats", "PulseServer"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A point-in-time snapshot of one server's counters."""
+
+    requests: int
+    batches: int
+    shard_fills: int
+    coalesced_fills: int
+    cache: CacheStats
+
+    def to_dict(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "shard_fills": self.shard_fills,
+            "coalesced_fills": self.coalesced_fills,
+            "cache": self.cache.to_dict(),
+        }
+
+
+class PulseServer:
+    """Thread-safe ``fetch`` / ``fetch_batch`` over store + cache.
+
+    Args:
+        store: The compressed pulse store to serve from.
+        cache_capacity: Decoded hot-set size (ignored when ``cache`` is
+            given).
+        max_workers: Threads for cross-shard parallel fills; capped at
+            the store's shard count (more would never run concurrently
+            under per-shard single-flight).
+        cache: Optionally share a pre-built :class:`PulseCache` (e.g.
+            one cache behind several servers in a test harness).
+
+    Use as a context manager, or call :meth:`close` to release the
+    fill executor; serving after ``close`` still works but fills run
+    inline on the calling thread.
+    """
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        cache_capacity: int = 64,
+        max_workers: int = 4,
+        cache: Optional[PulseCache] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise StoreError(f"max_workers must be >= 1, got {max_workers}")
+        if cache is not None and cache.store is not store:
+            raise StoreError("shared cache is bound to a different store")
+        self.store = store
+        self.cache = cache if cache is not None else PulseCache(store, cache_capacity)
+        self._shard_locks = tuple(
+            threading.Lock() for _ in range(store.n_shards)
+        )
+        self._executor: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+            max_workers=min(max_workers, store.n_shards),
+            thread_name_prefix="pulse-serve",
+        )
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._shard_fills = 0
+        self._coalesced_fills = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the fill executor (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "PulseServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the serving API ---------------------------------------------------------
+
+    def fetch(self, gate: str, qubits: Sequence[int]) -> Waveform:
+        """Serve one decoded pulse (hit: lock-free; miss: single-flight).
+
+        Bit-identical to ``decompress_waveform(store.read_record(...))``.
+        """
+        key = normalize_key(gate, qubits)
+        waveform = self.cache.lookup(*key)
+        if waveform is None:
+            waveform = self._fill_shard(self.store.shard_of(*key), [key])[key]
+        with self._stats_lock:
+            self._requests += 1
+        return waveform
+
+    def fetch_batch(
+        self, requests: Sequence[Tuple[str, Sequence[int]]]
+    ) -> List[Waveform]:
+        """Serve a batch; misses fill per shard, shards fill in parallel.
+
+        Results come back in request order; duplicate keys are served
+        from a single decode.
+        """
+        keys = [normalize_key(*request) for request in requests]
+        resolved: Dict[_Key, Waveform] = {}
+        missing_by_shard: Dict[int, List[_Key]] = {}
+        for key in dict.fromkeys(keys):
+            waveform = self.cache.lookup(*key)
+            if waveform is not None:
+                resolved[key] = waveform
+            else:
+                shard = self.store.shard_of(*key)
+                missing_by_shard.setdefault(shard, []).append(key)
+        if missing_by_shard:
+            executor = self._executor
+            filled = False
+            if executor is not None and len(missing_by_shard) > 1:
+                try:
+                    futures = [
+                        executor.submit(self._fill_shard, shard, shard_keys)
+                        for shard, shard_keys in missing_by_shard.items()
+                    ]
+                except RuntimeError:
+                    # close() raced us between reading self._executor
+                    # and submit(); honor the documented fallback.
+                    pass
+                else:
+                    for future in futures:
+                        resolved.update(future.result())
+                    filled = True
+            if not filled:
+                for shard, shard_keys in missing_by_shard.items():
+                    resolved.update(self._fill_shard(shard, shard_keys))
+        with self._stats_lock:
+            self._requests += len(keys)
+            self._batches += 1
+        return [resolved[key] for key in keys]
+
+    # -- fills -----------------------------------------------------------------
+
+    def _fill_shard(self, shard: int, keys: List[_Key]) -> Dict[_Key, Waveform]:
+        """Resolve misses for one shard under its single-flight lock.
+
+        Keys another thread decoded while we waited for the lock are
+        taken from the cache (coalesced); the remainder is read and
+        decoded in one batch.
+        """
+        out: Dict[_Key, Waveform] = {}
+        coalesced = 0
+        with self._shard_locks[shard]:
+            to_load: List[_Key] = []
+            for key in keys:
+                waveform = self.cache.peek(*key)
+                if waveform is not None:
+                    out[key] = waveform
+                    coalesced += 1
+                else:
+                    to_load.append(key)
+            if to_load:
+                out.update(self.cache.load_many(to_load))
+        with self._stats_lock:
+            self._shard_fills += 1
+            self._coalesced_fills += coalesced
+        return out
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        with self._stats_lock:
+            return ServerStats(
+                requests=self._requests,
+                batches=self._batches,
+                shard_fills=self._shard_fills,
+                coalesced_fills=self._coalesced_fills,
+                cache=self.cache.stats(),
+            )

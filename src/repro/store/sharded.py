@@ -1,0 +1,506 @@
+"""The CQS1 sharded pulse store: on-disk layout, writer, and reader.
+
+A compiled :class:`~repro.core.compiler.CompressedPulseLibrary` so far
+persisted as one monolithic ``CQL1`` container that every consumer had
+to parse -- and decode -- in full.  A serving system wants the opposite
+read path (the paper's whole premise is that decompression happens at
+gate-issue time, not at load time): keep the *compressed* image on
+disk, fetch single pulse records on demand, and decode only what is
+actually played.
+
+A **CQS1 store** is a directory::
+
+    mystore.cqs/
+      manifest.json     the CQS1 manifest (see below)
+      shard-0000.cql    a plain CQL1 library container
+      shard-0001.cql
+      ...
+
+Each shard file is a complete, standalone ``CQL1`` container (parseable
+by :func:`repro.compression.bitstream.parse_library`), holding the
+entries whose channel key hashes to that shard:
+``shard = crc32("gate|q0,q1") % n_shards``.  The hash is stable across
+processes and platforms, so any client can route a request to its shard
+without the manifest.
+
+The manifest is JSON with a ``"magic": "CQS1"`` tag carrying the
+library metadata (device, codec, window size), the shard file table,
+and a **byte-offset index**: for every pulse, the shard it lives in and
+the ``(offset, length)`` span of its embedded ``CQW1`` waveform record
+(:class:`~repro.compression.bitstream.RecordSpan`).  Reading one pulse
+is therefore a single seek-and-read plus
+:func:`~repro.compression.bitstream.parse_waveform` -- no shard parse,
+no decode of neighbours.
+
+Everything that can be validated cheaply at open time is (magic,
+version, shard files present with the recorded sizes, spans in range);
+record reads re-validate through the total ``CQW1`` parser, so a
+corrupt shard raises :class:`~repro.errors.StoreError` or
+:class:`~repro.errors.CompressionError` instead of yielding garbage
+samples.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import CompressionError, StoreError
+from repro.compression.bitstream import (
+    LibraryBitstream,
+    LibraryEntry,
+    parse_library,
+    parse_waveform,
+    serialize_library_indexed,
+)
+from repro.compression.pipeline import CompressedWaveform
+
+__all__ = [
+    "STORE_MAGIC",
+    "STORE_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "StoreRecord",
+    "normalize_key",
+    "ShardedStore",
+    "shard_index",
+    "save_store",
+    "open_store",
+]
+
+STORE_MAGIC = "CQS1"
+STORE_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+
+def normalize_key(gate: str, qubits: Sequence[int]) -> _Key:
+    """Canonical channel key: every layer of the store agrees on this."""
+    return (gate, tuple(int(q) for q in qubits))
+
+
+def shard_index(gate: str, qubits: Sequence[int], n_shards: int) -> int:
+    """Stable shard assignment for one channel key.
+
+    Uses CRC-32 over the canonical ``"gate|q0,q1"`` spelling so the
+    mapping is identical across Python processes, platforms, and hash
+    randomization -- a request router does not need the manifest to
+    know where a pulse lives.
+    """
+    if n_shards < 1:
+        raise StoreError(f"n_shards must be >= 1, got {n_shards}")
+    gate, qubits = normalize_key(gate, qubits)
+    key = f"{gate}|{','.join(str(q) for q in qubits)}".encode("utf-8")
+    return zlib.crc32(key) % n_shards
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One manifest index row: where a pulse lives and its metadata."""
+
+    gate: str
+    qubits: Tuple[int, ...]
+    shard: int
+    offset: int
+    length: int
+    mse: float
+    threshold: float
+
+
+def _shard_file_name(shard: int) -> str:
+    return f"shard-{shard:04d}.cql"
+
+
+def save_store(
+    compiled,
+    path: Union[str, pathlib.Path],
+    n_shards: int = 4,
+) -> "ShardedStore":
+    """Write a compiled library as a CQS1 sharded store directory.
+
+    Args:
+        compiled: A :class:`~repro.core.compiler.CompressedPulseLibrary`.
+        path: Store directory to create (conventionally ``*.cqs``).
+            Created if missing; an existing manifest is overwritten.
+        n_shards: Shard file count.  More shards mean smaller fetch
+            units and more single-flight parallelism; empty shards are
+            legal (they serialize as zero-entry containers).
+
+    Returns:
+        The opened :class:`ShardedStore` (reads go through the same
+        code path every other client uses, so a just-written store is
+        verified openable).
+    """
+    if n_shards < 1:
+        raise StoreError(f"n_shards must be >= 1, got {n_shards}")
+    if len(compiled) == 0:
+        raise StoreError("cannot store an empty compressed library")
+    out = pathlib.Path(path)
+    out.mkdir(parents=True, exist_ok=True)
+
+    by_shard: Dict[int, List[Tuple[_Key, object]]] = {
+        shard: [] for shard in range(n_shards)
+    }
+    for (gate, qubits), result in compiled:
+        key = normalize_key(gate, qubits)
+        by_shard[shard_index(*key, n_shards)].append((key, result))
+
+    shard_table: List[Dict] = []
+    index: List[Dict] = []
+    for shard in range(n_shards):
+        entries = tuple(
+            LibraryEntry(
+                gate=key[0],
+                qubits=key[1],
+                mse=result.mse,
+                threshold=result.threshold,
+                compressed=result.compressed,
+            )
+            for key, result in by_shard[shard]
+        )
+        blob, spans = serialize_library_indexed(
+            LibraryBitstream(
+                device_name=compiled.device_name,
+                window_size=compiled.window_size,
+                variant=compiled.variant,
+                entries=entries,
+            )
+        )
+        file_name = _shard_file_name(shard)
+        (out / file_name).write_bytes(blob)
+        shard_table.append(
+            {"file": file_name, "n_entries": len(entries), "n_bytes": len(blob)}
+        )
+        for (key, result), span in zip(by_shard[shard], spans):
+            index.append(
+                {
+                    "gate": key[0],
+                    "qubits": list(key[1]),
+                    "shard": shard,
+                    "offset": span.offset,
+                    "length": span.length,
+                    "mse": result.mse,
+                    "threshold": result.threshold,
+                }
+            )
+
+    # Overwriting a wider layout must not leave its extra shard files
+    # behind: anything matching the shard naming scheme beyond n_shards
+    # is a stale orphan from a previous save.
+    for stale in out.glob("shard-[0-9][0-9][0-9][0-9].cql"):
+        if stale.name not in {row["file"] for row in shard_table}:
+            stale.unlink()
+
+    manifest = {
+        "magic": STORE_MAGIC,
+        "format_version": STORE_FORMAT_VERSION,
+        "device_name": compiled.device_name,
+        "variant": compiled.variant,
+        "window_size": compiled.window_size,
+        "n_shards": n_shards,
+        "n_entries": len(compiled),
+        "shards": shard_table,
+        "entries": index,
+    }
+    (out / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1) + "\n")
+    return ShardedStore.open(out)
+
+
+class ShardedStore:
+    """Read-side handle on a CQS1 store: lazy, offset-indexed access.
+
+    Opening a store reads and validates only the manifest; pulse bytes
+    stay on disk until :meth:`read_record` (one seek-and-read per
+    pulse) or :meth:`read_shard` / :meth:`load_library` (eager paths)
+    ask for them.  The object itself is immutable after ``open`` and
+    safe to share across threads; see :class:`repro.store.PulseCache`
+    and :class:`repro.store.PulseServer` for the decoded-cache and
+    concurrent front ends.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        device_name: str,
+        variant: str,
+        window_size: int,
+        n_shards: int,
+        shard_files: Tuple[str, ...],
+        index: Dict[_Key, StoreRecord],
+    ) -> None:
+        self.path = path
+        self.device_name = device_name
+        self.variant = variant
+        self.window_size = window_size
+        self.n_shards = n_shards
+        self._shard_files = shard_files
+        self._index = index
+
+    # -- opening -------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, pathlib.Path]) -> "ShardedStore":
+        """Open a store directory, validating its manifest and layout."""
+        root = pathlib.Path(path)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise StoreError(f"no CQS1 manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreError(f"corrupt CQS1 manifest: {exc}") from None
+        if not isinstance(manifest, dict) or manifest.get("magic") != STORE_MAGIC:
+            raise StoreError(f"{manifest_path} is not a CQS1 manifest (bad magic)")
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported CQS1 format version {version!r} "
+                f"(this build reads version {STORE_FORMAT_VERSION})"
+            )
+        try:
+            n_shards = int(manifest["n_shards"])
+            shard_table = manifest["shards"]
+            entry_rows = manifest["entries"]
+            device_name = manifest["device_name"]
+            variant = manifest["variant"]
+            window_size = int(manifest["window_size"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed CQS1 manifest: {exc!r}") from None
+        if n_shards < 1 or len(shard_table) != n_shards:
+            raise StoreError(
+                f"manifest declares {n_shards} shards but lists "
+                f"{len(shard_table)} shard files"
+            )
+
+        shard_sizes: List[int] = []
+        shard_files: List[str] = []
+        for shard, row in enumerate(shard_table):
+            try:
+                file_name = str(row["file"])
+                recorded_bytes = int(row["n_bytes"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StoreError(
+                    f"malformed shard table row {shard}: {exc!r}"
+                ) from None
+            shard_path = root / file_name
+            if not shard_path.is_file():
+                raise StoreError(f"missing shard file {shard_path}")
+            actual = shard_path.stat().st_size
+            if actual != recorded_bytes:
+                raise StoreError(
+                    f"shard {shard} is {actual} bytes on disk, manifest "
+                    f"records {recorded_bytes}"
+                )
+            shard_sizes.append(actual)
+            shard_files.append(file_name)
+
+        index: Dict[_Key, StoreRecord] = {}
+        for row in entry_rows:
+            try:
+                record = StoreRecord(
+                    gate=row["gate"],
+                    qubits=tuple(int(q) for q in row["qubits"]),
+                    shard=int(row["shard"]),
+                    offset=int(row["offset"]),
+                    length=int(row["length"]),
+                    mse=float(row["mse"]),
+                    threshold=float(row["threshold"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StoreError(f"malformed manifest entry: {exc!r}") from None
+            if not 0 <= record.shard < n_shards:
+                raise StoreError(
+                    f"entry {record.gate!r} {record.qubits} names shard "
+                    f"{record.shard} of {n_shards}"
+                )
+            if record.offset < 0 or record.length < 1 or (
+                record.offset + record.length > shard_sizes[record.shard]
+            ):
+                raise StoreError(
+                    f"entry {record.gate!r} {record.qubits} span "
+                    f"[{record.offset}, {record.offset + record.length}) "
+                    f"overruns shard {record.shard} "
+                    f"({shard_sizes[record.shard]} bytes)"
+                )
+            index[(record.gate, record.qubits)] = record
+        try:
+            declared_entries = int(manifest.get("n_entries", len(index)))
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"malformed CQS1 manifest: {exc!r}") from None
+        if len(index) != declared_entries:
+            raise StoreError(
+                f"manifest declares {declared_entries} entries, "
+                f"index holds {len(index)}"
+            )
+        return cls(
+            path=root,
+            device_name=device_name,
+            variant=variant,
+            window_size=window_size,
+            n_shards=n_shards,
+            shard_files=tuple(shard_files),
+            index=index,
+        )
+
+    # -- inventory -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: _Key) -> bool:
+        return normalize_key(*key) in self._index
+
+    def keys(self) -> List[_Key]:
+        return list(self._index.keys())
+
+    def shard_of(self, gate: str, qubits: Sequence[int]) -> int:
+        """The shard holding one pulse (hash-routed, manifest-checked)."""
+        return self.record_info(gate, qubits).shard
+
+    def record_info(self, gate: str, qubits: Sequence[int]) -> StoreRecord:
+        """The manifest index row for one pulse."""
+        key = normalize_key(gate, qubits)
+        try:
+            return self._index[key]
+        except KeyError:
+            raise StoreError(
+                f"store {self.device_name!r} holds no pulse for gate "
+                f"{key[0]!r} on qubits {key[1]}"
+            ) from None
+
+    def shard_path(self, shard: int) -> pathlib.Path:
+        if not 0 <= shard < self.n_shards:
+            raise StoreError(f"shard {shard} out of range [0, {self.n_shards})")
+        return self.path / self._shard_files[shard]
+
+    # -- demand reads --------------------------------------------------------
+
+    @staticmethod
+    def _read_span(handle, info: StoreRecord) -> bytes:
+        """One seek-and-read of a record span, short-read checked."""
+        handle.seek(info.offset)
+        data = handle.read(info.length)
+        if len(data) != info.length:
+            raise StoreError(
+                f"short read from shard {info.shard}: wanted {info.length} "
+                f"bytes at {info.offset}, got {len(data)}"
+            )
+        return data
+
+    @staticmethod
+    def _check_binding(key: _Key, compressed: CompressedWaveform) -> None:
+        if (compressed.gate, compressed.qubits) != key:
+            raise StoreError(
+                f"record at shard offset for {key} is bound to "
+                f"({compressed.gate!r}, {compressed.qubits})"
+            )
+
+    def read_record_bytes(self, gate: str, qubits: Sequence[int]) -> bytes:
+        """Raw ``CQW1`` bytes of one pulse: a single seek-and-read."""
+        info = self.record_info(gate, qubits)
+        with self.shard_path(info.shard).open("rb") as handle:
+            return self._read_span(handle, info)
+
+    def read_record(self, gate: str, qubits: Sequence[int]) -> CompressedWaveform:
+        """Parse one pulse's compressed record without touching its shard.
+
+        The returned waveform is still compressed; decode it through
+        :func:`repro.compression.batch.decompress_batch` (what
+        :class:`repro.store.PulseCache` does) or
+        :func:`repro.compression.pipeline.decompress_waveform`.
+        """
+        return self.read_many([(gate, qubits)])[0]
+
+    def read_many(
+        self, requests: Iterable[Tuple[str, Sequence[int]]]
+    ) -> List[CompressedWaveform]:
+        """Read several records, grouping and ordering reads per shard.
+
+        Requests are fulfilled with one open file handle per touched
+        shard and reads issued in ascending offset order (sequential
+        I/O), then returned in request order.
+        """
+        keys = [normalize_key(*request) for request in requests]
+        infos = {key: self.record_info(*key) for key in set(keys)}
+        by_shard: Dict[int, List[_Key]] = {}
+        for key, info in infos.items():
+            by_shard.setdefault(info.shard, []).append(key)
+        raw: Dict[_Key, bytes] = {}
+        for shard, shard_keys in sorted(by_shard.items()):
+            shard_keys.sort(key=lambda k: infos[k].offset)
+            with self.shard_path(shard).open("rb") as handle:
+                for key in shard_keys:
+                    raw[key] = self._read_span(handle, infos[key])
+        out: List[CompressedWaveform] = []
+        for key in keys:
+            compressed = parse_waveform(raw[key])
+            self._check_binding(key, compressed)
+            out.append(compressed)
+        return out
+
+    # -- eager paths ---------------------------------------------------------
+
+    def read_shard(self, shard: int) -> LibraryBitstream:
+        """Parse one whole shard as its ``CQL1`` container."""
+        try:
+            return parse_library(self.shard_path(shard).read_bytes())
+        except CompressionError as exc:
+            raise StoreError(f"corrupt shard {shard}: {exc}") from None
+
+    def load_library(self):
+        """Eagerly load and decode the whole store.
+
+        Returns a :class:`~repro.core.compiler.CompressedPulseLibrary`
+        interchangeable with one loaded from the monolithic ``CQL1``
+        file -- the compatibility bridge for consumers that still want
+        everything decoded up front.
+        """
+        from repro.compression.batch import decompress_batch
+        from repro.compression.pipeline import CompressionResult
+        from repro.core.compiler import CompressedPulseLibrary
+
+        library = CompressedPulseLibrary(
+            device_name=self.device_name,
+            window_size=self.window_size,
+            variant=self.variant,
+        )
+        entries: List[LibraryEntry] = []
+        for shard in range(self.n_shards):
+            entries.extend(self.read_shard(shard).entries)
+        if len(entries) != len(self._index):
+            raise StoreError(
+                f"shards hold {len(entries)} entries, manifest indexes "
+                f"{len(self._index)}"
+            )
+        if entries:
+            reconstructed = decompress_batch([e.compressed for e in entries])
+            for entry, waveform in zip(entries, reconstructed):
+                library.add(
+                    (entry.gate, entry.qubits),
+                    CompressionResult(
+                        compressed=entry.compressed,
+                        reconstructed=waveform,
+                        mse=entry.mse,
+                        threshold=entry.threshold,
+                    ),
+                )
+        return library
+
+    @property
+    def total_shard_bytes(self) -> int:
+        """Compressed on-disk footprint across all shard files."""
+        return sum(self.shard_path(s).stat().st_size for s in range(self.n_shards))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStore({self.device_name!r}, variant={self.variant!r}, "
+            f"n_shards={self.n_shards}, n_entries={len(self)})"
+        )
+
+
+def open_store(path: Union[str, pathlib.Path]) -> ShardedStore:
+    """Open a CQS1 store directory (alias of :meth:`ShardedStore.open`)."""
+    return ShardedStore.open(path)

@@ -1,141 +1,28 @@
-"""Base-delta compression baseline (Section IV-B, Fig 7a).
+"""Deprecated shim: the base-delta baseline moved to the codecs package.
 
-The paper evaluates delta compression as a conventional-memory baseline
-and finds it weak: smooth waveforms give ~2x at best, and *any* zero
-crossing destroys the gain because, in the sign-magnitude sample format
-control hardware DACs consume, crossing zero flips the sign bit and the
-delta occupies the full bit-field of the original samples.
-
-We mechanize that argument exactly: samples are mapped to an integer
-*code* in the chosen representation, deltas are taken on codes, and the
-encoded delta width is the width of the largest code delta.  Lossless
-round-trip is guaranteed; the compression ratio emerges from the widths.
-
-``representation="twos-complement"`` is provided as an ablation -- it
-shows delta compression would survive zero crossings with a different
-sample format, at the cost of the sequential dependence the paper notes
-makes delta unsuitable for bandwidth anyway.
+Since the delta scheme became a first-class registered codec (PR 3),
+the baseline bit-width study and the codec kernels are single-sourced
+in :mod:`repro.compression.codecs.delta`.  This module re-exports the
+old names so existing imports keep working; new code should import from
+the codecs package (or :mod:`repro.transforms`, which forwards there).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-import numpy as np
-
-from repro.errors import CompressionError
+from repro.compression.codecs.delta import (  # noqa: F401
+    DeltaEncoded,
+    delta_compress,
+    delta_decompress,
+)
 
 __all__ = ["DeltaEncoded", "delta_compress", "delta_decompress"]
 
-_REPRESENTATIONS = ("sign-magnitude", "twos-complement")
-
-
-@dataclass(frozen=True)
-class DeltaEncoded:
-    """A delta-compressed sample stream.
-
-    Attributes:
-        base: First sample's code, stored at full width.
-        deltas: Signed code differences (length ``n - 1``).
-        delta_bits: Bit width allocated to each stored delta.
-        sample_bits: Original sample width.
-        representation: Code mapping used ("sign-magnitude" matches the
-            paper's hardware model).
-    """
-
-    base: int
-    deltas: np.ndarray
-    delta_bits: int
-    sample_bits: int
-    representation: str
-
-    @property
-    def n_samples(self) -> int:
-        return 1 + self.deltas.size
-
-    @property
-    def encoded_bits(self) -> int:
-        """Total storage: one full-width base plus fixed-width deltas."""
-        return self.sample_bits + self.deltas.size * self.delta_bits
-
-    @property
-    def original_bits(self) -> int:
-        return self.n_samples * self.sample_bits
-
-    @property
-    def compression_ratio(self) -> float:
-        """old size / new size, as defined in the paper (R)."""
-        return self.original_bits / self.encoded_bits
-
-
-def delta_compress(
-    samples: np.ndarray,
-    sample_bits: int = 16,
-    representation: str = "sign-magnitude",
-) -> DeltaEncoded:
-    """Delta-compress integer samples.
-
-    If the widest delta needs at least ``sample_bits`` bits the stream is
-    effectively incompressible (R <= 1), which is what happens to
-    zero-crossing waveforms in sign-magnitude form.
-
-    Args:
-        samples: 1-D array of signed integer samples.
-        sample_bits: Width of one raw sample (16 for IBM I or Q).
-        representation: "sign-magnitude" (paper model) or
-            "twos-complement" (ablation).
-    """
-    if representation not in _REPRESENTATIONS:
-        raise CompressionError(f"unknown representation: {representation!r}")
-    samples = np.asarray(samples, dtype=np.int64)
-    if samples.ndim != 1 or samples.size == 0:
-        raise CompressionError(f"expected non-empty 1-D samples, got {samples.shape}")
-    codes = _to_codes(samples, sample_bits, representation)
-    deltas = np.diff(codes)
-    delta_bits = _signed_width(deltas)
-    delta_bits = min(max(delta_bits, 1), sample_bits)
-    return DeltaEncoded(
-        base=int(codes[0]),
-        deltas=deltas,
-        delta_bits=delta_bits,
-        sample_bits=sample_bits,
-        representation=representation,
-    )
-
-
-def delta_decompress(encoded: DeltaEncoded) -> np.ndarray:
-    """Exact inverse of :func:`delta_compress`."""
-    codes = np.concatenate(([encoded.base], encoded.deltas)).cumsum()
-    return _from_codes(codes, encoded.sample_bits, encoded.representation)
-
-
-def _to_codes(samples: np.ndarray, bits: int, representation: str) -> np.ndarray:
-    limit = 1 << (bits - 1)
-    if np.any(np.abs(samples) >= limit):
-        raise CompressionError(f"samples exceed {bits}-bit signed range")
-    if representation == "twos-complement":
-        return samples.copy()
-    # Sign-magnitude: sign bit at the top, magnitude below.  Crossing
-    # zero jumps the code by ~2^(bits-1), which is the paper's point.
-    sign = (samples < 0).astype(np.int64)
-    return (sign << (bits - 1)) | np.abs(samples)
-
-
-def _from_codes(codes: np.ndarray, bits: int, representation: str) -> np.ndarray:
-    if representation == "twos-complement":
-        return codes.copy()
-    sign_bit = np.int64(1) << (bits - 1)
-    magnitude = codes & (sign_bit - 1)
-    negative = (codes & sign_bit) != 0
-    return np.where(negative, -magnitude, magnitude)
-
-
-def _signed_width(values: np.ndarray) -> int:
-    """Minimum two's-complement width holding every value."""
-    if values.size == 0:
-        return 1
-    lo, hi = int(values.min()), int(values.max())
-    width = 1
-    while not (-(1 << (width - 1)) <= lo and hi < (1 << (width - 1))):
-        width += 1
-    return width
+warnings.warn(
+    "repro.transforms.delta is deprecated; import DeltaEncoded / "
+    "delta_compress / delta_decompress from repro.compression.codecs.delta "
+    "(or from repro.transforms) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,98 +1,29 @@
-"""Dictionary compression baseline (Section IV-B).
+"""Deprecated shim: the dictionary baseline moved to the codecs package.
 
-The paper dismisses dictionary-based schemes because waveform samples
-"can have arbitrary values, which rarely repeat".  This module implements
-an honest frequency-dictionary codec so the benches can *show* that: on
-real pulse envelopes the hit rate is tiny and R stays near (or below) 1.
-
-Encoding model: a dictionary of the ``dict_size`` most frequent sample
-values is stored alongside the stream; every sample costs 1 flag bit plus
-either ``log2(dict_size)`` index bits (hit) or the full sample (miss).
+Since the dictionary scheme became a first-class registered codec
+(PR 3), the baseline hit-rate study and the codec kernels are
+single-sourced in :mod:`repro.compression.codecs.dictionary`.  This
+module re-exports the old names so existing imports keep working; new
+code should import from the codecs package (or
+:mod:`repro.transforms`, which forwards there).
 """
 
 from __future__ import annotations
 
-import math
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, Tuple
+import warnings
 
-import numpy as np
-
-from repro.errors import CompressionError
+from repro.compression.codecs.dictionary import (  # noqa: F401
+    DictionaryEncoded,
+    dictionary_compress,
+    dictionary_decompress,
+)
 
 __all__ = ["DictionaryEncoded", "dictionary_compress", "dictionary_decompress"]
 
-
-@dataclass(frozen=True)
-class DictionaryEncoded:
-    """A dictionary-compressed sample stream (lossless)."""
-
-    dictionary: Tuple[int, ...]
-    hits: np.ndarray  # bool per sample
-    indices: np.ndarray  # dictionary index where hit, else -1
-    misses: np.ndarray  # raw values of the missed samples, in order
-    sample_bits: int
-
-    @property
-    def n_samples(self) -> int:
-        return self.hits.size
-
-    @property
-    def index_bits(self) -> int:
-        return max(1, math.ceil(math.log2(max(len(self.dictionary), 2))))
-
-    @property
-    def encoded_bits(self) -> int:
-        dictionary_bits = len(self.dictionary) * self.sample_bits
-        hit_bits = int(self.hits.sum()) * self.index_bits
-        miss_bits = int(self.misses.size) * self.sample_bits
-        flag_bits = self.n_samples  # 1 hit/miss flag per sample
-        return dictionary_bits + hit_bits + miss_bits + flag_bits
-
-    @property
-    def compression_ratio(self) -> float:
-        return (self.n_samples * self.sample_bits) / self.encoded_bits
-
-    @property
-    def hit_rate(self) -> float:
-        return float(self.hits.mean()) if self.hits.size else 0.0
-
-
-def dictionary_compress(
-    samples: np.ndarray, dict_size: int = 64, sample_bits: int = 16
-) -> DictionaryEncoded:
-    """Compress with a most-frequent-values dictionary.
-
-    Args:
-        samples: 1-D integer samples.
-        dict_size: Dictionary entries (power of two recommended).
-        sample_bits: Raw sample width.
-    """
-    samples = np.asarray(samples, dtype=np.int64)
-    if samples.ndim != 1 or samples.size == 0:
-        raise CompressionError(f"expected non-empty 1-D samples, got {samples.shape}")
-    if dict_size < 1:
-        raise CompressionError(f"dict_size must be >= 1, got {dict_size}")
-    counts = Counter(samples.tolist())
-    dictionary = tuple(value for value, _count in counts.most_common(dict_size))
-    lookup: Dict[int, int] = {value: i for i, value in enumerate(dictionary)}
-    indices = np.array([lookup.get(int(v), -1) for v in samples], dtype=np.int64)
-    hits = indices >= 0
-    misses = samples[~hits].copy()
-    return DictionaryEncoded(
-        dictionary=dictionary,
-        hits=hits,
-        indices=indices,
-        misses=misses,
-        sample_bits=sample_bits,
-    )
-
-
-def dictionary_decompress(encoded: DictionaryEncoded) -> np.ndarray:
-    """Exact inverse of :func:`dictionary_compress`."""
-    out = np.empty(encoded.n_samples, dtype=np.int64)
-    dictionary = np.asarray(encoded.dictionary, dtype=np.int64)
-    out[encoded.hits] = dictionary[encoded.indices[encoded.hits]]
-    out[~encoded.hits] = encoded.misses
-    return out
+warnings.warn(
+    "repro.transforms.dictionary is deprecated; import DictionaryEncoded / "
+    "dictionary_compress / dictionary_decompress from "
+    "repro.compression.codecs.dictionary (or from repro.transforms) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -241,3 +241,150 @@ class TestCliBench:
     def test_bench_unknown_variant_rejected(self, capsys):
         assert main(["bench", "--variants", "DCT-Z"]) == 2
         assert "registered" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def serving_payload():
+    from repro.perf import run_serving_bench
+
+    return run_serving_bench(
+        device_specs=("bogota",),
+        shard_counts=(1, 2),
+        cache_fractions=(0.5, 1.0),
+        n_requests=128,
+        repeats=1,
+        warmup=0,
+    )
+
+
+class TestServingBench:
+    def test_schema_and_coverage(self, serving_payload):
+        from repro.perf import SERVING_BENCH_SCHEMA
+
+        assert serving_payload["schema"] == SERVING_BENCH_SCHEMA
+        # devices x shard counts x cache fractions
+        assert len(serving_payload["entries"]) == 1 * 2 * 2
+        assert {e["n_shards"] for e in serving_payload["entries"]} == {1, 2}
+
+    def test_identity_gate_holds(self, serving_payload):
+        assert serving_payload["summary"]["all_identity_ok"]
+        for entry in serving_payload["entries"]:
+            assert entry["identity_ok"]
+
+    def test_throughput_fields_positive(self, serving_payload):
+        for entry in serving_payload["entries"]:
+            for field in (
+                "naive_pulses_per_s",
+                "cold_pulses_per_s",
+                "warm_pulses_per_s",
+                "warm_speedup_vs_naive",
+            ):
+                assert entry[field] > 0
+            assert 0.0 <= entry["warm_hit_rate"] <= 1.0
+            assert entry["cache_size"] >= 1
+            assert entry["store_bytes"] > 0
+
+    def test_full_cache_warm_pass_is_all_hits_and_fast(self, serving_payload):
+        full = [
+            e
+            for e in serving_payload["entries"]
+            if e["cache_size"] >= e["n_pulses"]
+        ]
+        assert full
+        for entry in full:
+            assert entry["warm_hit_rate"] == 1.0
+        summary = serving_payload["summary"]
+        assert summary["warm_speedup_full_cache_min"] >= summary["warm_speedup_gate"]
+        assert summary["warm_speedup_gate_ok"]
+
+    def test_json_round_trip_and_table(self, serving_payload, tmp_path):
+        from repro.perf import (
+            SERVING_BENCH_SCHEMA,
+            render_serving_table,
+            write_serving_json,
+        )
+
+        path = write_serving_json(serving_payload, tmp_path / "serving.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SERVING_BENCH_SCHEMA
+        text = render_serving_table(serving_payload)
+        assert "ibm_bogota" in text
+        assert "identity ok" in text
+
+    def test_validation(self):
+        from repro.perf import run_serving_bench
+
+        with pytest.raises(DeviceError):
+            run_serving_bench(device_specs=())
+        with pytest.raises(DeviceError):
+            run_serving_bench(device_specs=("bogota",), shard_counts=(0,))
+        with pytest.raises(DeviceError):
+            run_serving_bench(device_specs=("bogota",), cache_fractions=(0.0,))
+        with pytest.raises(DeviceError):
+            run_serving_bench(device_specs=("bogota",), n_requests=0)
+
+
+class TestCliServingBench:
+    def test_parser_flag(self):
+        args = build_parser().parse_args(["bench", "--serving", "--quick"])
+        assert args.serving and args.quick
+        assert args.seed == 7
+
+    def test_serving_rejects_decode_profile(self, capsys):
+        assert main(["bench", "--serving", "--decode"]) == 2
+        assert "different bench profiles" in capsys.readouterr().out
+
+    def test_serving_variants_must_name_one_registered_codec(self, capsys):
+        assert main(["bench", "--serving", "--variants", "delta,DCT-W"]) == 2
+        assert "one codec" in capsys.readouterr().out
+        assert main(["bench", "--serving", "--variants", "nope"]) == 2
+        assert "registered" in capsys.readouterr().out
+
+    def test_serving_variant_wired_through(self, tmp_path, capsys):
+        out = tmp_path / "serving_delta.json"
+        code = main(
+            [
+                "bench",
+                "--serving",
+                "--quick",
+                "--devices",
+                "bogota",
+                "--variants",
+                "delta",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["variant"] == "delta"
+        assert all(e["variant"] == "delta" for e in payload["entries"])
+        assert payload["summary"]["all_identity_ok"]
+
+    def test_bench_serving_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serving.json"
+        code = main(
+            [
+                "bench",
+                "--serving",
+                "--quick",
+                "--devices",
+                "bogota",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Pulse serving" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["all_identity_ok"]
+        assert payload["config"]["n_requests"] == 512  # the quick profile
