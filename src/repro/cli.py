@@ -191,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the bit-identity check against the scalar decoder",
     )
+    serve.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="fill the cache through the fused whole-shard decoder "
+        "before replaying the trace",
+    )
     return parser
 
 
@@ -422,6 +428,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         failures.append("batched decode mismatches the scalar reference")
     if not summary["all_roundtrip_ok"]:
         failures.append("bitstream round-trip is not lossless")
+    if not summary["all_fused_parity_ok"]:
+        failures.append("fused parse+decode mismatches the scalar reader path")
+    if not summary["all_parse_parity_ok"]:
+        failures.append("vectorized parse mismatches the scalar reader")
+    if not summary["fused_speedup_gate_ok"]:
+        failures.append(
+            "fused cold-miss decode is under the "
+            f"{summary['fused_speedup_gate']:.0f}x gate on a windowed codec "
+            f"(min {summary['min_fused_speedup_windowed']:.1f}x)"
+        )
     for failure in failures:
         print(f"ERROR: {failure}")
     return 1 if failures else 0
@@ -527,6 +543,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with PulseServer(
         store, cache_capacity=args.cache_size, max_workers=args.workers
     ) as server:
+        prewarmed = server.cache.prewarm() if args.prewarm else 0
         start = time.perf_counter()
         for begin in range(0, len(trace), args.batch_size):
             server.fetch_batch(trace[begin : begin + args.batch_size])
@@ -561,6 +578,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ]
             ],
             note=f"trace: {source}, shard fills: {stats.shard_fills}"
+            + (f", prewarmed: {prewarmed} pulses" if args.prewarm else "")
             + (
                 ""
                 if args.no_verify

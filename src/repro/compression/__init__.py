@@ -28,9 +28,16 @@ from repro.compression.bitstream import (
     LibraryBitstream,
     LibraryEntry,
     parse_library,
+    parse_library_scalar,
     parse_waveform,
+    parse_waveform_scalar,
     serialize_library,
     serialize_waveform,
+)
+from repro.compression.fastpath import (
+    decode_library_bytes,
+    decode_record_bytes,
+    decode_records,
 )
 from repro.compression.window import split_windows, merge_windows, n_windows
 from repro.compression.metrics import (
@@ -75,9 +82,14 @@ __all__ = [
     "LibraryBitstream",
     "LibraryEntry",
     "parse_library",
+    "parse_library_scalar",
     "parse_waveform",
+    "parse_waveform_scalar",
     "serialize_library",
     "serialize_waveform",
+    "decode_library_bytes",
+    "decode_record_bytes",
+    "decode_records",
     "split_windows",
     "merge_windows",
     "n_windows",

@@ -56,6 +56,17 @@ codeword, trailing garbage -- raises
 :class:`~repro.errors.CompressionError` rather than yielding garbage
 samples.  Serialization is canonical, so ``serialize(parse(b)) == b``
 for every stream this module produced.
+
+**Fast path.**  :func:`parse_waveform` and :func:`parse_library`
+dispatch to the vectorized zero-copy engine in
+:mod:`repro.compression.fastpath` (numpy word gathers instead of
+per-word ``struct`` loops); the original word-at-a-time reader is kept
+as :func:`parse_waveform_scalar` / :func:`parse_library_scalar` -- the
+conformance oracle the fuzz suite and the perf bench hold the fast
+path equal to, byte for byte and error for error.  Serialization packs
+each channel's word stream as one numpy array write
+(:func:`_write_channel`); the scalar writer survives as
+:func:`_write_channel_scalar` for the same oracle role.
 """
 
 from __future__ import annotations
@@ -63,6 +74,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from typing import List, Tuple
+
+import numpy as np
 
 from repro.errors import CompressionError
 from repro.compression.codecs import Codec, codec_for_wire_id, get_codec
@@ -82,9 +95,11 @@ __all__ = [
     "RecordSpan",
     "serialize_waveform",
     "parse_waveform",
+    "parse_waveform_scalar",
     "serialize_library",
     "serialize_library_indexed",
     "parse_library",
+    "parse_library_scalar",
 ]
 
 WAVEFORM_MAGIC = b"CQW1"
@@ -272,11 +287,76 @@ def _read_window(reader: _Reader, decoded_size: int) -> EncodedWindow:
     return EncodedWindow(coeffs=tuple(coeffs), zero_run=zero_run)
 
 
-def _write_channel(writer: _Writer, channel: CompressedChannel) -> None:
+def _write_channel_scalar(writer: _Writer, channel: CompressedChannel) -> None:
+    """Word-at-a-time channel writer: the serialization oracle."""
     writer.pack("I", channel.original_length)
     writer.pack("I", channel.n_windows)
     for window in channel.windows:
         _write_window(writer, window)
+
+
+def _channel_block_bytes(channel: CompressedChannel) -> bytes:
+    """Pack a channel's window stream as one numpy array write.
+
+    A channel block after its two u32s is, on the wire, a little-endian
+    u16 stream: for each window the u16 word-count header, then each
+    32-bit word as two u16s (payload low half, tag high half).  The
+    whole stream is laid out with vectorized scatters and serialized
+    with a single ``tobytes()`` -- byte-identical to the scalar writer
+    (``tests/test_fastpath.py`` pins the equality).
+    """
+    windows = channel.windows
+    n = len(windows)
+    counts = np.fromiter((w.n_words for w in windows), dtype=np.int64, count=n)
+    if n and int(counts.min()) < 1:
+        raise CompressionError("cannot serialize an empty window")
+    if n and int(counts.max()) > 0xFFFF:
+        raise CompressionError(
+            f"window of {int(counts.max())} words exceeds the u16 header"
+        )
+    runs = np.fromiter((w.zero_run for w in windows), dtype=np.int64, count=n)
+    if n and int(runs.max()) > _PAYLOAD_MASK:
+        bad = int(runs[runs > _PAYLOAD_MASK][0])
+        raise CompressionError(
+            f"zero run {bad} does not fit the 16-bit word payload"
+        )
+    n_coeffs = int((counts - (runs > 0)).sum())
+    coeffs = np.fromiter(
+        (c for w in windows for c in w.coeffs), dtype=np.int64, count=n_coeffs
+    )
+    if n_coeffs and (
+        int(coeffs.min()) < -32768 or int(coeffs.max()) > 32767
+    ):
+        bad = int(coeffs[(coeffs < -32768) | (coeffs > 32767)][0])
+        raise CompressionError(
+            f"coefficient {bad} does not fit the 16-bit word payload"
+        )
+
+    total_words = int(counts.sum())
+    word_payload = np.empty(total_words, dtype=np.int64)
+    word_tag = np.zeros(total_words, dtype=np.int64)
+    last = np.cumsum(counts) - 1
+    has_run = runs > 0
+    word_tag[last[has_run]] = TAG_ZERO_RUN
+    word_payload[word_tag == TAG_COEFF] = coeffs & _PAYLOAD_MASK
+    word_payload[last[has_run]] = runs[has_run]
+
+    # u16 layout: window k owns slots [starts[k], starts[k] + 1 + 2*n_k).
+    starts = np.cumsum(1 + 2 * counts) - (1 + 2 * counts)
+    stream = np.empty(n + 2 * total_words, dtype="<u2")
+    stream[starts] = counts
+    within = np.arange(total_words, dtype=np.int64)
+    within -= np.repeat(np.cumsum(counts) - counts, counts)
+    slots = np.repeat(starts, counts) + 1 + 2 * within
+    stream[slots] = word_payload
+    stream[slots + 1] = word_tag
+    return stream.tobytes()
+
+
+def _write_channel(writer: _Writer, channel: CompressedChannel) -> None:
+    writer.pack("I", channel.original_length)
+    writer.pack("I", channel.n_windows)
+    writer.raw(_channel_block_bytes(channel))
 
 
 def _read_channel(
@@ -364,12 +444,30 @@ def _read_waveform(reader: _Reader) -> CompressedWaveform:
     )
 
 
-def parse_waveform(data: bytes) -> CompressedWaveform:
-    """Parse one standalone waveform record; rejects trailing bytes."""
+def parse_waveform_scalar(data: bytes) -> CompressedWaveform:
+    """Word-at-a-time record parser: the conformance oracle.
+
+    Functionally identical to :func:`parse_waveform` (which dispatches
+    to the vectorized engine); kept as the reference the fuzz suite and
+    the bench parity gates compare the fast path against.
+    """
     reader = _Reader(bytes(data))
     compressed = _read_waveform(reader)
     reader.expect_end("waveform record")
     return compressed
+
+
+def parse_waveform(data) -> CompressedWaveform:
+    """Parse one standalone waveform record; rejects trailing bytes.
+
+    Accepts any bytes-like buffer (``bytes``, ``memoryview``, mmap
+    slices) and parses it through the zero-copy vectorized engine
+    (:func:`repro.compression.fastpath.parse_waveform_fast`), which is
+    held bit-identical to :func:`parse_waveform_scalar`.
+    """
+    from repro.compression.fastpath import parse_waveform_fast
+
+    return parse_waveform_fast(data)
 
 
 # ---------------------------------------------------------------------------
@@ -377,7 +475,7 @@ def parse_waveform(data: bytes) -> CompressedWaveform:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LibraryEntry:
     """One library slot: a gate binding plus its compressed waveform."""
 
@@ -388,7 +486,7 @@ class LibraryEntry:
     compressed: CompressedWaveform
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LibraryBitstream:
     """A parsed (or about-to-be-serialized) compressed library image."""
 
@@ -405,7 +503,7 @@ class LibraryBitstream:
         return len(serialize_library(self))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecordSpan:
     """Byte extent of one embedded ``CQW1`` record inside a container.
 
@@ -489,8 +587,20 @@ def serialize_library_indexed(
     return writer.getvalue(), tuple(spans)
 
 
-def parse_library(data: bytes) -> LibraryBitstream:
-    """Parse a library container back into entries, losslessly."""
+def parse_library(data) -> LibraryBitstream:
+    """Parse a library container back into entries, losslessly.
+
+    Dispatches to the vectorized engine
+    (:func:`repro.compression.fastpath.parse_library_fast`); the scalar
+    oracle remains available as :func:`parse_library_scalar`.
+    """
+    from repro.compression.fastpath import parse_library_fast
+
+    return parse_library_fast(data)
+
+
+def parse_library_scalar(data: bytes) -> LibraryBitstream:
+    """Word-at-a-time container parser: the conformance oracle."""
     reader = _Reader(bytes(data))
     if reader.take(4, "library magic") != LIBRARY_MAGIC:
         raise CompressionError("not a COMPAQT library bitstream (bad magic)")

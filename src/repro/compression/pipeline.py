@@ -69,7 +69,7 @@ VariantLike = Union[str, Codec]
 DEFAULT_THRESHOLD = 128
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompressedChannel:
     """One compressed I or Q channel: a sequence of encoded windows."""
 
@@ -93,7 +93,7 @@ class CompressedChannel:
         return max(w.n_words for w in self.windows)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompressedWaveform:
     """A fully compressed waveform (both channels) plus its binding."""
 
@@ -164,7 +164,7 @@ class CompressedWaveform:
         return 2 * 16 * self.stored_words("uniform")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompressionResult:
     """Everything a caller needs after compressing one waveform."""
 

@@ -12,10 +12,17 @@ compile:
   (:func:`~repro.compression.pipeline.decompress_waveform`) vs the
   batched decode engine
   (:func:`~repro.compression.batch.decompress_batch`), again gated on
-  bit-identical samples;
-* **bitstream** -- wire-format serialize/parse throughput plus a
-  canonical round-trip check (``serialize(parse(b)) == b`` and the
-  parsed streams equal to the compiled ones).
+  bit-identical samples, plus the **fused cold-miss path**
+  (:func:`~repro.compression.fastpath.decode_records`: record bytes
+  straight to decoded waveforms) vs the scalar reader + scalar decoder
+  -- the pre-fastpath serving miss pipeline.  The fused side carries
+  the repo's >=10x speedup gate on windowed codecs
+  (:data:`FUSED_SPEEDUP_GATE`) on top of its bit-identity gate;
+* **bitstream** -- wire-format serialize/parse throughput (the default
+  vectorized parser and the scalar oracle side by side, with an
+  object-equality parity gate) plus a canonical round-trip check
+  (``serialize(parse(b)) == b`` and the parsed streams equal to the
+  compiled ones).
 
 The payload serializes to ``BENCH_compression.json`` (see
 ``python -m repro bench``) so CI and later PRs can diff numbers
@@ -26,6 +33,7 @@ when any parity or round-trip gate reports a mismatch.
 
 from __future__ import annotations
 
+import gc
 import json
 import pathlib
 import time
@@ -36,8 +44,15 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.analysis.report import render_table
 from repro.compression.batch import decompress_batch
-from repro.compression.bitstream import parse_library, serialize_library
-from repro.compression.codecs import list_codecs
+from repro.compression.bitstream import (
+    parse_library,
+    parse_library_scalar,
+    parse_waveform_scalar,
+    serialize_library,
+    serialize_waveform,
+)
+from repro.compression.codecs import get_codec, list_codecs
+from repro.compression.fastpath import decode_records
 from repro.compression.pipeline import decompress_waveform
 from repro.core.compiler import CompaqtCompiler, CompressedPulseLibrary
 from repro.devices import IBM_DEVICE_NAMES, fluxonium_device, google_device, ibm_device
@@ -50,13 +65,20 @@ __all__ = [
     "DEFAULT_OUTPUT",
     "QUICK_DEVICE_SPECS",
     "FULL_DEVICE_SPECS",
+    "FUSED_SPEEDUP_GATE",
     "resolve_device",
     "run_compression_bench",
     "render_bench_table",
     "write_bench_json",
 ]
 
-BENCH_SCHEMA = "compaqt-bench-compression/v3"
+BENCH_SCHEMA = "compaqt-bench-compression/v4"
+
+#: Committed-baseline gate: the fused bytes->waveform cold-miss path
+#: must beat the scalar reader + scalar decoder by at least this factor
+#: on every windowed codec (full-frame codecs are reported, not gated:
+#: their decode cost is one big matmul either way).
+FUSED_SPEEDUP_GATE = 10.0
 
 #: What to measure: the full pipeline, or just one side of the codec.
 BENCH_MODES = ("all", "encode", "decode")
@@ -154,11 +176,43 @@ def _bench_decode(compiled, repeats: int, warmup: int) -> Dict:
     batched_stats, batched_out = time_callable(
         lambda: decompress_batch(entries), repeats, warmup
     )
+
+    # The serving cold-miss pipeline, both generations: the scalar
+    # reader + scalar decoder (record bytes -> objects -> samples, one
+    # word and one window at a time) vs the fused vectorized path
+    # (record bytes -> tag/payload arrays -> grouped inverse kernels).
+    # This pair feeds the >=10x gate, so even the --quick profile takes
+    # at least 5 timed samples of each side, with the collector held
+    # off timeit-style (the fused side runs in well under a millisecond
+    # on small libraries, where a single sample -- or one mid-run GC
+    # pass over the bench's accumulated object graph -- is pure noise).
+    gate_repeats = max(repeats, 5)
+    blobs = [serialize_waveform(e) for e in entries]
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        scalar_cold_stats, scalar_cold_out = time_callable(
+            lambda: [
+                decompress_waveform(parse_waveform_scalar(b)) for b in blobs
+            ],
+            gate_repeats,
+            warmup,
+        )
+        fused_stats, fused_out = time_callable(
+            lambda: decode_records(blobs), gate_repeats, warmup
+        )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return {
         "scalar": _timing_dict(scalar_stats, total_samples, n_pulses),
         "batched": _timing_dict(batched_stats, total_samples, n_pulses),
         "speedup": scalar_stats.best_s / batched_stats.best_s,
         "parity": _decode_parity_ok(scalar_out, batched_out),
+        "scalar_cold": _timing_dict(scalar_cold_stats, total_samples, n_pulses),
+        "fused": _timing_dict(fused_stats, total_samples, n_pulses),
+        "fused_speedup": scalar_cold_stats.best_s / fused_stats.best_s,
+        "fused_parity": _decode_parity_ok(scalar_cold_out, fused_out),
     }
 
 
@@ -169,6 +223,9 @@ def _bench_bitstream(compiled, repeats: int, warmup: int) -> Dict:
     n_pulses = len(compiled)
     serialize_stats, blob = time_callable(compiled.to_bytes, repeats, warmup)
     parse_stats, parsed = time_callable(lambda: parse_library(blob), repeats, warmup)
+    parse_scalar_stats, parsed_scalar = time_callable(
+        lambda: parse_library_scalar(blob), repeats, warmup
+    )
     roundtrip_ok = serialize_library(parsed) == blob
     if roundtrip_ok:
         loaded = CompressedPulseLibrary.from_bytes(blob)
@@ -182,6 +239,9 @@ def _bench_bitstream(compiled, repeats: int, warmup: int) -> Dict:
     return {
         "serialize": _timing_dict(serialize_stats, total_samples, n_pulses),
         "parse": _timing_dict(parse_stats, total_samples, n_pulses),
+        "parse_scalar": _timing_dict(parse_scalar_stats, total_samples, n_pulses),
+        "parse_speedup": parse_scalar_stats.best_s / parse_stats.best_s,
+        "parse_parity": parsed == parsed_scalar,
         "n_bytes": len(blob),
         "bytes_per_pulse": len(blob) / max(1, n_pulses),
         "roundtrip_ok": roundtrip_ok,
@@ -264,8 +324,10 @@ def run_compression_bench(
         checked = [e[section][key] for e in rows if e[section] is not None]
         return all(checked) if checked else True
 
-    def _speedups(rows: List[Dict], section: str) -> List[float]:
-        return [e[section]["speedup"] for e in rows if e[section] is not None]
+    def _speedups(
+        rows: List[Dict], section: str, key: str = "speedup"
+    ) -> List[float]:
+        return [e[section][key] for e in rows if e[section] is not None]
 
     # Per-codec aggregation (schema v3): one encode/decode/bitstream
     # roll-up per registered codec so CI legs and later PRs can gate on
@@ -274,8 +336,11 @@ def run_compression_bench(
     for variant in variants:
         rows = [e for e in entries if e["variant"] == variant]
         enc, dec = _speedups(rows, "encode"), _speedups(rows, "decode")
+        fused = _speedups(rows, "decode", "fused_speedup")
+        parse = _speedups(rows, "bitstream", "parse_speedup")
         codecs_section[variant] = {
             "n_entries": len(rows),
+            "windowed": get_codec(variant).windowed,
             "encode": {
                 "parity_ok": _gate(rows, "encode", "parity"),
                 "min_speedup": min(enc) if enc else None,
@@ -285,9 +350,14 @@ def run_compression_bench(
                 "parity_ok": _gate(rows, "decode", "parity"),
                 "min_speedup": min(dec) if dec else None,
                 "max_speedup": max(dec) if dec else None,
+                "fused_parity_ok": _gate(rows, "decode", "fused_parity"),
+                "min_fused_speedup": min(fused) if fused else None,
+                "max_fused_speedup": max(fused) if fused else None,
             },
             "bitstream": {
                 "roundtrip_ok": _gate(rows, "bitstream", "roundtrip_ok"),
+                "parse_parity_ok": _gate(rows, "bitstream", "parse_parity"),
+                "min_parse_speedup": min(parse) if parse else None,
             },
             "mean_compression_ratio_variable": float(
                 np.mean([e["compression_ratio_variable"] for e in rows])
@@ -297,6 +367,13 @@ def run_compression_bench(
 
     encode_speedups = _speedups(entries, "encode")
     decode_speedups = _speedups(entries, "decode")
+    fused_speedups = _speedups(entries, "decode", "fused_speedup")
+    windowed_fused = [
+        s
+        for e in entries
+        if e["decode"] is not None and get_codec(e["variant"]).windowed
+        for s in (e["decode"]["fused_speedup"],)
+    ]
     return {
         "schema": BENCH_SCHEMA,
         "version": __version__,
@@ -316,10 +393,23 @@ def run_compression_bench(
             "all_parity_ok": _gate(entries, "encode", "parity"),
             "all_decode_parity_ok": _gate(entries, "decode", "parity"),
             "all_roundtrip_ok": _gate(entries, "bitstream", "roundtrip_ok"),
+            "all_fused_parity_ok": _gate(entries, "decode", "fused_parity"),
+            "all_parse_parity_ok": _gate(entries, "bitstream", "parse_parity"),
             "min_speedup": min(encode_speedups) if encode_speedups else None,
             "max_speedup": max(encode_speedups) if encode_speedups else None,
             "min_decode_speedup": min(decode_speedups) if decode_speedups else None,
             "max_decode_speedup": max(decode_speedups) if decode_speedups else None,
+            "min_fused_speedup": min(fused_speedups) if fused_speedups else None,
+            "max_fused_speedup": max(fused_speedups) if fused_speedups else None,
+            "min_fused_speedup_windowed": (
+                min(windowed_fused) if windowed_fused else None
+            ),
+            "fused_speedup_gate": FUSED_SPEEDUP_GATE,
+            "fused_speedup_gate_ok": (
+                min(windowed_fused) >= FUSED_SPEEDUP_GATE
+                if windowed_fused
+                else True
+            ),
             "n_entries": len(entries),
         },
     }
@@ -332,9 +422,13 @@ def _fmt_speedup(section: Optional[Dict]) -> str:
 def _entry_gates_ok(entry: Dict) -> bool:
     if entry["encode"] is not None and not entry["encode"]["parity"]:
         return False
-    if entry["decode"] is not None and not entry["decode"]["parity"]:
+    if entry["decode"] is not None and not (
+        entry["decode"]["parity"] and entry["decode"]["fused_parity"]
+    ):
         return False
-    if entry["bitstream"] is not None and not entry["bitstream"]["roundtrip_ok"]:
+    if entry["bitstream"] is not None and not (
+        entry["bitstream"]["roundtrip_ok"] and entry["bitstream"]["parse_parity"]
+    ):
         return False
     return True
 
@@ -344,6 +438,7 @@ def render_bench_table(payload: Dict) -> str:
     rows = []
     for e in payload["entries"]:
         bitstream = e["bitstream"]
+        decode = e["decode"]
         rows.append(
             [
                 e["device"],
@@ -351,7 +446,8 @@ def render_bench_table(payload: Dict) -> str:
                 e["n_pulses"],
                 _fmt_speedup(e["encode"]),
                 _fmt_speedup(e["decode"]),
-                f"{bitstream['n_bytes'] / 1e3:.1f}" if bitstream else "-",
+                f"{decode['fused_speedup']:.1f}x" if decode else "-",
+                f"{bitstream['parse_speedup']:.1f}x" if bitstream else "-",
                 f"{e['compression_ratio_variable']:.2f}",
                 "ok" if _entry_gates_ok(e) else "MISMATCH",
             ]
@@ -361,6 +457,8 @@ def render_bench_table(payload: Dict) -> str:
         summary["all_parity_ok"]
         and summary["all_decode_parity_ok"]
         and summary["all_roundtrip_ok"]
+        and summary["all_fused_parity_ok"]
+        and summary["all_parse_parity_ok"]
     )
     notes = []
     if summary["min_speedup"] is not None:
@@ -372,9 +470,16 @@ def render_bench_table(payload: Dict) -> str:
             f"decode {summary['min_decode_speedup']:.1f}x"
             f"..{summary['max_decode_speedup']:.1f}x"
         )
+    if summary["min_fused_speedup"] is not None:
+        notes.append(
+            f"fused cold-miss {summary['min_fused_speedup']:.1f}x"
+            f"..{summary['max_fused_speedup']:.1f}x "
+            f"(windowed gate {summary['fused_speedup_gate']:.0f}x: "
+            f"{'ok' if summary['fused_speedup_gate_ok'] else 'FAILED'})"
+        )
     notes.append(f"parity {'ok' if gates_ok else 'FAILED'}")
     return render_table(
-        "Library codec: scalar vs batched "
+        "Library codec: scalar vs batched vs fused "
         f"(WS={payload['config']['window_size']}, "
         f"mode={payload['config']['mode']})",
         [
@@ -383,7 +488,8 @@ def render_bench_table(payload: Dict) -> str:
             "pulses",
             "enc speedup",
             "dec speedup",
-            "wire KB",
+            "fused miss",
+            "parse",
             "R(var)",
             "parity",
         ],

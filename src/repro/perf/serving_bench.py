@@ -14,9 +14,14 @@ shard count, and replays the same Zipf-skewed request trace three ways:
 * **naive** -- the pre-subsystem baseline: one offset-indexed record
   read plus one scalar ``decompress_waveform`` per request, no cache;
 * **cold**  -- ``fetch_batch`` through a fresh :class:`PulseServer`
-  (demand fetch + batched decode + cache fill);
+  (mmap span views + the fused parse→decode fast path + cache fill);
 * **warm**  -- the same server replaying the trace with the cache
   already populated.
+
+Schema v2 additionally reports ``record_bytes_per_pulse`` -- the deep
+Python-object footprint of one parsed compressed record
+(:func:`measure_record_memory`), tracking the ``__slots__`` savings on
+the high-volume record types.
 
 Every measured config also runs a **bit-identity gate**: each unique
 pulse served by ``fetch_batch`` must equal the scalar reference
@@ -32,8 +37,10 @@ from __future__ import annotations
 
 import json
 import pathlib
+import sys
 import tempfile
 import time
+from dataclasses import fields, is_dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -56,13 +63,14 @@ __all__ = [
     "DEFAULT_SHARD_COUNTS",
     "DEFAULT_CACHE_FRACTIONS",
     "WARM_SPEEDUP_GATE",
+    "measure_record_memory",
     "run_serving_bench",
     "render_serving_table",
     "write_serving_json",
     "serving_gates_ok",
 ]
 
-SERVING_BENCH_SCHEMA = "compaqt-bench-serving/v1"
+SERVING_BENCH_SCHEMA = "compaqt-bench-serving/v2"
 
 DEFAULT_SERVING_OUTPUT = "BENCH_serving.json"
 
@@ -85,6 +93,49 @@ DEFAULT_CACHE_FRACTIONS = (0.125, 0.5, 1.0)
 #: Committed-baseline gate: warm full-cache ``fetch_batch`` must beat
 #: the naive per-pulse decode loop by at least this factor.
 WARM_SPEEDUP_GATE = 5.0
+
+
+def _deep_sizeof(obj, seen: set) -> int:
+    """Recursive ``sys.getsizeof`` over a record object graph.
+
+    Counts every distinct Python object once (shared small ints and
+    interned strings are deduplicated by id), descending through
+    dataclasses (slots or not), containers and numpy arrays -- the
+    measure behind the serving summary's per-pulse record-memory
+    number, which tracks the ``__slots__`` savings on the high-volume
+    record types.
+    """
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, np.ndarray):
+        return size
+    if is_dataclass(obj) and not isinstance(obj, type):
+        for field in fields(obj):
+            size += _deep_sizeof(getattr(obj, field.name), seen)
+    elif isinstance(obj, (tuple, list, set, frozenset)):
+        for item in obj:
+            size += _deep_sizeof(item, seen)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            size += _deep_sizeof(key, seen) + _deep_sizeof(value, seen)
+    return size
+
+
+def measure_record_memory(store: ShardedStore) -> float:
+    """Mean deep size (bytes) of one parsed compressed record.
+
+    Reads every record through the store's fast parse path and walks
+    the resulting object graphs -- the in-memory footprint a resident
+    compressed library costs per pulse (``CompressedWaveform`` down to
+    its ``EncodedWindow`` coefficient tuples).
+    """
+    records = store.read_many(store.keys())
+    seen: set = set()
+    total = sum(_deep_sizeof(record, seen) for record in records)
+    return total / max(1, len(records))
 
 
 def _serve_trace(
@@ -160,6 +211,7 @@ def run_serving_bench(
                 )
                 for n_shards in shard_counts
             }
+            record_bytes = measure_record_memory(stores[shard_counts[0]])
             trace = synthetic_trace(stores[shard_counts[0]].keys(), n_requests, seed)
             reference = {
                 key: decompress_waveform(
@@ -230,6 +282,7 @@ def run_serving_bench(
                             "cache_fraction": fraction,
                             "cache_size": cache_size,
                             "store_bytes": store.total_shard_bytes,
+                            "record_bytes_per_pulse": record_bytes,
                             "naive_pulses_per_s": naive_pps,
                             "cold_pulses_per_s": cold_pps,
                             "warm_pulses_per_s": warm_pps,
@@ -255,6 +308,9 @@ def run_serving_bench(
         ),
         "min_warm_speedup": min(warm_all),
         "max_warm_speedup": max(warm_all),
+        "record_bytes_per_pulse_mean": float(
+            np.mean([e["record_bytes_per_pulse"] for e in entries])
+        ),
         "n_entries": len(entries),
     }
     return {

@@ -5,11 +5,12 @@ production controller:
 
 - :mod:`repro.store.sharded` -- the ``CQS1`` on-disk layout: a JSON
   manifest plus N ``CQL1`` shard files, hash-sharded by channel, with a
-  byte-offset index so one pulse record is a single seek-and-read.
+  byte-offset index so one pulse record is a single zero-copy span view
+  out of a bounded mmap pool.
 - :mod:`repro.store.cache` -- :class:`PulseCache`, a bounded LRU of
   *decoded* waveforms with exact hit/miss/eviction counters and a
-  batch-aware ``get_many`` that decodes misses through the vectorized
-  batched engine.
+  batch-aware ``get_many`` that decodes misses through the fused
+  parse→decode fast path (``ShardedStore.decode_many``).
 - :mod:`repro.store.server` -- :class:`PulseServer`, the thread-safe
   ``fetch`` / ``fetch_batch`` front end with per-shard single-flight
   and cross-shard parallel fills.

@@ -6,10 +6,12 @@ large), and a small hot set of fully decoded
 :class:`~repro.pulses.waveform.Waveform` objects lives here (expensive,
 bounded).  Every miss is a demand fetch -- one offset-indexed record
 read plus a decode -- and :meth:`PulseCache.get_many` amortizes decode
-cost by grouping miss reads per shard (sequential I/O) and pushing
-*all* missed records through the vectorized batched engine
-(:func:`repro.compression.batch.decompress_batch`) in one call instead
-of decoding pulse by pulse.
+cost by grouping miss reads per shard (sequential, mmap-backed I/O)
+and pushing *all* missed records through the fused parse→decode fast
+path (:meth:`repro.store.sharded.ShardedStore.decode_many`, built on
+:mod:`repro.compression.fastpath`) in one call instead of decoding
+pulse by pulse -- bit-identical to the batched engine and the scalar
+reference.
 
 The cache is thread-safe (a single reentrant lock guards the LRU map
 and counters) but deliberately does **not** deduplicate concurrent
@@ -33,7 +35,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StoreError
-from repro.compression.batch import decompress_batch
 from repro.pulses.waveform import Waveform
 from repro.store.sharded import ShardedStore, normalize_key
 
@@ -42,7 +43,7 @@ __all__ = ["CacheStats", "PulseCache"]
 _Key = Tuple[str, Tuple[int, ...]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheStats:
     """A point-in-time snapshot of one cache's counters."""
 
@@ -124,25 +125,52 @@ class PulseCache:
     def load_many(
         self, keys: Sequence[Tuple[str, Sequence[int]]]
     ) -> Dict[_Key, Waveform]:
-        """Fetch, batch-decode, and insert the given pulses unconditionally.
+        """Fetch, fused-decode, and insert the given pulses unconditionally.
 
-        Records are read with per-shard grouped, offset-ordered I/O and
-        decoded in **one** :func:`decompress_batch` call.  Counters are
-        untouched (the caller already accounted the misses); insertions
-        and any evictions they force are recorded.
+        Records are read as zero-copy mmap span views in per-shard,
+        offset-ordered sequence and decoded through **one**
+        :meth:`~repro.store.sharded.ShardedStore.decode_many` call (the
+        fused bytes→waveform fast path).  Counters are untouched (the
+        caller already accounted the misses); insertions and any
+        evictions they force are recorded.
         """
         unique: List[_Key] = list(
             dict.fromkeys(normalize_key(*key) for key in keys)
         )
         if not unique:
             return {}
-        records = self.store.read_many(unique)
-        decoded = decompress_batch(records)
+        decoded = self.store.decode_many(unique)
         out = dict(zip(unique, decoded))
         with self._lock:
             for key, waveform in out.items():
                 self._insert(key, waveform)
         return out
+
+    def prewarm(self, shards: Optional[Sequence[int]] = None) -> int:
+        """Fill the cache from whole shards through the fused decoder.
+
+        Decodes the named shards (default: all of them) with
+        :meth:`~repro.store.sharded.ShardedStore.decode_shard` and
+        inserts the results until the cache is full -- once capacity is
+        reached, remaining pulses and shards are skipped rather than
+        decoded and churned straight back out.  Counters stay untouched
+        (prewarming is not traffic).  Returns the number of pulses
+        inserted.
+        """
+        if shards is None:
+            shards = range(self.store.n_shards)
+        inserted = 0
+        for shard in shards:
+            with self._lock:
+                if len(self._lru) >= self.capacity:
+                    break
+            for key, waveform in self.store.decode_shard(shard):
+                with self._lock:
+                    if len(self._lru) >= self.capacity and key not in self._lru:
+                        break
+                    self._insert(key, waveform)
+                    inserted += 1
+        return inserted
 
     def _insert(self, key: _Key, waveform: Waveform) -> None:
         """Insert under the lock, evicting least-recent entries to fit."""
@@ -206,6 +234,22 @@ class PulseCache:
         """Drop every cached waveform (counters keep their history)."""
         with self._lock:
             self._lru.clear()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backing store's mmap pool (idempotent).
+
+        Cached waveforms stay served; a later miss remaps its shard on
+        demand, so sharing one store behind several caches is safe.
+        """
+        self.store.close()
+
+    def __enter__(self) -> "PulseCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -44,7 +44,7 @@ __all__ = ["ServerStats", "PulseServer"]
 _Key = Tuple[str, Tuple[int, ...]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServerStats:
     """A point-in-time snapshot of one server's counters."""
 
@@ -78,8 +78,9 @@ class PulseServer:
             one cache behind several servers in a test harness).
 
     Use as a context manager, or call :meth:`close` to release the
-    fill executor; serving after ``close`` still works but fills run
-    inline on the calling thread.
+    fill executor and the store's mmap pool; serving after ``close``
+    still works -- fills run inline on the calling thread and the pool
+    remaps shards on demand.
     """
 
     def __init__(
@@ -111,10 +112,17 @@ class PulseServer:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the fill executor (idempotent)."""
+        """Shut down the fill executor and release store handles.
+
+        Idempotent.  The cache's ``close`` cascades to the store's mmap
+        pool; because the pool remaps on demand, a shared cache or
+        store behind several servers keeps working after one of them
+        closes.
+        """
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        self.cache.close()
 
     def __enter__(self) -> "PulseServer":
         return self

@@ -38,13 +38,27 @@ record reads re-validate through the total ``CQW1`` parser, so a
 corrupt shard raises :class:`~repro.errors.StoreError` or
 :class:`~repro.errors.CompressionError` instead of yielding garbage
 samples.
+
+**Read path.**  All shard reads go through a bounded mmap pool
+(:class:`_MmapPool`): a shard file is opened and mapped once, record
+spans are served as zero-copy memoryview slices of the mapping, and
+the vectorized parse/decode engine (:mod:`repro.compression.fastpath`)
+consumes those views directly -- no per-call ``open``/``seek``/``read``
+and no intermediate byte copies on the cold-miss path.  ``close()`` (or
+the context manager) releases every cached mapping deterministically;
+a store remains usable after ``close`` -- the pool simply reopens on
+the next read, which keeps shared-store setups (several servers over
+one store) safe.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import pathlib
+import threading
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
@@ -56,7 +70,9 @@ from repro.compression.bitstream import (
     parse_waveform,
     serialize_library_indexed,
 )
+from repro.compression.fastpath import decode_library_bytes, decode_records
 from repro.compression.pipeline import CompressedWaveform
+from repro.pulses.waveform import Waveform
 
 __all__ = [
     "STORE_MAGIC",
@@ -97,7 +113,7 @@ def shard_index(gate: str, qubits: Sequence[int], n_shards: int) -> int:
     return zlib.crc32(key) % n_shards
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoreRecord:
     """One manifest index row: where a pulse lives and its metadata."""
 
@@ -209,15 +225,90 @@ def save_store(
     return ShardedStore.open(out)
 
 
+class _MmapPool:
+    """Bounded, thread-safe pool of open shard mmaps.
+
+    Replaces the old one-``open``-per-read pattern: each shard file is
+    opened and memory-mapped at most once while resident, and record
+    reads become zero-copy memoryview slices of the mapping.  At most
+    ``max_open`` mappings stay resident (least-recently used shards are
+    released first), so a thousand-shard store never holds a thousand
+    file descriptors.
+
+    ``close()`` drops every cached mapping.  A mapping whose buffer is
+    still exported to a live view cannot be unmapped (Python raises
+    ``BufferError``); the pool then simply drops its reference and the
+    OS reclaims the mapping when the last view dies -- release is
+    deterministic in the common case and never blocks or corrupts a
+    concurrent reader.
+    """
+
+    def __init__(self, paths: Tuple[pathlib.Path, ...], max_open: int) -> None:
+        if max_open < 1:
+            raise StoreError(f"max_open_shards must be >= 1, got {max_open}")
+        self._paths = paths
+        self._max_open = max_open
+        self._lock = threading.Lock()
+        self._maps: "OrderedDict[int, mmap.mmap]" = OrderedDict()
+
+    @staticmethod
+    def _release(mapping: mmap.mmap) -> None:
+        try:
+            mapping.close()
+        except BufferError:
+            # A live view still borrows the buffer; dropping our
+            # reference lets the OS reclaim it when the view dies.
+            pass
+
+    def view(self, shard: int) -> memoryview:
+        """Zero-copy view over one whole shard file (mapped on demand)."""
+        with self._lock:
+            mapping = self._maps.get(shard)
+            if mapping is None:
+                path = self._paths[shard]
+                try:
+                    with path.open("rb") as handle:
+                        # mmap dups the descriptor, so the handle can
+                        # close immediately; the pool caps mappings,
+                        # not transient opens.
+                        mapping = mmap.mmap(
+                            handle.fileno(), 0, access=mmap.ACCESS_READ
+                        )
+                except (OSError, ValueError) as exc:
+                    raise StoreError(
+                        f"cannot map shard file {path}: {exc}"
+                    ) from None
+                self._maps[shard] = mapping
+                while len(self._maps) > self._max_open:
+                    _stale, old = self._maps.popitem(last=False)
+                    self._release(old)
+            else:
+                self._maps.move_to_end(shard)
+            return memoryview(mapping)
+
+    @property
+    def open_count(self) -> int:
+        with self._lock:
+            return len(self._maps)
+
+    def close(self) -> None:
+        with self._lock:
+            maps, self._maps = list(self._maps.values()), OrderedDict()
+        for mapping in maps:
+            self._release(mapping)
+
+
 class ShardedStore:
     """Read-side handle on a CQS1 store: lazy, offset-indexed access.
 
     Opening a store reads and validates only the manifest; pulse bytes
-    stay on disk until :meth:`read_record` (one seek-and-read per
+    stay on disk until :meth:`read_record` (one zero-copy mmap view per
     pulse) or :meth:`read_shard` / :meth:`load_library` (eager paths)
-    ask for them.  The object itself is immutable after ``open`` and
-    safe to share across threads; see :class:`repro.store.PulseCache`
-    and :class:`repro.store.PulseServer` for the decoded-cache and
+    ask for them.  The object is safe to share across threads; call
+    :meth:`close` (or use the store as a context manager) to release
+    the mmap pool deterministically -- reads after ``close`` reopen on
+    demand.  See :class:`repro.store.PulseCache` and
+    :class:`repro.store.PulseServer` for the decoded-cache and
     concurrent front ends.
     """
 
@@ -230,6 +321,7 @@ class ShardedStore:
         n_shards: int,
         shard_files: Tuple[str, ...],
         index: Dict[_Key, StoreRecord],
+        max_open_shards: int = 8,
     ) -> None:
         self.path = path
         self.device_name = device_name
@@ -238,12 +330,26 @@ class ShardedStore:
         self.n_shards = n_shards
         self._shard_files = shard_files
         self._index = index
+        self._pool = _MmapPool(
+            tuple(path / name for name in shard_files),
+            max_open=min(max_open_shards, n_shards),
+        )
 
     # -- opening -------------------------------------------------------------
 
     @classmethod
-    def open(cls, path: Union[str, pathlib.Path]) -> "ShardedStore":
-        """Open a store directory, validating its manifest and layout."""
+    def open(
+        cls,
+        path: Union[str, pathlib.Path],
+        max_open_shards: int = 8,
+    ) -> "ShardedStore":
+        """Open a store directory, validating its manifest and layout.
+
+        Args:
+            path: The ``*.cqs`` store directory.
+            max_open_shards: Upper bound on concurrently resident shard
+                mmaps (the handle-pool budget).
+        """
         root = pathlib.Path(path)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.is_file():
@@ -343,7 +449,30 @@ class ShardedStore:
             n_shards=n_shards,
             shard_files=tuple(shard_files),
             index=index,
+            max_open_shards=max_open_shards,
         )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every pooled shard mapping (idempotent).
+
+        The store stays usable: a later read simply remaps its shard.
+        This keeps ``close`` safe for shared-store setups while still
+        releasing descriptors deterministically.
+        """
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def open_shard_handles(self) -> int:
+        """Currently resident shard mmaps (bounded by the pool)."""
+        return self._pool.open_count
 
     # -- inventory -----------------------------------------------------------
 
@@ -378,39 +507,48 @@ class ShardedStore:
 
     # -- demand reads --------------------------------------------------------
 
-    @staticmethod
-    def _read_span(handle, info: StoreRecord) -> bytes:
-        """One seek-and-read of a record span, short-read checked."""
-        handle.seek(info.offset)
-        data = handle.read(info.length)
-        if len(data) != info.length:
+    def _read_span(self, info: StoreRecord) -> memoryview:
+        """Zero-copy view of one record span out of the mmap pool.
+
+        Span bounds were validated against the recorded shard sizes at
+        open time; a shard file that shrank since raises StoreError.
+        """
+        view = self._pool.view(info.shard)
+        if info.offset + info.length > len(view):
             raise StoreError(
                 f"short read from shard {info.shard}: wanted {info.length} "
-                f"bytes at {info.offset}, got {len(data)}"
+                f"bytes at {info.offset}, had {len(view)}"
             )
-        return data
+        return view[info.offset : info.offset + info.length]
 
     @staticmethod
-    def _check_binding(key: _Key, compressed: CompressedWaveform) -> None:
-        if (compressed.gate, compressed.qubits) != key:
+    def _check_binding(key: _Key, gate: str, qubits: Tuple[int, ...]) -> None:
+        if (gate, qubits) != key:
             raise StoreError(
                 f"record at shard offset for {key} is bound to "
-                f"({compressed.gate!r}, {compressed.qubits})"
+                f"({gate!r}, {qubits})"
             )
 
+    def _spans_in_read_order(
+        self, requests: Iterable[Tuple[str, Sequence[int]]]
+    ) -> Tuple[List[_Key], List[_Key]]:
+        """Resolve requests to (request-order keys, shard/offset-order keys)."""
+        keys = [normalize_key(*request) for request in requests]
+        unique = list(dict.fromkeys(keys))
+        infos = {key: self.record_info(*key) for key in unique}
+        unique.sort(key=lambda k: (infos[k].shard, infos[k].offset))
+        return keys, unique
+
     def read_record_bytes(self, gate: str, qubits: Sequence[int]) -> bytes:
-        """Raw ``CQW1`` bytes of one pulse: a single seek-and-read."""
-        info = self.record_info(gate, qubits)
-        with self.shard_path(info.shard).open("rb") as handle:
-            return self._read_span(handle, info)
+        """Raw ``CQW1`` bytes of one pulse (copied out of the mmap pool)."""
+        return bytes(self._read_span(self.record_info(gate, qubits)))
 
     def read_record(self, gate: str, qubits: Sequence[int]) -> CompressedWaveform:
         """Parse one pulse's compressed record without touching its shard.
 
         The returned waveform is still compressed; decode it through
-        :func:`repro.compression.batch.decompress_batch` (what
-        :class:`repro.store.PulseCache` does) or
-        :func:`repro.compression.pipeline.decompress_waveform`.
+        :meth:`decode_record` / :meth:`decode_many` (the fused fast
+        path) or :func:`repro.compression.pipeline.decompress_waveform`.
         """
         return self.read_many([(gate, qubits)])[0]
 
@@ -419,36 +557,75 @@ class ShardedStore:
     ) -> List[CompressedWaveform]:
         """Read several records, grouping and ordering reads per shard.
 
-        Requests are fulfilled with one open file handle per touched
-        shard and reads issued in ascending offset order (sequential
-        I/O), then returned in request order.
+        Reads are zero-copy span views served by the mmap pool in
+        (shard, ascending offset) order -- sequential page touches --
+        then parsed through the vectorized engine and returned in
+        request order.
         """
-        keys = [normalize_key(*request) for request in requests]
-        infos = {key: self.record_info(*key) for key in set(keys)}
-        by_shard: Dict[int, List[_Key]] = {}
-        for key, info in infos.items():
-            by_shard.setdefault(info.shard, []).append(key)
-        raw: Dict[_Key, bytes] = {}
-        for shard, shard_keys in sorted(by_shard.items()):
-            shard_keys.sort(key=lambda k: infos[k].offset)
-            with self.shard_path(shard).open("rb") as handle:
-                for key in shard_keys:
-                    raw[key] = self._read_span(handle, infos[key])
-        out: List[CompressedWaveform] = []
-        for key in keys:
-            compressed = parse_waveform(raw[key])
-            self._check_binding(key, compressed)
-            out.append(compressed)
-        return out
+        keys, unique = self._spans_in_read_order(requests)
+        parsed: Dict[_Key, CompressedWaveform] = {}
+        for key in unique:
+            compressed = parse_waveform(self._read_span(self._index[key]))
+            self._check_binding(key, compressed.gate, compressed.qubits)
+            parsed[key] = compressed
+        return [parsed[key] for key in keys]
+
+    def decode_record(self, gate: str, qubits: Sequence[int]) -> Waveform:
+        """Fused cold read: record bytes straight to a decoded waveform."""
+        return self.decode_many([(gate, qubits)])[0]
+
+    def decode_many(
+        self, requests: Iterable[Tuple[str, Sequence[int]]]
+    ) -> List[Waveform]:
+        """Fused batch decode: mmap span views -> decoded waveforms.
+
+        The serving cold-miss fast path: spans are read in (shard,
+        offset) order as zero-copy views and pushed through
+        :func:`repro.compression.fastpath.decode_records` -- one
+        grouped inverse kernel per (codec, window size), no per-window
+        Python objects.  Output is bit-identical to
+        ``decompress_waveform(self.read_record(...))`` per request.
+        """
+        keys, unique = self._spans_in_read_order(requests)
+        views = [self._read_span(self._index[key]) for key in unique]
+        waveforms = decode_records(views) if views else []
+        decoded: Dict[_Key, Waveform] = {}
+        for key, waveform in zip(unique, waveforms):
+            self._check_binding(key, waveform.gate, waveform.qubits)
+            decoded[key] = waveform
+        return [decoded[key] for key in keys]
 
     # -- eager paths ---------------------------------------------------------
+
+    def _shard_view(self, shard: int) -> memoryview:
+        """Whole-shard zero-copy view (range-checked, pool-served)."""
+        if not 0 <= shard < self.n_shards:
+            raise StoreError(f"shard {shard} out of range [0, {self.n_shards})")
+        return self._pool.view(shard)
 
     def read_shard(self, shard: int) -> LibraryBitstream:
         """Parse one whole shard as its ``CQL1`` container."""
         try:
-            return parse_library(self.shard_path(shard).read_bytes())
+            return parse_library(self._shard_view(shard))
         except CompressionError as exc:
             raise StoreError(f"corrupt shard {shard}: {exc}") from None
+
+    def decode_shard(self, shard: int) -> List[Tuple[_Key, Waveform]]:
+        """Fused decode of one whole shard, in container order.
+
+        Goes bytes -> tag/payload arrays -> grouped inverse kernels
+        without building per-window objects; used by
+        :meth:`repro.store.cache.PulseCache.prewarm` and anything else
+        that wants a shard's full decoded contents at cold-miss speed.
+        """
+        try:
+            rows = decode_library_bytes(self._shard_view(shard))
+        except CompressionError as exc:
+            raise StoreError(f"corrupt shard {shard}: {exc}") from None
+        return [
+            (normalize_key(gate, qubits), waveform)
+            for gate, qubits, waveform in rows
+        ]
 
     def load_library(self):
         """Eagerly load and decode the whole store.

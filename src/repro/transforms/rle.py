@@ -47,7 +47,7 @@ TAG_ZERO_RUN = 1
 TAG_REPEAT = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryWord:
     """One word of compressed waveform memory.
 
@@ -64,7 +64,7 @@ class MemoryWord:
     payload: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EncodedWindow:
     """An RLE-encoded DCT window.
 

@@ -128,6 +128,32 @@ class TestCompressionBench:
             assert e["decode"]["parity"]
             assert e["bitstream"]["roundtrip_ok"]
 
+    def test_fastpath_sections_and_parity(self, payload):
+        """Schema v4: fused cold-miss + vectorized-parse measurements."""
+        for e in payload["entries"]:
+            decode, bitstream = e["decode"], e["bitstream"]
+            assert decode["scalar_cold"]["best_s"] > 0
+            assert decode["fused"]["best_s"] > 0
+            assert decode["fused_speedup"] > 0
+            assert decode["fused_parity"]
+            assert bitstream["parse_scalar"]["best_s"] > 0
+            assert bitstream["parse_speedup"] > 0
+            assert bitstream["parse_parity"]
+        summary = payload["summary"]
+        assert summary["all_fused_parity_ok"]
+        assert summary["all_parse_parity_ok"]
+        assert summary["fused_speedup_gate"] == 10.0
+        assert summary["min_fused_speedup"] > 0
+        # The windowed-only gate input excludes full-frame codecs.
+        assert (
+            summary["min_fused_speedup_windowed"]
+            >= summary["min_fused_speedup"]
+        )
+        for name, section in payload["codecs"].items():
+            assert section["decode"]["fused_parity_ok"]
+            assert section["bitstream"]["parse_parity_ok"]
+            assert section["windowed"] == (name != "DCT-N")
+
     def test_decode_mode_skips_encode_timing(self, decode_payload):
         assert decode_payload["config"]["mode"] == "decode"
         for entry in decode_payload["entries"]:
@@ -283,6 +309,13 @@ class TestServingBench:
             assert 0.0 <= entry["warm_hit_rate"] <= 1.0
             assert entry["cache_size"] >= 1
             assert entry["store_bytes"] > 0
+
+    def test_record_memory_measured(self, serving_payload):
+        """Schema v2: the slots-era per-record object footprint."""
+        for entry in serving_payload["entries"]:
+            assert entry["record_bytes_per_pulse"] > 0
+        summary = serving_payload["summary"]
+        assert summary["record_bytes_per_pulse_mean"] > 0
 
     def test_full_cache_warm_pass_is_all_hits_and_fast(self, serving_payload):
         full = [
