@@ -20,7 +20,7 @@ def main() -> None:
     rows = []
     for gate, qubits in [("sx", (0,)), ("x", (3,)), ("cx", (0, 1)), ("measure", (5,))]:
         waveform = library.waveform(gate, qubits)
-        result = compress_waveform(waveform, window_size=16, variant="int-DCT-W")
+        result = compress_waveform(waveform, window_size=16, codec="int-DCT-W")
         rows.append(
             [
                 waveform.name,

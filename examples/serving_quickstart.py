@@ -19,7 +19,7 @@ from repro.store import PulseServer, save_store, synthetic_trace
 def main() -> None:
     # Compile Guadalupe's library once (the calibration-cycle step).
     device = ibm_device("guadalupe")
-    compiler = CompaqtCompiler(window_size=16, variant="int-DCT-W")
+    compiler = CompaqtCompiler(window_size=16, codec="int-DCT-W")
     compiled = compiler.compile_library(device.pulse_library())
     print(
         f"{device}: compiled {len(compiled)} waveforms, "

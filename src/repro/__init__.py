@@ -24,14 +24,19 @@ The package is organized bottom-up:
 - :mod:`repro.analysis` -- capacity/bandwidth scaling models and report
   helpers.
 
+The stable import surface is :mod:`repro.api` -- one namespace holding
+the whole compile -> store -> serve -> client -> measure chain.
+
 Quickstart::
 
-    from repro import compress_waveform, ibm_device
+    from repro.api import compile_library, compress_waveform, ibm_device
 
     device = ibm_device("guadalupe")
     waveform = device.pulse_library().waveform("sx", (0,))
     result = compress_waveform(waveform, window_size=16)
     print(result.compression_ratio, result.mse)
+
+    compiled = compile_library("guadalupe")  # whole library in one call
 """
 
 from repro.version import __version__
@@ -66,7 +71,24 @@ from repro.store import (
     save_store,
 )
 
+# The blessed façade (late import: repro.api re-exports from the
+# subpackages above, so it must come after they are importable).
+from repro import api
+from repro.api import (
+    AsyncPulseClient,
+    NetPulseServer,
+    PulseClient,
+    compile_library,
+    serve_in_thread,
+)
+
 __all__ = [
+    "api",
+    "compile_library",
+    "PulseClient",
+    "AsyncPulseClient",
+    "NetPulseServer",
+    "serve_in_thread",
     "__version__",
     "ReproError",
     "CompressionError",

@@ -5,17 +5,24 @@ Usage::
     python -m repro devices
     python -m repro codecs
     python -m repro report --device guadalupe --window-size 16
-    python -m repro report --device bogota --variant delta
+    python -m repro report --device bogota --codec delta
     python -m repro scalability --window-size 16
-    python -m repro bench --quick --variants int-DCT-W,delta
+    python -m repro bench --quick --codecs int-DCT-W,delta
     python -m repro bench --serving --quick
+    python -m repro bench --network --quick
     python -m repro pack guadalupe --shards 4 --codec int-DCT-W
     python -m repro serve guadalupe.cqs --requests trace.json
+    python -m repro serve-net guadalupe.cqs --port 7711 --workers 8
+    python -m repro loadgen 127.0.0.1:7711 --synthetic 4096 --open --rate 500
+
+The ``--variant``/``--variants`` spellings remain accepted everywhere
+as deprecated aliases of ``--codec``/``--codecs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import warnings
 from typing import List, Optional
 
 from repro.analysis import render_table
@@ -24,6 +31,28 @@ from repro.core import CompaqtCompiler, qubit_gain, qubits_supported
 from repro.devices import IBM_DEVICE_NAMES, ibm_device
 
 __all__ = ["main", "build_parser"]
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A flag kept only as a deprecated spelling of another flag.
+
+    The CLI twin of :func:`repro.compression.codecs.resolve_codec_arg`:
+    using the old spelling still works, stores into the canonical
+    destination, and emits one :class:`DeprecationWarning` naming the
+    replacement.
+    """
+
+    def __init__(self, *args, preferred: str, **kwargs):
+        self.preferred = preferred
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; pass {self.preferred} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,9 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-size", type=int, default=16, choices=(8, 16, 32)
     )
     report.add_argument(
-        "--variant",
+        "--codec",
         default="int-DCT-W",
         choices=list_codecs(),
+        help="codec name (see `repro codecs`)",
+    )
+    report.add_argument(
+        "--variant",
+        dest="codec",
+        choices=list_codecs(),
+        action=_DeprecatedAlias,
+        preferred="--codec",
+        help="deprecated alias of --codec",
     )
     report.add_argument(
         "--threshold", type=float, default=128, help="coefficient threshold"
@@ -91,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
         "the naive per-pulse decode loop (writes BENCH_serving.json)",
     )
     bench.add_argument(
+        "--network",
+        action="store_true",
+        help="network profile: CQN1 socket throughput, tail latency and "
+        "overload behaviour (writes BENCH_network.json)",
+    )
+    bench.add_argument(
         "--seed", type=int, default=7, help="serving-trace RNG seed"
     )
     bench.add_argument(
@@ -101,10 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
         "with --quick",
     )
     bench.add_argument(
-        "--variants",
+        "--codecs",
         default=None,
         help="comma-separated codec names (see `repro codecs`); defaults "
         "to every registered codec",
+    )
+    bench.add_argument(
+        "--variants",
+        dest="codecs",
+        action=_DeprecatedAlias,
+        preferred="--codecs",
+        help="deprecated alias of --codecs",
     )
     bench.add_argument(
         "--window-size", type=int, default=16, choices=(8, 16, 32)
@@ -128,18 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-size", type=int, default=16, choices=(8, 16, 32)
     )
     pack.add_argument(
-        "--variant",
-        default="int-DCT-W",
-        choices=list_codecs(),
-        help="codec name (alias of --codec)",
-    )
-    pack.add_argument(
         "--codec",
-        dest="variant",
-        default=argparse.SUPPRESS,
+        default="int-DCT-W",
         choices=list_codecs(),
         help="codec to pack with, validated against the registry "
         "(see `repro codecs`)",
+    )
+    pack.add_argument(
+        "--variant",
+        dest="codec",
+        choices=list_codecs(),
+        action=_DeprecatedAlias,
+        preferred="--codec",
+        help="deprecated alias of --codec",
     )
     pack.add_argument(
         "--threshold", type=float, default=128, help="coefficient threshold"
@@ -196,6 +248,93 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fill the cache through the fused whole-shard decoder "
         "before replaying the trace",
+    )
+
+    serve_net = subparsers.add_parser(
+        "serve-net",
+        help="serve a CQS1 store over TCP with the CQN1 binary protocol",
+    )
+    serve_net.add_argument(
+        "store", help="CQS1 store directory (see `repro pack --shards`)"
+    )
+    serve_net.add_argument("--host", default="127.0.0.1")
+    serve_net.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = OS-assigned)"
+    )
+    serve_net.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="threads for the store's cross-shard parallel fills",
+    )
+    serve_net.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="decoded LRU capacity in pulses (0 = the whole library)",
+    )
+    serve_net.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="admission-control bound: fetches beyond this get an "
+        "explicit overload reply instead of queueing",
+    )
+    serve_net.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="fill the cache before accepting connections",
+    )
+    serve_net.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a CQN1 server and report throughput and p50/p95/p99",
+    )
+    loadgen.add_argument("address", help="server address, host:port")
+    loadgen.add_argument(
+        "--trace",
+        default=None,
+        help="JSON request trace; omitted: a synthetic Zipf trace over "
+        "the server's keys",
+    )
+    loadgen.add_argument(
+        "--synthetic",
+        type=int,
+        default=4096,
+        help="synthetic trace length when --trace is omitted",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--open",
+        action="store_true",
+        help="open-loop mode: fire on a Poisson schedule at --rate "
+        "instead of waiting for responses (the overload probe)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="open-loop arrival rate, requests/second",
+    )
+    loadgen.add_argument("--batch-size", type=int, default=None)
+    loadgen.add_argument("--connections", type=int, default=None)
+    loadgen.add_argument(
+        "--max-outstanding",
+        type=int,
+        default=64,
+        help="open-loop bound on in-flight requests (excess arrivals "
+        "are shed client-side)",
+    )
+    loadgen.add_argument(
+        "--records",
+        action="store_true",
+        help="fetch raw CQW1 record bytes instead of decoded samples",
     )
     return parser
 
@@ -256,7 +395,7 @@ def _cmd_report(args: argparse.Namespace) -> str:
     device = ibm_device(args.device)
     compiler = CompaqtCompiler(
         window_size=args.window_size,
-        variant=args.variant,
+        codec=args.codec,
         threshold=args.threshold,
         fidelity_aware=args.fidelity_aware,
         target_mse=args.target_mse,
@@ -286,7 +425,7 @@ def _cmd_report(args: argparse.Namespace) -> str:
         ]
     )
     return render_table(
-        f"{device.name}: {args.variant} WS={args.window_size}"
+        f"{device.name}: {args.codec} WS={args.window_size}"
         + (" (fidelity-aware)" if args.fidelity_aware else ""),
         ["gate", "count", "min R", "mean R", "max R", "mean MSE"],
         rows,
@@ -309,6 +448,74 @@ def _cmd_scalability(args: argparse.Namespace) -> str:
         ["design", "gain", "qubits"],
         rows,
     )
+
+
+def _single_codec_arg(args: argparse.Namespace, profile: str) -> Optional[str]:
+    """The one codec a single-codec bench profile runs; None on error."""
+    if args.codecs is None:
+        return "int-DCT-W"
+    named = tuple(
+        dict.fromkeys(v.strip() for v in args.codecs.split(",") if v.strip())
+    )
+    if len(named) != 1:
+        print(
+            f"error: the {profile} bench measures one codec per run; "
+            f"--codecs named {list(named)}"
+        )
+        return None
+    if named[0] not in list_codecs():
+        print(
+            f"error: unknown codec {named[0]!r}; registered: "
+            f"{', '.join(list_codecs())}"
+        )
+        return None
+    return named[0]
+
+
+def _cmd_bench_network(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_NETWORK_OUTPUT,
+        NETWORK_FULL_DEVICE_SPECS,
+        NETWORK_QUICK_DEVICE_SPECS,
+        network_gates_ok,
+        render_network_table,
+        run_network_bench,
+        write_network_json,
+    )
+
+    if args.decode or args.serving:
+        print("error: --network is its own bench profile")
+        return 2
+    if args.devices:
+        specs = tuple(s.strip() for s in args.devices.split(",") if s.strip())
+        if not specs:
+            print(f"error: --devices {args.devices!r} names no devices")
+            return 2
+    else:
+        specs = (
+            NETWORK_QUICK_DEVICE_SPECS if args.quick else NETWORK_FULL_DEVICE_SPECS
+        )
+    codec = _single_codec_arg(args, "network")
+    if codec is None:
+        return 2
+    # Best-of-2 even in quick mode: a single replay on a noisy CI
+    # runner can dip under the throughput gate.
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    payload = run_network_bench(
+        device_specs=specs,
+        n_requests=1024 if args.quick else 4096,
+        repeats=repeats,
+        seed=args.seed,
+        window_size=args.window_size,
+        codec=codec,
+    )
+    path = write_network_json(payload, args.output or DEFAULT_NETWORK_OUTPUT)
+    print(render_network_table(payload))
+    print(f"   wrote: {path}")
+    ok, failures = network_gates_ok(payload)
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 0 if ok else 1
 
 
 def _cmd_bench_serving(args: argparse.Namespace) -> int:
@@ -334,24 +541,9 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
         specs = (
             SERVING_QUICK_DEVICE_SPECS if args.quick else SERVING_FULL_DEVICE_SPECS
         )
-    variant = "int-DCT-W"
-    if args.variants is not None:
-        named = tuple(
-            dict.fromkeys(v.strip() for v in args.variants.split(",") if v.strip())
-        )
-        if len(named) != 1:
-            print(
-                f"error: the serving bench measures one codec per run; "
-                f"--variants named {list(named)}"
-            )
-            return 2
-        if named[0] not in list_codecs():
-            print(
-                f"error: unknown codec {named[0]!r}; registered: "
-                f"{', '.join(list_codecs())}"
-            )
-            return 2
-        variant = named[0]
+    codec = _single_codec_arg(args, "serving")
+    if codec is None:
+        return 2
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
     payload = run_serving_bench(
         device_specs=specs,
@@ -360,7 +552,7 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         seed=args.seed,
         window_size=args.window_size,
-        variant=variant,
+        variant=codec,
     )
     path = write_serving_json(payload, args.output or DEFAULT_SERVING_OUTPUT)
     print(render_serving_table(payload))
@@ -381,6 +573,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    if args.network:
+        return _cmd_bench_network(args)
     if args.serving:
         return _cmd_bench_serving(args)
     if args.devices:
@@ -390,14 +584,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
     else:
         specs = QUICK_DEVICE_SPECS if args.quick else FULL_DEVICE_SPECS
-    if args.variants is not None:
+    if args.codecs is not None:
         variants = tuple(
             dict.fromkeys(
-                v.strip() for v in args.variants.split(",") if v.strip()
+                v.strip() for v in args.codecs.split(",") if v.strip()
             )
         )
         if not variants:
-            print(f"error: --variants {args.variants!r} names no codecs")
+            print(f"error: --codecs {args.codecs!r} names no codecs")
             return 2
         unknown = [v for v in variants if v not in list_codecs()]
         if unknown:
@@ -452,7 +646,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     device = resolve_device(args.device)
     compiler = CompaqtCompiler(
         window_size=args.window_size,
-        variant=args.variant,
+        codec=args.codec,
         threshold=args.threshold,
     )
     compiled = compiler.compile_library(device.pulse_library())
@@ -485,7 +679,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         ]
         print(
             render_table(
-                f"{device.name}: CQS1 store, {args.variant} "
+                f"{device.name}: CQS1 store, {args.codec} "
                 f"WS={args.window_size}, {args.shards} shards",
                 ["shard", "file", "waveforms", "bytes"],
                 rows,
@@ -502,7 +696,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         wire_bytes = len(blob)
         print(
             render_table(
-                f"{device.name}: packed {args.variant} WS={args.window_size}",
+                f"{device.name}: packed {args.codec} WS={args.window_size}",
                 ["waveforms", "wire bytes", "raw bytes", "wire ratio", "R(var)"],
                 [
                     [
@@ -595,6 +789,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve_net import NetPulseServer
+    from repro.store import PulseServer, open_store
+
+    store = open_store(args.store)
+    cache_size = args.cache_size or len(store.keys())
+
+    async def _run() -> None:
+        with PulseServer(
+            store, cache_capacity=cache_size, max_workers=args.workers
+        ) as serving:
+            if args.prewarm:
+                serving.cache.prewarm()
+            server = NetPulseServer(
+                serving,
+                host=args.host,
+                port=args.port,
+                max_inflight=args.max_inflight,
+            )
+            await server.start()
+            host, port = server.address
+            print(
+                f"serving {store.device_name} ({len(store.keys())} pulses, "
+                f"{store.n_shards} shards) on {host}:{port} -- CQN1, "
+                f"max inflight {args.max_inflight}; Ctrl-C drains and exits"
+            )
+            try:
+                await server.serve_forever()
+            finally:
+                await server.aclose(drain_timeout=args.drain_timeout)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("drained and stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve_net import (
+        PulseClient,
+        parse_address,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.store import load_trace, synthetic_trace
+
+    address = parse_address(args.address)
+    if args.trace:
+        trace = load_trace(args.trace)
+        source = args.trace
+    else:
+        with PulseClient(address) as client:
+            keys = client.keys()
+        trace = synthetic_trace(keys, args.synthetic, seed=args.seed)
+        source = f"synthetic over {len(keys)} server keys (seed {args.seed})"
+
+    mode = "records" if args.records else "samples"
+    if args.open:
+        report = run_open_loop(
+            address,
+            trace,
+            rate=args.rate,
+            batch_size=args.batch_size or 16,
+            connections=args.connections or 8,
+            max_outstanding=args.max_outstanding,
+            seed=args.seed,
+            mode=mode,
+        )
+    else:
+        report = run_closed_loop(
+            address,
+            trace,
+            batch_size=args.batch_size or 64,
+            connections=args.connections or 4,
+            mode=mode,
+        )
+    latency = report.latency_ms
+
+    def fmt(value: Optional[float]) -> str:
+        return f"{value:.2f}" if value is not None else "-"
+
+    print(
+        render_table(
+            f"{args.address}: {report.mode}-loop load ({mode}), "
+            f"{report.connections} connections, batch {report.batch_size}",
+            [
+                "requests ok",
+                "overloads",
+                "errors",
+                "skipped",
+                "pulses/s",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+            ],
+            [
+                [
+                    f"{report.requests_ok}/{report.requests_sent}",
+                    report.overloads,
+                    report.errors,
+                    report.skipped,
+                    f"{report.pulses_per_s:.0f}",
+                    fmt(latency["p50"]),
+                    fmt(latency["p95"]),
+                    fmt(latency["p99"]),
+                ]
+            ],
+            note=f"trace: {source}"
+            + (
+                f", target rate {report.target_rate:.0f} req/s, peak "
+                f"outstanding {report.peak_outstanding}/{report.max_outstanding}"
+                if report.mode == "open"
+                else ""
+            ),
+        )
+    )
+    return 0 if report.errors == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -612,4 +928,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_pack(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "serve-net":
+        return _cmd_serve_net(args)
+    elif args.command == "loadgen":
+        return _cmd_loadgen(args)
     return 0

@@ -29,12 +29,16 @@ handful of matmuls total.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import CompressionError
-from repro.compression.codecs import ensure_registered, resolve_codec
+from repro.compression.codecs import (
+    ensure_registered,
+    resolve_codec,
+    resolve_codec_arg,
+)
 from repro.compression.metrics import mean_squared_error
 from repro.compression.pipeline import (
     DEFAULT_THRESHOLD,
@@ -118,9 +122,11 @@ class BatchCompressionResult:
 def compress_batch(
     waveforms: Sequence[Waveform],
     window_size: int = 16,
-    variant: VariantLike = "int-DCT-W",
+    codec: Optional[VariantLike] = None,
     threshold: float = DEFAULT_THRESHOLD,
     max_coefficients: int = 0,
+    *,
+    variant: Optional[VariantLike] = None,
 ) -> BatchCompressionResult:
     """Compress many waveforms in one vectorized pass.
 
@@ -128,17 +134,20 @@ def compress_batch(
         waveforms: The pulses to compress (e.g. a whole device library).
         window_size: Codec window (8/16/32 for the DCT family); ignored
             by full-frame codecs (DCT-N), which use each pulse's length.
-        variant: A registered codec name or a
-            :class:`~repro.compression.codecs.Codec` object.
+        codec: A registered codec name or a
+            :class:`~repro.compression.codecs.Codec` object; defaults
+            to ``"int-DCT-W"``.
         threshold: Hard threshold in integer coefficient units.
         max_coefficients: Optional per-window top-k cap.
+        variant: Deprecated alias for ``codec``.
 
     Returns:
         A :class:`BatchCompressionResult` whose entries are bit-identical
         to per-pulse :func:`~repro.compression.pipeline.compress_waveform`
         calls with the same configuration.
     """
-    codec = ensure_registered(resolve_codec(variant))
+    codec = resolve_codec_arg(codec, variant, default="int-DCT-W")
+    codec = ensure_registered(resolve_codec(codec))
     if not waveforms:
         raise CompressionError("cannot batch-compress an empty waveform list")
     if threshold < 0:

@@ -16,7 +16,8 @@ once:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+import warnings
+from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import CompressionError
 from repro.compression.codecs.base import Codec
@@ -26,6 +27,7 @@ __all__ = [
     "unregister_codec",
     "get_codec",
     "resolve_codec",
+    "resolve_codec_arg",
     "ensure_registered",
     "list_codecs",
     "codec_for_wire_id",
@@ -126,6 +128,37 @@ def resolve_codec(variant: Union[str, Codec]) -> Codec:
             f"got {type(variant).__name__}"
         )
     return get_codec(variant)
+
+
+def resolve_codec_arg(
+    codec: Optional[Union[str, Codec]] = None,
+    variant: Optional[Union[str, Codec]] = None,
+    default: Optional[Union[str, Codec]] = None,
+    stacklevel: int = 3,
+) -> Optional[Union[str, Codec]]:
+    """Merge the ``codec=`` and legacy ``variant=`` spellings of one arg.
+
+    Every public entry point that historically took ``variant=`` now
+    takes ``codec=`` and routes both spellings through this helper, so
+    the deprecation lives in exactly one place.  Passing ``variant=``
+    emits a single :class:`DeprecationWarning` (pointed at the caller
+    via ``stacklevel``); passing both is an error; passing neither
+    yields ``default``.
+    """
+    if variant is not None:
+        if codec is not None:
+            raise CompressionError(
+                "pass codec=..., not both codec= and the deprecated variant="
+            )
+        warnings.warn(
+            "the variant= argument is deprecated; pass codec= instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return variant
+    if codec is not None:
+        return codec
+    return default
 
 
 def ensure_registered(codec: Codec) -> Codec:

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import CompressionError
-from repro.compression.codecs import resolve_codec
+from repro.compression.codecs import resolve_codec, resolve_codec_arg
 from repro.compression.metrics import mean_squared_error
 from repro.compression.pipeline import (
     CompressedChannel,
@@ -121,9 +121,11 @@ class AdaptiveCompressionResult:
 def adaptive_compress(
     waveform: Waveform,
     window_size: int = 16,
-    variant: VariantLike = "int-DCT-W",
+    codec: Optional[VariantLike] = None,
     threshold: float = 128,
     min_plateau_windows: int = 2,
+    *,
+    variant: Optional[VariantLike] = None,
 ) -> AdaptiveCompressionResult:
     """Compress a (possibly flat-top) waveform with plateau bypass.
 
@@ -135,35 +137,35 @@ def adaptive_compress(
     Args:
         waveform: Pulse to compress (flat-top pulses benefit most).
         window_size: Codec window for the ramp segments.
-        variant: Codec (registry name or object) for the ramp segments;
-            must be a windowed codec.
+        codec: Codec (registry name or object) for the ramp segments;
+            must be a windowed codec.  Defaults to ``"int-DCT-W"``.
         threshold: Hard threshold for the ramp segments.
         min_plateau_windows: Minimum plateau length, in windows, worth a
             repeat codeword.
+        variant: Deprecated alias for ``codec``.
     """
     if min_plateau_windows < 1:
         raise CompressionError(
             f"min_plateau_windows must be >= 1, got {min_plateau_windows}"
         )
-    codec = resolve_codec(variant)
+    codec = resolve_codec(resolve_codec_arg(codec, variant, default="int-DCT-W"))
     if not codec.windowed:
         raise CompressionError(
             f"adaptive compression needs a windowed codec, got {codec.name!r}"
         )
-    variant = codec
     i_codes, q_codes = waveform.to_fixed_point()
     plateau = _find_plateau(
         i_codes, q_codes, window_size, min_plateau_windows * window_size
     )
     segments: List[Segment] = []
     if plateau is None:
-        segments.append(_window_segment(i_codes, q_codes, window_size, variant, threshold))
+        segments.append(_window_segment(i_codes, q_codes, window_size, codec, threshold))
     else:
         start, stop = plateau
         if start > 0:
             segments.append(
                 _window_segment(
-                    i_codes[:start], q_codes[:start], window_size, variant, threshold
+                    i_codes[:start], q_codes[:start], window_size, codec, threshold
                 )
             )
         segments.append(
@@ -176,7 +178,7 @@ def adaptive_compress(
         if stop < i_codes.size:
             segments.append(
                 _window_segment(
-                    i_codes[stop:], q_codes[stop:], window_size, variant, threshold
+                    i_codes[stop:], q_codes[stop:], window_size, codec, threshold
                 )
             )
     reconstructed = _reconstruct(segments, waveform)
@@ -216,12 +218,12 @@ def _window_segment(
     i_codes: np.ndarray,
     q_codes: np.ndarray,
     window_size: int,
-    variant: VariantLike,
+    codec: VariantLike,
     threshold: float,
 ) -> WindowSegment:
     return WindowSegment(
-        i_channel=compress_channel(i_codes, window_size, variant, threshold),
-        q_channel=compress_channel(q_codes, window_size, variant, threshold),
+        i_channel=compress_channel(i_codes, window_size, codec, threshold),
+        q_channel=compress_channel(q_codes, window_size, codec, threshold),
     )
 
 

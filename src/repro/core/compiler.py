@@ -11,13 +11,13 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import CompressionError, DeviceError
 from repro.compression.batch import compress_batch, decompress_batch
-from repro.compression.codecs import resolve_codec
+from repro.compression.codecs import resolve_codec, resolve_codec_arg
 from repro.compression.bitstream import (
     LibraryBitstream,
     LibraryEntry,
@@ -233,9 +233,10 @@ class CompaqtCompiler:
     Args:
         window_size: Codec window (8/16/32 for the DCT family; ignored
             by full-frame codecs such as DCT-N).
-        variant: A registered codec name (``"int-DCT-W"``, ``"delta"``,
+        codec: A registered codec name (``"int-DCT-W"``, ``"delta"``,
             ...) or a first-class
-            :class:`~repro.compression.codecs.Codec` object.
+            :class:`~repro.compression.codecs.Codec` object; defaults
+            to ``"int-DCT-W"``.
         threshold: Fixed hard threshold (coefficient codes) when
             fidelity-aware search is off.
         fidelity_aware: Enable Algorithm 1's per-pulse threshold search.
@@ -244,6 +245,7 @@ class CompaqtCompiler:
             engine (one matmul per library instead of one per window).
             Bit-identical to the scalar path; set False to force the
             per-window reference implementation.
+        variant: Deprecated alias for ``codec``.
 
     Attributes:
         codec: The resolved :class:`~repro.compression.codecs.Codec`.
@@ -254,15 +256,19 @@ class CompaqtCompiler:
     def __init__(
         self,
         window_size: int = 16,
-        variant: VariantLike = "int-DCT-W",
+        codec: Optional[VariantLike] = None,
         threshold: float = DEFAULT_THRESHOLD,
         fidelity_aware: bool = False,
         target_mse: float = DEFAULT_TARGET_MSE,
         max_coefficients: int = 0,
         batched: bool = True,
+        *,
+        variant: Optional[VariantLike] = None,
     ) -> None:
         self.window_size = window_size
-        self.codec = resolve_codec(variant)
+        self.codec = resolve_codec(
+            resolve_codec_arg(codec, variant, default="int-DCT-W")
+        )
         self.variant = self.codec.name
         self.threshold = threshold
         self.fidelity_aware = fidelity_aware
@@ -277,12 +283,12 @@ class CompaqtCompiler:
                 waveform,
                 target_mse=self.target_mse,
                 window_size=self.window_size,
-                variant=self.codec,
+                codec=self.codec,
             )
         return compress_waveform(
             waveform,
             window_size=self.window_size,
-            variant=self.codec,
+            codec=self.codec,
             threshold=self.threshold,
             max_coefficients=self.max_coefficients,
         )
@@ -307,7 +313,7 @@ class CompaqtCompiler:
             batch = compress_batch(
                 [library.waveform(*key) for key in keys],
                 window_size=self.window_size,
-                variant=self.codec,
+                codec=self.codec,
                 threshold=self.threshold,
                 max_coefficients=self.max_coefficients,
             )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import CompressionError
-from repro.compression.codecs import resolve_codec
+from repro.compression.codecs import resolve_codec, resolve_codec_arg
 from repro.compression.pipeline import (
     CompressionResult,
     VariantLike,
@@ -35,8 +35,10 @@ def fidelity_aware_compress(
     waveform: Waveform,
     target_mse: float = DEFAULT_TARGET_MSE,
     window_size: int = 16,
-    variant: VariantLike = "int-DCT-W",
+    codec: Optional[VariantLike] = None,
     initial_threshold: Optional[float] = None,
+    *,
+    variant: Optional[VariantLike] = None,
 ) -> CompressionResult:
     """Compress ``waveform`` with the largest threshold meeting the target.
 
@@ -49,11 +51,12 @@ def fidelity_aware_compress(
         waveform: Pulse to compress.
         target_mse: The ε of Algorithm 1.
         window_size: Codec window size.
-        variant: Codec to search over -- a registry name or a
+        codec: Codec to search over -- a registry name or a
             :class:`~repro.compression.codecs.Codec` object
-            (int-DCT-W in the paper).
+            (int-DCT-W in the paper, the default).
         initial_threshold: Starting threshold in coefficient codes;
             defaults to 1/8 of full scale.
+        variant: Deprecated alias for ``codec``.
 
     Returns:
         The first (most compressed) result meeting the target.
@@ -64,11 +67,11 @@ def fidelity_aware_compress(
     """
     if target_mse <= 0:
         raise CompressionError(f"target MSE must be positive, got {target_mse}")
-    variant = resolve_codec(variant)
+    codec = resolve_codec(resolve_codec_arg(codec, variant, default="int-DCT-W"))
     threshold = float(initial_threshold) if initial_threshold else 4096.0
     while threshold >= _MIN_THRESHOLD:
         result = compress_waveform(
-            waveform, window_size=window_size, variant=variant, threshold=threshold
+            waveform, window_size=window_size, codec=codec, threshold=threshold
         )
         if result.mse <= target_mse:
             return result
@@ -76,7 +79,7 @@ def fidelity_aware_compress(
     # Thresholding disabled entirely: only transform/quantization error
     # remains.  If that still misses the target, there is no solution.
     result = compress_waveform(
-        waveform, window_size=window_size, variant=variant, threshold=0.0
+        waveform, window_size=window_size, codec=codec, threshold=0.0
     )
     if result.mse <= target_mse:
         return result

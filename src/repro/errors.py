@@ -34,6 +34,25 @@ class StoreError(ReproError):
     """
 
 
+class ProtocolError(ReproError):
+    """A CQN1 network frame could not be encoded or decoded.
+
+    Raised for truncated frames, length prefixes beyond the negotiated
+    bound, unknown message types, and any payload whose bytes do not
+    parse exactly (the wire parser is total: malformed input always
+    raises, never yields garbage).
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """The serving tier shed a request under admission control.
+
+    The ``CQN1`` server answers with an explicit overload status instead
+    of queueing unboundedly; clients surface that as this exception so
+    callers (and the open-loop load generator) can count and retry.
+    """
+
+
 class ScheduleError(ReproError):
     """A circuit could not be scheduled onto a device."""
 

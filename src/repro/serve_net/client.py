@@ -1,0 +1,363 @@
+"""The redesigned public client API: ``PulseClient`` / ``AsyncPulseClient``.
+
+Both clients speak the ``CQN1`` protocol against a
+:class:`~repro.serve_net.server.NetPulseServer` and expose the same
+surface as the in-process :class:`~repro.store.PulseServer` --
+``fetch`` / ``fetch_batch`` returning decoded
+:class:`~repro.pulses.waveform.Waveform` objects bit-identical to the
+server's copies -- plus the wire-only extras (raw record fetches,
+ping, remote stats, remote key inventory).
+
+Overload is a first-class outcome, not an exception to hide: when the
+server sheds a request under admission control, clients raise
+:class:`~repro.errors.ServerOverloadedError` so callers can back off,
+retry, or (in the load generator's case) count.
+
+Connections are lazy: the first request dials the server, ``close``
+hangs up, and both clients are context managers.  One client drives
+one connection, and requests on it are strictly serialized
+(request/response, in order) -- for concurrency, open more clients;
+the :mod:`~repro.serve_net.loadgen` module does exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProtocolError, ServerOverloadedError, StoreError
+from repro.pulses.waveform import Waveform
+from repro.serve_net import protocol
+
+__all__ = ["PulseClient", "AsyncPulseClient", "parse_address"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+_Request = Tuple[str, Sequence[int]]
+
+
+def parse_address(
+    address: Union[str, Tuple[str, int]], port: Optional[int] = None
+) -> Tuple[str, int]:
+    """Normalize ``("host", port)`` / ``"host:port"`` / host+port args."""
+    if port is not None:
+        if not isinstance(address, str):
+            raise StoreError(f"host must be a string, got {address!r}")
+        return (address, int(port))
+    if isinstance(address, tuple) and len(address) == 2:
+        return (str(address[0]), int(address[1]))
+    if isinstance(address, str) and ":" in address:
+        host, _, port_text = address.rpartition(":")
+        try:
+            return (host, int(port_text))
+        except ValueError:
+            raise StoreError(f"bad port in address {address!r}") from None
+    raise StoreError(
+        f"expected ('host', port) or 'host:port', got {address!r}"
+    )
+
+
+def _check_reply(reply: protocol.Reply, expected_type: int) -> protocol.Reply:
+    if reply.status == protocol.STATUS_OVERLOAD:
+        raise ServerOverloadedError(
+            "server shed the request under admission control"
+        )
+    if reply.status == protocol.STATUS_ERROR:
+        raise StoreError(f"server error: {reply.message}")
+    if reply.echo_type != expected_type:
+        raise ProtocolError(
+            f"reply echoes type 0x{reply.echo_type:02x}, "
+            f"expected 0x{expected_type:02x}"
+        )
+    return reply
+
+
+def _decode_fetch_reply(
+    reply: protocol.Reply, keys: Sequence[_Key], mode: int
+) -> List:
+    reply = _check_reply(reply, protocol.MSG_FETCH)
+    if reply.mode != mode:
+        raise ProtocolError(
+            f"reply mode {reply.mode} does not match request mode {mode}"
+        )
+    if len(reply.items) != len(keys):
+        raise ProtocolError(
+            f"reply carries {len(reply.items)} items for {len(keys)} keys"
+        )
+    if mode == protocol.MODE_RECORD:
+        return list(reply.items)
+    return [
+        protocol.decode_samples_item(item, gate, qubits)
+        for item, (gate, qubits) in zip(reply.items, keys)
+    ]
+
+
+def _normalize(requests: Sequence[_Request]) -> List[_Key]:
+    return [(gate, tuple(int(q) for q in qubits)) for gate, qubits in requests]
+
+
+class PulseClient:
+    """Blocking ``CQN1`` client over a plain TCP socket.
+
+    Args:
+        address: ``("host", port)``, ``"host:port"``, or a host string
+            combined with the ``port`` argument.
+        port: Port when ``address`` is a bare host name.
+        timeout: Socket timeout in seconds for connect and each
+            request/response round trip.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.address = parse_address(address, port)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def connect(self) -> "PulseClient":
+        """Dial the server (no-op if already connected)."""
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    self.address, timeout=self.timeout
+                )
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError as exc:
+                self._sock = None
+                raise StoreError(
+                    f"cannot connect to {self.address[0]}:{self.address[1]}: {exc}"
+                ) from None
+        return self
+
+    def close(self) -> None:
+        """Hang up (idempotent); the next request reconnects."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "PulseClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire I/O --------------------------------------------------------------
+
+    def _roundtrip(self, request_frame: bytes) -> protocol.Reply:
+        self.connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(request_frame)
+            header = self._read_exact(4)
+            length = protocol.parse_frame_length(header)
+            payload = self._read_exact(length)
+        except (OSError, ProtocolError):
+            # The connection state is unknown after any I/O or framing
+            # failure; drop it so the next request redials.
+            self.close()
+            raise
+        return protocol.decode_reply(payload)
+
+    def _read_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks: List[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout:
+                raise ProtocolError(
+                    f"timed out waiting for {remaining} of {n} reply bytes"
+                ) from None
+            if not chunk:
+                raise ProtocolError(
+                    f"server closed the connection mid-frame "
+                    f"({n - remaining} of {n} bytes read)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # -- the client API ----------------------------------------------------------
+
+    def fetch(self, gate: str, qubits: Sequence[int]) -> Waveform:
+        """One decoded pulse over the wire."""
+        return self.fetch_batch([(gate, qubits)])[0]
+
+    def fetch_batch(self, requests: Sequence[_Request]) -> List[Waveform]:
+        """A batch of decoded pulses, in request order.
+
+        Raises :class:`~repro.errors.ServerOverloadedError` when the
+        server sheds the request, :class:`~repro.errors.StoreError` on
+        server-side errors (e.g. unknown keys).
+        """
+        keys = _normalize(requests)
+        reply = self._roundtrip(protocol.encode_fetch(keys, protocol.MODE_SAMPLES))
+        return _decode_fetch_reply(reply, keys, protocol.MODE_SAMPLES)
+
+    def fetch_records(self, requests: Sequence[_Request]) -> List[bytes]:
+        """Raw ``CQW1`` record bytes per key (no decode on either side)."""
+        keys = _normalize(requests)
+        reply = self._roundtrip(protocol.encode_fetch(keys, protocol.MODE_RECORD))
+        return _decode_fetch_reply(reply, keys, protocol.MODE_RECORD)
+
+    def ping(self) -> float:
+        """Round-trip a PING; returns the latency in seconds."""
+        start = time.perf_counter()
+        _check_reply(self._roundtrip(protocol.encode_ping()), protocol.MSG_PING)
+        return time.perf_counter() - start
+
+    def stats(self) -> Dict:
+        """The server's counter snapshot (see ``NetServerStats.as_dict``)."""
+        reply = _check_reply(
+            self._roundtrip(protocol.encode_stats()), protocol.MSG_STATS
+        )
+        try:
+            return json.loads(reply.items[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"stats reply is not JSON: {exc}") from None
+
+    def keys(self) -> List[_Key]:
+        """The remote store's full pulse-key inventory."""
+        reply = _check_reply(
+            self._roundtrip(protocol.encode_keys()), protocol.MSG_KEYS
+        )
+        return list(reply.keys)
+
+
+class AsyncPulseClient:
+    """Asyncio ``CQN1`` client; the coroutine twin of :class:`PulseClient`.
+
+    One instance drives one connection and serializes its requests with
+    an internal lock, so it is safe to share across tasks -- concurrent
+    callers simply queue client-side.  For true request concurrency
+    (and to exercise the server's admission control), open several
+    clients.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.address = parse_address(address, port)
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def connect(self) -> "AsyncPulseClient":
+        if self._writer is None:
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(*self.address), timeout=self.timeout
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                self._reader = self._writer = None
+                raise StoreError(
+                    f"cannot connect to {self.address[0]}:{self.address[1]}: {exc}"
+                ) from None
+        return self
+
+    async def aclose(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncPulseClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- wire I/O --------------------------------------------------------------
+
+    async def _roundtrip(self, request_frame: bytes) -> protocol.Reply:
+        async with self._lock:
+            await self.connect()
+            assert self._reader is not None and self._writer is not None
+            try:
+                self._writer.write(request_frame)
+                await self._writer.drain()
+                header = await asyncio.wait_for(
+                    self._reader.readexactly(4), timeout=self.timeout
+                )
+                length = protocol.parse_frame_length(header)
+                payload = await asyncio.wait_for(
+                    self._reader.readexactly(length), timeout=self.timeout
+                )
+            except (
+                OSError,
+                ProtocolError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                await self.aclose()
+                if isinstance(exc, (ProtocolError, OSError)):
+                    raise
+                if isinstance(exc, asyncio.IncompleteReadError):
+                    raise ProtocolError(
+                        "server closed the connection mid-frame"
+                    ) from None
+                raise ProtocolError("timed out waiting for the reply") from None
+            return protocol.decode_reply(payload)
+
+    # -- the client API ----------------------------------------------------------
+
+    async def fetch(self, gate: str, qubits: Sequence[int]) -> Waveform:
+        return (await self.fetch_batch([(gate, qubits)]))[0]
+
+    async def fetch_batch(self, requests: Sequence[_Request]) -> List[Waveform]:
+        keys = _normalize(requests)
+        reply = await self._roundtrip(
+            protocol.encode_fetch(keys, protocol.MODE_SAMPLES)
+        )
+        return _decode_fetch_reply(reply, keys, protocol.MODE_SAMPLES)
+
+    async def fetch_records(self, requests: Sequence[_Request]) -> List[bytes]:
+        keys = _normalize(requests)
+        reply = await self._roundtrip(
+            protocol.encode_fetch(keys, protocol.MODE_RECORD)
+        )
+        return _decode_fetch_reply(reply, keys, protocol.MODE_RECORD)
+
+    async def ping(self) -> float:
+        start = time.perf_counter()
+        _check_reply(await self._roundtrip(protocol.encode_ping()), protocol.MSG_PING)
+        return time.perf_counter() - start
+
+    async def stats(self) -> Dict:
+        reply = _check_reply(
+            await self._roundtrip(protocol.encode_stats()), protocol.MSG_STATS
+        )
+        try:
+            return json.loads(reply.items[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"stats reply is not JSON: {exc}") from None
+
+    async def keys(self) -> List[_Key]:
+        reply = _check_reply(
+            await self._roundtrip(protocol.encode_keys()), protocol.MSG_KEYS
+        )
+        return list(reply.keys)

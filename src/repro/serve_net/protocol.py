@@ -1,0 +1,489 @@
+"""The ``CQN1`` wire protocol: length-prefixed binary frames.
+
+Every message travels as one frame::
+
+    +----------------+---------------------------------------+
+    | u32 LE length  | payload (length bytes)                |
+    +----------------+---------------------------------------+
+
+and every payload starts with a one-byte message type::
+
+    requests                         responses
+    0x01 FETCH   mode + key batch    0x81 REPLY  status + body
+    0x02 PING    (empty)
+    0x03 STATS   (empty)
+    0x04 KEYS    (empty)
+
+A ``FETCH`` body is ``u8 mode`` (:data:`MODE_RECORD` for raw ``CQW1``
+record bytes, :data:`MODE_SAMPLES` for decoded sample payloads) and a
+``u16`` key count followed by the keys; a key is
+``u16 gate-length + gate utf-8 + u8 qubit-count + u16 qubit...`` -- the
+same ``(gate, qubits)`` channel binding every in-process layer uses.
+
+A ``REPLY`` body is ``u8 status``:
+
+- :data:`STATUS_OK`: ``u8`` echoed request type, then the
+  type-specific body (fetch: ``u8 mode`` + ``u32`` item count +
+  ``u32``-length-prefixed items; stats: one length-prefixed JSON blob;
+  keys: a key batch; ping: empty).
+- :data:`STATUS_OVERLOAD`: empty.  The server shed the request under
+  admission control -- explicit backpressure instead of queueing.
+- :data:`STATUS_ERROR`: ``u16`` length + utf-8 message.  The request
+  was understood but could not be served (e.g. an unknown pulse key);
+  the connection remains usable.
+
+A :data:`MODE_SAMPLES` fetch item carries one decoded waveform::
+
+    u16 name-length + name utf-8 + f64 dt + u32 n-samples
+    + n complex128 LE samples
+
+so the client-side :class:`~repro.pulses.waveform.Waveform` is
+bit-identical to the server's decoded copy (the identity gate of
+``BENCH_network.json`` holds the whole wire path to that).  A
+:data:`MODE_RECORD` item is the pulse's raw ``CQW1`` record, byte-equal
+to :meth:`repro.store.ShardedStore.read_record_bytes`.
+
+Parsing is **total**: every decoder consumes its exact byte span and
+raises :class:`~repro.errors.ProtocolError` on truncation, trailing
+bytes, out-of-range counts, unknown types or statuses, and length
+prefixes beyond the frame bound.  Nothing in this module touches a
+socket; the server and clients share these pure encoders/decoders.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.pulses.waveform import Waveform
+
+__all__ = [
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "MSG_FETCH",
+    "MSG_PING",
+    "MSG_STATS",
+    "MSG_KEYS",
+    "MSG_REPLY",
+    "MODE_RECORD",
+    "MODE_SAMPLES",
+    "STATUS_OK",
+    "STATUS_OVERLOAD",
+    "STATUS_ERROR",
+    "MAX_FRAME_BYTES",
+    "MAX_REQUEST_FRAME_BYTES",
+    "MAX_KEYS_PER_REQUEST",
+    "FetchRequest",
+    "PingRequest",
+    "StatsRequest",
+    "KeysRequest",
+    "Reply",
+    "frame",
+    "parse_frame_length",
+    "encode_fetch",
+    "encode_ping",
+    "encode_stats",
+    "encode_keys",
+    "decode_request",
+    "encode_reply_fetch",
+    "encode_reply_ping",
+    "encode_reply_stats",
+    "encode_reply_keys",
+    "encode_reply_overload",
+    "encode_reply_error",
+    "decode_reply",
+    "encode_samples_item",
+    "decode_samples_item",
+]
+
+PROTOCOL_MAGIC = "CQN1"
+PROTOCOL_VERSION = 1
+
+MSG_FETCH = 0x01
+MSG_PING = 0x02
+MSG_STATS = 0x03
+MSG_KEYS = 0x04
+MSG_REPLY = 0x81
+
+_REQUEST_TYPES = (MSG_FETCH, MSG_PING, MSG_STATS, MSG_KEYS)
+
+MODE_RECORD = 0
+MODE_SAMPLES = 1
+
+STATUS_OK = 0
+STATUS_OVERLOAD = 1
+STATUS_ERROR = 2
+
+#: Hard bound on any frame this implementation will read (responses
+#: carrying whole decoded batches are the large direction).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Server-side bound on inbound request frames; a length prefix past
+#: this closes the connection (the stream can no longer be trusted).
+MAX_REQUEST_FRAME_BYTES = 1 * 1024 * 1024
+
+#: Largest key batch one FETCH may carry.
+MAX_KEYS_PER_REQUEST = 4096
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+@dataclass(frozen=True, slots=True)
+class FetchRequest:
+    """A decoded FETCH: serve these pulse keys in this mode."""
+
+    mode: int
+    keys: Tuple[_Key, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PingRequest:
+    """A liveness probe; the reply carries no body."""
+
+
+@dataclass(frozen=True, slots=True)
+class StatsRequest:
+    """Ask the server for its counter snapshot (JSON body in the reply)."""
+
+
+@dataclass(frozen=True, slots=True)
+class KeysRequest:
+    """Ask the server for the store's full key inventory."""
+
+
+@dataclass(frozen=True, slots=True)
+class Reply:
+    """A decoded server reply.
+
+    ``echo_type`` / ``mode`` / ``items`` are populated for
+    :data:`STATUS_OK`; ``message`` for :data:`STATUS_ERROR`.
+    """
+
+    status: int
+    echo_type: int = 0
+    mode: int = MODE_SAMPLES
+    items: Tuple[bytes, ...] = ()
+    keys: Tuple[_Key, ...] = ()
+    message: str = ""
+
+
+class _Cursor:
+    """A bounds-checked reader over one payload's bytes."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise ProtocolError(
+                f"truncated payload: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def finish(self) -> None:
+        if self.pos != len(self.data):
+            raise ProtocolError(
+                f"{len(self.data) - self.pos} trailing bytes after payload"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Framing.
+# ---------------------------------------------------------------------------
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a payload in its u32 length prefix."""
+    if not payload:
+        raise ProtocolError("cannot frame an empty payload")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    return _U32.pack(len(payload)) + payload
+
+
+def parse_frame_length(header: bytes, max_frame: int = MAX_FRAME_BYTES) -> int:
+    """Validate a 4-byte length prefix; returns the payload length."""
+    if len(header) != 4:
+        raise ProtocolError(f"frame header is {len(header)} bytes, expected 4")
+    (length,) = _U32.unpack(header)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte bound"
+        )
+    return length
+
+
+# ---------------------------------------------------------------------------
+# Keys.
+# ---------------------------------------------------------------------------
+
+
+def _encode_key(gate: str, qubits: Sequence[int]) -> bytes:
+    gate_bytes = gate.encode("utf-8")
+    if not gate_bytes or len(gate_bytes) > 0xFFFF:
+        raise ProtocolError(f"gate name {gate!r} does not fit the wire key")
+    qubits = tuple(int(q) for q in qubits)
+    if len(qubits) > 0xFF:
+        raise ProtocolError(f"{len(qubits)} qubits exceed the u8 key bound")
+    if any(not 0 <= q <= 0xFFFF for q in qubits):
+        raise ProtocolError(f"qubit indices {qubits} do not fit u16")
+    parts = [_U16.pack(len(gate_bytes)), gate_bytes, bytes([len(qubits)])]
+    parts.extend(_U16.pack(q) for q in qubits)
+    return b"".join(parts)
+
+
+def _decode_key(cursor: _Cursor) -> _Key:
+    gate_len = cursor.u16()
+    if gate_len == 0:
+        raise ProtocolError("wire key has an empty gate name")
+    try:
+        gate = cursor.take(gate_len).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"wire key gate is not utf-8: {exc}") from None
+    n_qubits = cursor.u8()
+    qubits = tuple(cursor.u16() for _ in range(n_qubits))
+    return (gate, qubits)
+
+
+def _encode_key_batch(keys: Sequence[Tuple[str, Sequence[int]]]) -> bytes:
+    if not keys:
+        raise ProtocolError("a key batch must name at least one pulse")
+    if len(keys) > MAX_KEYS_PER_REQUEST:
+        raise ProtocolError(
+            f"{len(keys)} keys exceed the {MAX_KEYS_PER_REQUEST}-key bound"
+        )
+    parts = [_U16.pack(len(keys))]
+    parts.extend(_encode_key(gate, qubits) for gate, qubits in keys)
+    return b"".join(parts)
+
+
+def _decode_key_batch(cursor: _Cursor) -> Tuple[_Key, ...]:
+    n_keys = cursor.u16()
+    if n_keys == 0:
+        raise ProtocolError("a key batch must name at least one pulse")
+    if n_keys > MAX_KEYS_PER_REQUEST:
+        raise ProtocolError(
+            f"{n_keys} keys exceed the {MAX_KEYS_PER_REQUEST}-key bound"
+        )
+    return tuple(_decode_key(cursor) for _ in range(n_keys))
+
+
+# ---------------------------------------------------------------------------
+# Requests.
+# ---------------------------------------------------------------------------
+
+
+def encode_fetch(
+    keys: Sequence[Tuple[str, Sequence[int]]], mode: int = MODE_SAMPLES
+) -> bytes:
+    """Encode a FETCH request frame for a batch of pulse keys."""
+    if mode not in (MODE_RECORD, MODE_SAMPLES):
+        raise ProtocolError(f"unknown fetch mode {mode}")
+    return frame(bytes([MSG_FETCH, mode]) + _encode_key_batch(keys))
+
+
+def encode_ping() -> bytes:
+    return frame(bytes([MSG_PING]))
+
+
+def encode_stats() -> bytes:
+    return frame(bytes([MSG_STATS]))
+
+
+def encode_keys() -> bytes:
+    return frame(bytes([MSG_KEYS]))
+
+
+Request = Union[FetchRequest, PingRequest, StatsRequest, KeysRequest]
+
+
+def decode_request(payload: bytes) -> Request:
+    """Decode one request payload (total: malformed bytes raise)."""
+    cursor = _Cursor(payload)
+    msg_type = cursor.u8()
+    if msg_type not in _REQUEST_TYPES:
+        raise ProtocolError(f"unknown request type 0x{msg_type:02x}")
+    if msg_type == MSG_FETCH:
+        mode = cursor.u8()
+        if mode not in (MODE_RECORD, MODE_SAMPLES):
+            raise ProtocolError(f"unknown fetch mode {mode}")
+        keys = _decode_key_batch(cursor)
+        cursor.finish()
+        return FetchRequest(mode=mode, keys=keys)
+    cursor.finish()
+    if msg_type == MSG_PING:
+        return PingRequest()
+    if msg_type == MSG_STATS:
+        return StatsRequest()
+    return KeysRequest()
+
+
+# ---------------------------------------------------------------------------
+# Replies.
+# ---------------------------------------------------------------------------
+
+
+def encode_reply_fetch(mode: int, items: Sequence[bytes]) -> bytes:
+    """Encode an OK fetch reply carrying one payload blob per key."""
+    if mode not in (MODE_RECORD, MODE_SAMPLES):
+        raise ProtocolError(f"unknown fetch mode {mode}")
+    parts = [bytes([MSG_REPLY, STATUS_OK, MSG_FETCH, mode]), _U32.pack(len(items))]
+    for item in items:
+        parts.append(_U32.pack(len(item)))
+        parts.append(item)
+    return frame(b"".join(parts))
+
+
+def encode_reply_ping() -> bytes:
+    return frame(bytes([MSG_REPLY, STATUS_OK, MSG_PING]))
+
+
+def encode_reply_stats(stats_json: bytes) -> bytes:
+    return frame(
+        bytes([MSG_REPLY, STATUS_OK, MSG_STATS])
+        + _U32.pack(len(stats_json))
+        + stats_json
+    )
+
+
+def encode_reply_keys(keys: Sequence[Tuple[str, Sequence[int]]]) -> bytes:
+    return frame(bytes([MSG_REPLY, STATUS_OK, MSG_KEYS]) + _encode_key_batch(keys))
+
+
+def encode_reply_overload() -> bytes:
+    """Explicit admission-control shed: no body, the client backs off."""
+    return frame(bytes([MSG_REPLY, STATUS_OVERLOAD]))
+
+
+def encode_reply_error(message: str) -> bytes:
+    data = message.encode("utf-8")[:0xFFFF]
+    return frame(bytes([MSG_REPLY, STATUS_ERROR]) + _U16.pack(len(data)) + data)
+
+
+def decode_reply(payload: bytes) -> Reply:
+    """Decode one reply payload (total: malformed bytes raise)."""
+    cursor = _Cursor(payload)
+    msg_type = cursor.u8()
+    if msg_type != MSG_REPLY:
+        raise ProtocolError(f"expected a reply frame, got type 0x{msg_type:02x}")
+    status = cursor.u8()
+    if status == STATUS_OVERLOAD:
+        cursor.finish()
+        return Reply(status=STATUS_OVERLOAD)
+    if status == STATUS_ERROR:
+        length = cursor.u16()
+        try:
+            message = cursor.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"error reply is not utf-8: {exc}") from None
+        cursor.finish()
+        return Reply(status=STATUS_ERROR, message=message)
+    if status != STATUS_OK:
+        raise ProtocolError(f"unknown reply status {status}")
+    echo_type = cursor.u8()
+    if echo_type == MSG_FETCH:
+        mode = cursor.u8()
+        if mode not in (MODE_RECORD, MODE_SAMPLES):
+            raise ProtocolError(f"unknown fetch mode {mode}")
+        n_items = cursor.u32()
+        if n_items > MAX_KEYS_PER_REQUEST:
+            raise ProtocolError(
+                f"{n_items} reply items exceed the "
+                f"{MAX_KEYS_PER_REQUEST}-key bound"
+            )
+        items = tuple(cursor.take(cursor.u32()) for _ in range(n_items))
+        cursor.finish()
+        return Reply(status=STATUS_OK, echo_type=MSG_FETCH, mode=mode, items=items)
+    if echo_type == MSG_STATS:
+        blob = cursor.take(cursor.u32())
+        cursor.finish()
+        return Reply(status=STATUS_OK, echo_type=MSG_STATS, items=(blob,))
+    if echo_type == MSG_KEYS:
+        keys = _decode_key_batch(cursor)
+        cursor.finish()
+        return Reply(status=STATUS_OK, echo_type=MSG_KEYS, keys=keys)
+    if echo_type == MSG_PING:
+        cursor.finish()
+        return Reply(status=STATUS_OK, echo_type=MSG_PING)
+    raise ProtocolError(f"reply echoes unknown request type 0x{echo_type:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Decoded-sample items.
+# ---------------------------------------------------------------------------
+
+
+def encode_samples_item(waveform: Waveform) -> bytes:
+    """Serialize one decoded waveform as a fetch-reply item.
+
+    The complex128 sample bytes go over the wire verbatim, so the
+    client-side reconstruction is bit-identical to the server's decoded
+    waveform -- no re-quantization anywhere on the path.
+    """
+    name_bytes = waveform.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise ProtocolError(f"waveform name {waveform.name!r} does not fit u16")
+    samples = np.ascontiguousarray(waveform.samples, dtype=np.complex128)
+    return b"".join(
+        (
+            _U16.pack(len(name_bytes)),
+            name_bytes,
+            _F64.pack(float(waveform.dt)),
+            _U32.pack(samples.size),
+            samples.tobytes(),
+        )
+    )
+
+
+def decode_samples_item(
+    item: bytes, gate: str, qubits: Tuple[int, ...]
+) -> Waveform:
+    """Rebuild a decoded waveform from its fetch-reply item bytes."""
+    cursor = _Cursor(item)
+    name_len = cursor.u16()
+    try:
+        name = cursor.take(name_len).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"waveform name is not utf-8: {exc}") from None
+    dt = cursor.f64()
+    n_samples = cursor.u32()
+    raw = cursor.take(n_samples * 16)
+    cursor.finish()
+    samples = np.frombuffer(raw, dtype=np.complex128).copy()
+    try:
+        return Waveform(
+            name=name, samples=samples, dt=dt, gate=gate, qubits=qubits
+        )
+    except Exception as exc:
+        raise ProtocolError(f"reply samples are not a valid waveform: {exc}") from None

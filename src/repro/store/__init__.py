@@ -43,7 +43,12 @@ from repro.store.sharded import (
 )
 from repro.store.cache import CacheStats, PulseCache
 from repro.store.server import PulseServer, ServerStats
-from repro.store.trace import load_trace, synthetic_trace, write_trace
+from repro.store.trace import (
+    arrival_times,
+    load_trace,
+    synthetic_trace,
+    write_trace,
+)
 
 __all__ = [
     "STORE_MAGIC",
@@ -61,4 +66,5 @@ __all__ = [
     "load_trace",
     "write_trace",
     "synthetic_trace",
+    "arrival_times",
 ]

@@ -63,7 +63,7 @@ class CacheStats:
         """Hits per lookup; 0.0 before any traffic."""
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, float]:
         return {
             "capacity": self.capacity,
             "size": self.size,
@@ -73,6 +73,9 @@ class CacheStats:
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
+
+    # Historical spelling; ``as_dict`` is the shared stats-object surface.
+    to_dict = as_dict
 
 
 class PulseCache:

@@ -54,14 +54,17 @@ class ServerStats:
     coalesced_fills: int
     cache: CacheStats
 
-    def to_dict(self) -> Dict:
+    def as_dict(self) -> Dict:
         return {
             "requests": self.requests,
             "batches": self.batches,
             "shard_fills": self.shard_fills,
             "coalesced_fills": self.coalesced_fills,
-            "cache": self.cache.to_dict(),
+            "cache": self.cache.as_dict(),
         }
+
+    # Historical spelling; ``as_dict`` is the shared stats-object surface.
+    to_dict = as_dict
 
 
 class PulseServer:

@@ -26,7 +26,7 @@ import numpy as np
 from repro.errors import StoreError
 from repro.store.sharded import normalize_key
 
-__all__ = ["load_trace", "write_trace", "synthetic_trace"]
+__all__ = ["load_trace", "write_trace", "synthetic_trace", "arrival_times"]
 
 _Key = Tuple[str, Tuple[int, ...]]
 
@@ -122,3 +122,41 @@ def synthetic_trace(
     weights /= weights.sum()
     draws = rng.choice(len(population), size=n_requests, p=weights)
     return [population[order[d]] for d in draws]
+
+
+def arrival_times(
+    n_requests: int,
+    rate: float,
+    seed: int = 0,
+    process: str = "poisson",
+) -> np.ndarray:
+    """Open-loop request send times (seconds from start), sorted ascending.
+
+    A closed-loop generator waits for each response before sending the
+    next request, so it can never observe overload; an **open-loop**
+    generator sends on a fixed schedule regardless of completions --
+    the arrival process real traffic presents.  This returns that
+    schedule for the network load generator.
+
+    Args:
+        n_requests: Number of arrivals (>= 1).
+        rate: Mean arrival rate in requests/second (> 0).
+        seed: RNG seed (``poisson`` process only).
+        process: ``"poisson"`` (exponential inter-arrivals -- bursty,
+            memoryless, the standard open-loop model) or ``"uniform"``
+            (evenly spaced, a deterministic pacing schedule).
+    """
+    if n_requests < 1:
+        raise StoreError(f"n_requests must be >= 1, got {n_requests}")
+    if rate <= 0:
+        raise StoreError(f"rate must be > 0, got {rate}")
+    if process == "uniform":
+        return np.arange(n_requests, dtype=float) / rate
+    if process == "poisson":
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(scale=1.0 / rate, size=n_requests)
+        times = np.cumsum(gaps)
+        return times - times[0]
+    raise StoreError(
+        f"unknown arrival process {process!r} (expected 'poisson' or 'uniform')"
+    )

@@ -14,7 +14,7 @@ class TestParser:
         args = build_parser().parse_args(["report"])
         assert args.device == "guadalupe"
         assert args.window_size == 16
-        assert args.variant == "int-DCT-W"
+        assert args.codec == "int-DCT-W"
 
     def test_bad_window_size_rejected(self):
         with pytest.raises(SystemExit):
@@ -57,13 +57,14 @@ class TestPackCommand:
         args = build_parser().parse_args(["pack", "bogota"])
         assert args.device == "bogota"
         assert args.window_size == 16
-        assert args.variant == "int-DCT-W"
+        assert args.codec == "int-DCT-W"
         assert args.shards == 0
         assert args.output is None
 
-    def test_codec_is_a_variant_alias(self):
-        args = build_parser().parse_args(["pack", "bogota", "--codec", "delta"])
-        assert args.variant == "delta"
+    def test_variant_is_a_deprecated_codec_alias(self):
+        with pytest.warns(DeprecationWarning, match="--variant is deprecated"):
+            args = build_parser().parse_args(["pack", "bogota", "--variant", "delta"])
+        assert args.codec == "delta"
 
     def test_codec_validated_against_registry(self):
         with pytest.raises(SystemExit):

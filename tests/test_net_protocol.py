@@ -1,0 +1,319 @@
+"""Fuzz and conformance tests for the ``CQN1`` wire protocol.
+
+The contract under test: the protocol codecs are *total*.  Every
+well-formed message round-trips bit-exactly; every malformed byte
+string -- truncated at any offset, padded with trailing bytes, carrying
+unknown types/modes/statuses, or outright random -- raises
+:class:`ProtocolError`.  Nothing hangs, nothing returns garbage, and no
+other exception type escapes.
+"""
+
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.pulses.waveform import Waveform
+from repro.serve_net import protocol
+
+
+KEYS = [("sx", (0,)), ("cx", (0, 1)), ("measure", (3,))]
+
+
+def payload_of(frame_bytes: bytes) -> bytes:
+    """Strip the u32 length prefix off an encoded frame."""
+    length = protocol.parse_frame_length(frame_bytes[:4])
+    assert len(frame_bytes) == 4 + length
+    return frame_bytes[4:]
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        framed = protocol.frame(b"abc")
+        assert protocol.parse_frame_length(framed[:4]) == 3
+        assert framed[4:] == b"abc"
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.frame(b"")
+
+    def test_zero_length_prefix_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_frame_length(struct.pack("<I", 0))
+
+    def test_short_header_rejected(self):
+        for n in range(4):
+            with pytest.raises(ProtocolError):
+                protocol.parse_frame_length(b"\x01" * n)
+
+    def test_oversized_length_prefix_rejected(self):
+        for length in (
+            protocol.MAX_FRAME_BYTES + 1,
+            0x7FFFFFFF,
+            0xFFFFFFFF,
+        ):
+            with pytest.raises(ProtocolError):
+                protocol.parse_frame_length(struct.pack("<I", length))
+
+    def test_custom_bound_applies(self):
+        header = struct.pack("<I", 1024)
+        assert protocol.parse_frame_length(header) == 1024
+        with pytest.raises(ProtocolError):
+            protocol.parse_frame_length(header, max_frame=1023)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("mode", [protocol.MODE_RECORD, protocol.MODE_SAMPLES])
+    def test_fetch(self, mode):
+        request = protocol.decode_request(payload_of(protocol.encode_fetch(KEYS, mode)))
+        assert isinstance(request, protocol.FetchRequest)
+        assert request.mode == mode
+        assert request.keys == tuple(KEYS)
+
+    def test_empties(self):
+        assert isinstance(
+            protocol.decode_request(payload_of(protocol.encode_ping())),
+            protocol.PingRequest,
+        )
+        assert isinstance(
+            protocol.decode_request(payload_of(protocol.encode_stats())),
+            protocol.StatsRequest,
+        )
+        assert isinstance(
+            protocol.decode_request(payload_of(protocol.encode_keys())),
+            protocol.KeysRequest,
+        )
+
+    def test_unicode_gate_names(self):
+        keys = [("θ-rot", (7, 65535))]
+        request = protocol.decode_request(payload_of(protocol.encode_fetch(keys)))
+        assert request.keys == (("θ-rot", (7, 65535)),)
+
+    def test_empty_key_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch([])
+
+    def test_oversized_key_batch_rejected_on_encode(self):
+        keys = [("x", (0,))] * (protocol.MAX_KEYS_PER_REQUEST + 1)
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch(keys)
+
+    def test_oversized_key_count_rejected_on_decode(self):
+        # Hand-craft a FETCH claiming more keys than the bound allows.
+        body = bytes([protocol.MSG_FETCH, protocol.MODE_SAMPLES])
+        body += struct.pack("<H", protocol.MAX_KEYS_PER_REQUEST + 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(body)
+
+    def test_unknown_request_type_rejected(self):
+        for msg_type in (0x00, 0x05, 0x42, 0x81, 0xFF):
+            with pytest.raises(ProtocolError):
+                protocol.decode_request(bytes([msg_type]))
+
+    def test_unknown_fetch_mode_rejected(self):
+        good = bytearray(payload_of(protocol.encode_fetch(KEYS)))
+        good[1] = 7  # mode byte
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(bytes(good))
+
+    def test_bad_keys_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch([("", (0,))])
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch([("x", (-1,))])
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch([("x", (0x10000,))])
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch([("x", tuple(range(256)))])
+
+    @pytest.mark.parametrize(
+        "encoder",
+        [
+            lambda: protocol.encode_fetch(KEYS, protocol.MODE_SAMPLES),
+            lambda: protocol.encode_fetch(KEYS, protocol.MODE_RECORD),
+            protocol.encode_ping,
+            protocol.encode_stats,
+            protocol.encode_keys,
+        ],
+    )
+    def test_every_truncation_raises(self, encoder):
+        payload = payload_of(encoder())
+        for cut in range(len(payload)):
+            with pytest.raises(ProtocolError):
+                protocol.decode_request(payload[:cut])
+
+    @pytest.mark.parametrize(
+        "encoder",
+        [
+            lambda: protocol.encode_fetch(KEYS),
+            protocol.encode_ping,
+            protocol.encode_stats,
+            protocol.encode_keys,
+        ],
+    )
+    def test_trailing_bytes_raise(self, encoder):
+        payload = payload_of(encoder())
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(payload + b"\x00")
+
+
+class TestReplyRoundTrip:
+    def test_fetch_reply(self):
+        items = [b"alpha", b"", b"gamma" * 100]
+        reply = protocol.decode_reply(
+            payload_of(protocol.encode_reply_fetch(protocol.MODE_RECORD, items))
+        )
+        assert reply.status == protocol.STATUS_OK
+        assert reply.echo_type == protocol.MSG_FETCH
+        assert reply.mode == protocol.MODE_RECORD
+        assert reply.items == tuple(items)
+
+    def test_ping_stats_keys_replies(self):
+        reply = protocol.decode_reply(payload_of(protocol.encode_reply_ping()))
+        assert (reply.status, reply.echo_type) == (
+            protocol.STATUS_OK,
+            protocol.MSG_PING,
+        )
+        blob = b'{"requests": 3}'
+        reply = protocol.decode_reply(payload_of(protocol.encode_reply_stats(blob)))
+        assert reply.items == (blob,)
+        reply = protocol.decode_reply(payload_of(protocol.encode_reply_keys(KEYS)))
+        assert reply.keys == tuple(KEYS)
+
+    def test_overload_reply(self):
+        reply = protocol.decode_reply(payload_of(protocol.encode_reply_overload()))
+        assert reply.status == protocol.STATUS_OVERLOAD
+        assert reply.items == ()
+
+    def test_error_reply(self):
+        reply = protocol.decode_reply(
+            payload_of(protocol.encode_reply_error("no such pulse"))
+        )
+        assert reply.status == protocol.STATUS_ERROR
+        assert reply.message == "no such pulse"
+
+    def test_error_reply_clamps_long_messages(self):
+        frame_bytes = protocol.encode_reply_error("x" * 100_000)
+        reply = protocol.decode_reply(payload_of(frame_bytes))
+        assert len(reply.message.encode()) == 0xFFFF
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_reply(bytes([protocol.MSG_REPLY, 9]))
+
+    def test_unknown_echo_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_reply(bytes([protocol.MSG_REPLY, protocol.STATUS_OK, 0x42]))
+
+    def test_request_type_rejected_as_reply(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_reply(payload_of(protocol.encode_ping()))
+
+    def test_oversized_item_count_rejected(self):
+        body = bytes(
+            [
+                protocol.MSG_REPLY,
+                protocol.STATUS_OK,
+                protocol.MSG_FETCH,
+                protocol.MODE_RECORD,
+            ]
+        ) + struct.pack("<I", protocol.MAX_KEYS_PER_REQUEST + 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_reply(body)
+
+    @pytest.mark.parametrize(
+        "encoder",
+        [
+            lambda: protocol.encode_reply_fetch(protocol.MODE_SAMPLES, [b"ab", b"c"]),
+            protocol.encode_reply_ping,
+            lambda: protocol.encode_reply_stats(b"{}"),
+            lambda: protocol.encode_reply_keys(KEYS),
+            protocol.encode_reply_overload,
+            lambda: protocol.encode_reply_error("boom"),
+        ],
+    )
+    def test_every_truncation_raises(self, encoder):
+        payload = payload_of(encoder())
+        for cut in range(len(payload)):
+            with pytest.raises(ProtocolError):
+                protocol.decode_reply(payload[:cut])
+
+    def test_trailing_bytes_raise(self):
+        payload = payload_of(protocol.encode_reply_overload())
+        with pytest.raises(ProtocolError):
+            protocol.decode_reply(payload + b"\x00")
+
+
+class TestSamplesItem:
+    def _waveform(self, n=64, seed=3):
+        rng = np.random.default_rng(seed)
+        samples = (rng.normal(size=n) + 1j * rng.normal(size=n)) * 0.05
+        return Waveform(
+            name="sx_q0",
+            samples=samples.astype(np.complex128),
+            dt=2.2222e-10,
+            gate="sx",
+            qubits=(0,),
+        )
+
+    def test_round_trip_is_bit_identical(self):
+        waveform = self._waveform()
+        item = protocol.encode_samples_item(waveform)
+        out = protocol.decode_samples_item(item, "sx", (0,))
+        assert out.name == waveform.name
+        assert out.dt == waveform.dt
+        assert out.gate == "sx"
+        assert out.qubits == (0,)
+        assert out.samples.tobytes() == waveform.samples.tobytes()
+
+    def test_every_truncation_raises(self):
+        item = protocol.encode_samples_item(self._waveform(n=8))
+        for cut in range(len(item)):
+            with pytest.raises(ProtocolError):
+                protocol.decode_samples_item(item[:cut], "sx", (0,))
+
+    def test_trailing_bytes_raise(self):
+        item = protocol.encode_samples_item(self._waveform(n=8))
+        with pytest.raises(ProtocolError):
+            protocol.decode_samples_item(item + b"\x00", "sx", (0,))
+
+
+class TestRandomFuzz:
+    """Seeded random-byte fuzz: only ProtocolError may escape."""
+
+    def _corpus(self):
+        rng = random.Random(0xC0DEC)
+        cases = []
+        for _ in range(300):
+            cases.append(rng.randbytes(rng.randrange(0, 64)))
+        # Mutations of valid payloads: flip one byte at a random offset.
+        seeds = [
+            payload_of(protocol.encode_fetch(KEYS)),
+            payload_of(protocol.encode_reply_fetch(protocol.MODE_SAMPLES, [b"xy"])),
+            payload_of(protocol.encode_reply_keys(KEYS)),
+            payload_of(protocol.encode_reply_error("bad")),
+        ]
+        for seed_payload in seeds:
+            for _ in range(100):
+                mutated = bytearray(seed_payload)
+                pos = rng.randrange(len(mutated))
+                mutated[pos] ^= 1 << rng.randrange(8)
+                cases.append(bytes(mutated))
+        return cases
+
+    def test_decoders_are_total(self):
+        for blob in self._corpus():
+            for decoder in (protocol.decode_request, protocol.decode_reply):
+                try:
+                    decoder(blob)
+                except ProtocolError:
+                    pass  # the only acceptable failure mode
+
+    def test_request_frames_survive_reframing(self):
+        # frame -> parse_frame_length -> decode is the full inbound path.
+        framed = protocol.encode_fetch(KEYS)
+        length = protocol.parse_frame_length(framed[:4])
+        request = protocol.decode_request(framed[4 : 4 + length])
+        assert request.keys == tuple(KEYS)

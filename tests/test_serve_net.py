@@ -1,0 +1,348 @@
+"""Integration tests for the ``CQN1`` network serving tier.
+
+The contract under test: every byte served over the socket is
+bit-identical to the in-process serving layer (and, through it, to the
+scalar decode path), per-request errors keep the connection usable,
+admission control sheds load with explicit overload replies, N clients
+hammering one cold key cost exactly one cache insertion, malformed
+frames close the connection cleanly without hanging the server, and a
+drained server refuses new work.
+"""
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, ServerOverloadedError, StoreError
+from repro.compression.pipeline import decompress_waveform
+from repro.core import CompaqtCompiler
+from repro.devices import ibm_device
+from repro.serve_net import (
+    AsyncPulseClient,
+    NetPulseServer,
+    PulseClient,
+    parse_address,
+    protocol,
+    serve_in_thread,
+)
+from repro.store import PulseServer, save_store
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    library = ibm_device("bogota").pulse_library()
+    return CompaqtCompiler(window_size=16).compile_library(library)
+
+
+@pytest.fixture(scope="module")
+def store(compiled, tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve_net") / "bogota.cqs"
+    return save_store(compiled, root, n_shards=3)
+
+
+@pytest.fixture(scope="module")
+def reference(store):
+    """The scalar decode path: what every served byte must equal."""
+    return {
+        key: decompress_waveform(store.read_record(*key)).samples.tobytes()
+        for key in store.keys()
+    }
+
+
+@pytest.fixture()
+def serving(store):
+    with PulseServer(store, cache_capacity=64) as server:
+        yield server
+
+
+@pytest.fixture()
+def handle(serving):
+    with serve_in_thread(serving) as running:
+        yield running
+
+
+class TestWireIdentity:
+    def test_fetch_batch_is_bit_identical(self, handle, store, serving, reference):
+        keys = store.keys()
+        with PulseClient(*handle.address) as client:
+            served = client.fetch_batch(keys)
+        for key, waveform in zip(keys, served):
+            assert waveform.samples.tobytes() == reference[key], key
+            local = serving.fetch(*key)
+            assert waveform.name == local.name
+            assert waveform.dt == local.dt
+
+    def test_fetch_records_match_store_bytes(self, handle, store):
+        keys = store.keys()[:5]
+        with PulseClient(*handle.address) as client:
+            blobs = client.fetch_records(keys)
+        for key, blob in zip(keys, blobs):
+            assert blob == store.read_record_bytes(*key), key
+
+    def test_single_fetch(self, handle, store, reference):
+        key = store.keys()[0]
+        with PulseClient(*handle.address) as client:
+            waveform = client.fetch(*key)
+        assert waveform.samples.tobytes() == reference[key]
+
+    def test_async_client_is_bit_identical(self, handle, store, reference):
+        keys = store.keys()[:4]
+
+        async def _run():
+            async with AsyncPulseClient(*handle.address) as client:
+                batch = await client.fetch_batch(keys)
+                latency = await client.ping()
+                remote_keys = await client.keys()
+                return batch, latency, remote_keys
+
+        batch, latency, remote_keys = asyncio.run(_run())
+        for key, waveform in zip(keys, batch):
+            assert waveform.samples.tobytes() == reference[key]
+        assert latency >= 0.0
+        assert set(remote_keys) == set(store.keys())
+
+
+class TestControlRequests:
+    def test_ping_keys_stats(self, handle, store):
+        with PulseClient(*handle.address) as client:
+            assert client.ping() >= 0.0
+            assert set(client.keys()) == set(store.keys())
+            stats = client.stats()
+        for field in ("requests", "fetches", "overloads", "serving"):
+            assert field in stats
+        assert stats["serving"]["cache"]["capacity"] == 64
+
+    def test_unknown_key_keeps_connection_usable(self, handle, store, reference):
+        good = store.keys()[0]
+        with PulseClient(*handle.address) as client:
+            with pytest.raises(StoreError):
+                client.fetch("no-such-gate", (99,))
+            # Same connection, next request serves fine.
+            assert client.fetch(*good).samples.tobytes() == reference[good]
+        assert handle.stats().request_errors >= 1
+
+
+class TestCoalescing:
+    def test_concurrent_cold_keys_insert_once(self, store):
+        """N clients x one cold key -> exactly one cache insertion each."""
+        keys = store.keys()[:3]
+        n_clients = 6
+        with PulseServer(store, cache_capacity=64) as serving:
+            with serve_in_thread(serving) as handle:
+                barrier = threading.Barrier(n_clients)
+                errors = []
+
+                def hammer(key):
+                    try:
+                        with PulseClient(*handle.address) as client:
+                            barrier.wait(timeout=10)
+                            client.fetch_batch([key] * 4)
+                    except Exception as exc:  # pragma: no cover - surfaced below
+                        errors.append(exc)
+
+                for key in keys:
+                    barrier.reset()
+                    threads = [
+                        threading.Thread(target=hammer, args=(key,))
+                        for _ in range(n_clients)
+                    ]
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join(timeout=30)
+                assert not errors
+                cache = serving.stats().cache
+                assert cache.insertions == len(keys)
+
+
+class TestAdmissionControl:
+    def test_overload_is_explicit_and_bounded(self, store):
+        release = threading.Event()
+        started = threading.Event()
+        with PulseServer(store, cache_capacity=8) as serving:
+            real_fetch_batch = serving.fetch_batch
+
+            def slow_fetch_batch(keys):
+                started.set()
+                assert release.wait(timeout=30)
+                return real_fetch_batch(keys)
+
+            serving.fetch_batch = slow_fetch_batch
+            key = store.keys()[0]
+            with serve_in_thread(serving, max_inflight=1) as handle:
+                blocked = PulseClient(*handle.address)
+                result = {}
+
+                def occupy():
+                    result["pulse"] = blocked.fetch(*key)
+
+                thread = threading.Thread(target=occupy)
+                thread.start()
+                try:
+                    assert started.wait(timeout=10)
+                    with PulseClient(*handle.address) as client:
+                        # Fetch past the bound: shed, never queued.
+                        with pytest.raises(ServerOverloadedError):
+                            client.fetch(*key)
+                        # Control requests are exempt from admission.
+                        assert client.ping() >= 0.0
+                        assert client.stats()["overloads"] >= 1
+                finally:
+                    release.set()
+                    thread.join(timeout=30)
+                blocked.close()
+                assert "pulse" in result  # the in-flight request completed
+                assert handle.stats().overloads >= 1
+
+    def test_max_inflight_validated(self, serving):
+        with pytest.raises(StoreError):
+            NetPulseServer(serving, max_inflight=0)
+
+
+class TestProtocolDamage:
+    """Socket-level fuzz against a live server: close cleanly, never hang."""
+
+    def _raw(self, handle):
+        sock = socket.create_connection(handle.address, timeout=10)
+        sock.settimeout(10)
+        return sock
+
+    def _read_reply(self, sock):
+        header = b""
+        while len(header) < 4:
+            chunk = sock.recv(4 - len(header))
+            if not chunk:
+                return None
+            header += chunk
+        length = protocol.parse_frame_length(header)
+        payload = b""
+        while len(payload) < length:
+            chunk = sock.recv(length - len(payload))
+            if not chunk:
+                return None
+            payload += chunk
+        return protocol.decode_reply(payload)
+
+    def _assert_closed(self, sock):
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            chunk = sock.recv(4096)
+            if not chunk:
+                return
+        pytest.fail("server did not close the damaged connection")
+
+    def test_oversized_length_prefix_closes(self, handle):
+        with self._raw(handle) as sock:
+            sock.sendall(struct.pack("<I", 0xFFFFFFFF))
+            reply = self._read_reply(sock)
+            if reply is not None:  # best-effort error reply before close
+                assert reply.status == protocol.STATUS_ERROR
+                self._assert_closed(sock)
+        assert handle.stats().protocol_errors >= 1
+
+    def test_zero_length_frame_closes(self, handle):
+        with self._raw(handle) as sock:
+            sock.sendall(struct.pack("<I", 0))
+            reply = self._read_reply(sock)
+            if reply is not None:
+                assert reply.status == protocol.STATUS_ERROR
+                self._assert_closed(sock)
+
+    def test_unknown_message_type_closes(self, handle):
+        with self._raw(handle) as sock:
+            sock.sendall(protocol.frame(bytes([0x7E])))
+            reply = self._read_reply(sock)
+            if reply is not None:
+                assert reply.status == protocol.STATUS_ERROR
+                self._assert_closed(sock)
+
+    def test_truncated_fetch_body_closes(self, handle):
+        good = protocol.encode_fetch([("sx", (0,))])
+        torn = good[: len(good) - 3]
+        # Re-frame the torn payload so the length prefix is honest.
+        with self._raw(handle) as sock:
+            sock.sendall(protocol.frame(torn[4:]))
+            reply = self._read_reply(sock)
+            if reply is not None:
+                assert reply.status == protocol.STATUS_ERROR
+                self._assert_closed(sock)
+
+    def test_torn_length_prefix_counts(self, handle):
+        before = handle.stats().protocol_errors
+        with self._raw(handle) as sock:
+            sock.sendall(b"\x01\x02")  # half a length prefix, then hang up
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if handle.stats().protocol_errors > before:
+                break
+            time.sleep(0.01)
+        assert handle.stats().protocol_errors > before
+
+    def test_clean_eof_is_not_an_error(self, handle):
+        before = handle.stats().protocol_errors
+        with self._raw(handle) as sock:
+            sock.sendall(protocol.encode_ping())
+            reply = self._read_reply(sock)
+            assert reply is not None and reply.status == protocol.STATUS_OK
+        time.sleep(0.05)
+        assert handle.stats().protocol_errors == before
+
+    def test_server_survives_damage(self, handle, store, reference):
+        """After all of the above, the server still serves correctly."""
+        key = store.keys()[0]
+        with PulseClient(*handle.address) as client:
+            assert client.fetch(*key).samples.tobytes() == reference[key]
+
+
+class TestDrain:
+    def test_stopped_server_refuses_connections(self, serving):
+        handle = serve_in_thread(serving)
+        address = handle.address
+        with PulseClient(*address) as client:
+            assert client.ping() >= 0.0
+        handle.stop()
+        with pytest.raises(StoreError):
+            PulseClient(*address).connect()
+
+    def test_stop_is_idempotent(self, serving):
+        handle = serve_in_thread(serving)
+        handle.stop()
+        handle.stop()
+
+
+class TestParseAddress:
+    def test_accepted_forms(self):
+        assert parse_address(("localhost", 9000)) == ("localhost", 9000)
+        assert parse_address("localhost:9000") == ("localhost", 9000)
+        assert parse_address("localhost", 9000) == ("localhost", 9000)
+        assert parse_address("::1:9000") == ("::1", 9000)
+
+    def test_rejected_forms(self):
+        with pytest.raises(StoreError):
+            parse_address("localhost")
+        with pytest.raises(StoreError):
+            parse_address("localhost:http")
+        with pytest.raises(StoreError):
+            parse_address(("localhost",))
+        with pytest.raises(StoreError):
+            parse_address(123, 9000)
+
+
+class TestClientRobustness:
+    def test_client_redials_after_protocol_error(self, handle, store, reference):
+        key = store.keys()[0]
+        client = PulseClient(*handle.address)
+        try:
+            assert client.fetch(*key).samples.tobytes() == reference[key]
+            # Sabotage the live socket so the next read sees a dead peer.
+            client._sock.close()
+            with pytest.raises((ProtocolError, StoreError, OSError)):
+                client.fetch(*key)
+            # The client dropped the broken connection; this redials.
+            assert client.fetch(*key).samples.tobytes() == reference[key]
+        finally:
+            client.close()
