@@ -1,0 +1,347 @@
+"""The chaos/soak runner: seeded fault workloads over the live stack.
+
+One :func:`run_chaos` call is three phases over a single faulty store:
+
+1. **Threaded.**  Worker threads hammer a
+   :class:`~repro.store.PulseServer` with a seeded mix of ``fetch`` and
+   ``fetch_batch`` while the :class:`~repro.chaos.faults.FaultPlan`
+   injects truncations, bit flips, transient map failures, and slow
+   reads, and a seeded preemption hook jitters the yield points around
+   lock acquisitions.  Every successful read is checked bit-identical
+   against the scalar oracle; every failure must be a typed
+   :class:`~repro.errors.ReproError`.
+2. **Networked.**  The same faulty store goes behind a real CQN1
+   socket (:func:`~repro.serve_net.server.serve_in_thread`, small
+   ``max_inflight`` so overload shedding runs too) and client threads
+   repeat the exercise over the wire, mixing in requests for keys the
+   store does not hold.
+3. **Recovery.**  Injection pauses and every key is read once more --
+   a store that took faults must still serve its whole catalog
+   bit-identically.
+
+Counter laws are checked on every worker iteration and once after each
+phase quiesces; see :class:`~repro.chaos.invariants.InvariantChecker`
+for the exact invariants.  The returned :class:`ChaosReport` is
+JSON-able; ``report.ok`` is the CI gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.faults import FaultPlan, FaultyStore
+from repro.chaos.invariants import InvariantChecker
+from repro.compression.pipeline import decompress_waveform
+from repro.core.compiler import CompaqtCompiler
+from repro.errors import ChaosError, ReproError
+from repro.perf.compression_bench import resolve_device
+from repro.serve_net.client import PulseClient
+from repro.serve_net.server import serve_in_thread
+from repro.store import PulseServer, save_store
+from repro.store.hooks import preempt_hook
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+CHAOS_SCHEMA = "compaqt-chaos-soak/v1"
+
+
+@dataclass
+class ChaosReport:
+    """The JSON-able outcome of one chaos/soak run."""
+
+    schema: str
+    device: str
+    seed: int
+    threads: int
+    ops_per_thread: int
+    duration_s: float
+    faults_injected: Dict[str, int]
+    requests_threaded: int
+    requests_net: int
+    typed_errors: int
+    overloads: int
+    untyped_errors: int
+    identity_checks: int
+    invariant_checks: int
+    recovery_reads: int
+    violations: List[str] = field(default_factory=list)
+    server_stats: Dict = field(default_factory=dict)
+    net_stats: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: no violation, no untyped escape."""
+        return not self.violations and self.untyped_errors == 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "device": self.device,
+            "seed": self.seed,
+            "threads": self.threads,
+            "ops_per_thread": self.ops_per_thread,
+            "duration_s": self.duration_s,
+            "faults_injected": dict(self.faults_injected),
+            "requests_threaded": self.requests_threaded,
+            "requests_net": self.requests_net,
+            "typed_errors": self.typed_errors,
+            "overloads": self.overloads,
+            "untyped_errors": self.untyped_errors,
+            "identity_checks": self.identity_checks,
+            "invariant_checks": self.invariant_checks,
+            "recovery_reads": self.recovery_reads,
+            "violations": list(self.violations),
+            "server_stats": self.server_stats,
+            "net_stats": self.net_stats,
+            "ok": self.ok,
+        }
+
+
+def _build_oracle(store) -> Dict[_Key, np.ndarray]:
+    """Scalar-path reference samples for every key, off the clean store."""
+    return {
+        key: decompress_waveform(store.read_record(*key)).samples
+        for key in store.keys()
+    }
+
+
+def _seeded_preempt(seed: int):
+    """A deterministic-ish jitter hook for the stack's yield points.
+
+    Every Nth visit to a yield point sleeps a few hundred microseconds,
+    widening the race windows around lock acquisitions; the rest cost a
+    counter bump.  N and the sleep come from ``seed``.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    stride = 5 + rng.randrange(7)
+    delay = 0.0002 + rng.random() * 0.0006
+    counter = [0]
+    lock = threading.Lock()
+
+    def hook(point: str) -> None:
+        with lock:
+            counter[0] += 1
+            fire = counter[0] % stride == 0
+        if fire:
+            time.sleep(delay)
+
+    return hook
+
+
+def _threaded_phase(
+    server: PulseServer,
+    keys: List[_Key],
+    checker: InvariantChecker,
+    seed: int,
+    threads: int,
+    ops_per_thread: int,
+    batch_size: int,
+) -> int:
+    """Seeded fetch/fetch_batch storm; returns requests issued."""
+    requests = [0] * threads
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random((seed << 8) ^ worker_id)
+        for _ in range(ops_per_thread):
+            if rng.random() < 0.35:
+                batch = [
+                    keys[rng.randrange(len(keys))]
+                    for _ in range(1 + rng.randrange(batch_size))
+                ]
+                requests[worker_id] += len(batch)
+                try:
+                    waveforms = server.fetch_batch(batch)
+                except Exception as exc:
+                    checker.note_error(tuple(batch[:2]), exc)
+                else:
+                    for key, waveform in zip(batch, waveforms):
+                        checker.check_identity(key, waveform)
+            else:
+                key = keys[rng.randrange(len(keys))]
+                requests[worker_id] += 1
+                try:
+                    waveform = server.fetch(*key)
+                except Exception as exc:
+                    checker.note_error(key, exc)
+                else:
+                    checker.check_identity(key, waveform)
+            checker.check_cache(server.cache.stats())
+
+    workers = [
+        threading.Thread(target=worker, args=(i,), name=f"chaos-{i}")
+        for i in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    return sum(requests)
+
+
+def _net_phase(
+    server: PulseServer,
+    keys: List[_Key],
+    checker: InvariantChecker,
+    seed: int,
+    clients: int,
+    ops_per_client: int,
+    batch_size: int,
+) -> Tuple[int, Dict]:
+    """The same storm over a real CQN1 socket; returns (requests, stats)."""
+    bogus: _Key = ("chaos-no-such-gate", (0,))
+    requests = [0] * clients
+
+    with serve_in_thread(server, max_inflight=8, frame_timeout=5.0) as handle:
+        host, port = handle.address
+
+        def client_worker(client_id: int) -> None:
+            rng = random.Random((seed << 16) ^ client_id)
+            with PulseClient(host, port) as client:
+                for _ in range(ops_per_client):
+                    roll = rng.random()
+                    try:
+                        if roll < 0.25:
+                            batch = [
+                                keys[rng.randrange(len(keys))]
+                                for _ in range(1 + rng.randrange(batch_size))
+                            ]
+                            if roll < 0.08:
+                                # Mixed valid/invalid: the bad key must
+                                # fail typed without poisoning the rest.
+                                batch.append(bogus)
+                            requests[client_id] += len(batch)
+                            for key, waveform in zip(
+                                batch, client.fetch_batch(batch)
+                            ):
+                                checker.check_identity(key, waveform)
+                        else:
+                            key = keys[rng.randrange(len(keys))]
+                            requests[client_id] += 1
+                            checker.check_identity(key, client.fetch(*key))
+                    except Exception as exc:
+                        checker.note_error("net", exc)
+
+        workers = [
+            threading.Thread(
+                target=client_worker, args=(i,), name=f"chaos-client-{i}"
+            )
+            for i in range(clients)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        stats = handle.stats()
+    checker.check_net(stats)
+    return sum(requests), stats.as_dict()
+
+
+def run_chaos(
+    device_spec: str = "bogota",
+    seed: int = 0,
+    threads: int = 4,
+    ops_per_thread: int = 150,
+    net_clients: int = 3,
+    n_shards: int = 4,
+    batch_size: int = 6,
+    plan: Optional[FaultPlan] = None,
+    store_dir: Optional[pathlib.Path] = None,
+) -> ChaosReport:
+    """Run the full chaos/soak harness; never raises on *found* faults.
+
+    Violations land in the report (``report.ok``); only harness misuse
+    (bad arguments, unbuildable device) raises.
+    """
+    if threads < 1 or ops_per_thread < 1 or net_clients < 0 or batch_size < 1:
+        raise ChaosError("threads, ops_per_thread and batch_size must be >= 1")
+    plan = plan if plan is not None else FaultPlan(seed=seed)
+    started = time.perf_counter()
+
+    with tempfile.TemporaryDirectory(prefix="cqs1-chaos-") as tmp:
+        root = store_dir if store_dir is not None else pathlib.Path(tmp)
+        device = resolve_device(device_spec)
+        compiled = CompaqtCompiler().compile_library(device.pulse_library())
+        store = save_store(
+            compiled, root / f"{device.name}.cqs", n_shards=n_shards
+        )
+        oracle = _build_oracle(store)
+        keys = list(oracle)
+        checker = InvariantChecker(oracle)
+        faulty = FaultyStore(store, plan)
+
+        with preempt_hook(_seeded_preempt(seed)):
+            # Phase 1: threads on the in-process server.  Capacity covers
+            # the whole catalog so the single-flight insert-once law is
+            # checkable.
+            with PulseServer(
+                faulty, cache_capacity=len(keys), max_workers=4
+            ) as server:
+                requests_threaded = _threaded_phase(
+                    server, keys, checker, seed, threads, ops_per_thread,
+                    batch_size,
+                )
+                checker.check_single_flight(server.stats(), len(keys))
+                server_stats = server.stats().as_dict()
+
+            # Phase 2: the same faulty store behind a real socket.
+            requests_net, net_stats = 0, {}
+            if net_clients:
+                with PulseServer(
+                    faulty, cache_capacity=len(keys), max_workers=4
+                ) as net_serving:
+                    requests_net, net_stats = _net_phase(
+                        net_serving, keys, checker, seed, net_clients,
+                        max(1, ops_per_thread // 2), batch_size,
+                    )
+
+            # Phase 3: recovery -- injection off, every key must still
+            # serve bit-identically.
+            recovery_reads = 0
+            with faulty.calm():
+                with PulseServer(
+                    faulty, cache_capacity=len(keys), max_workers=4
+                ) as recovery_server:
+                    for key in keys:
+                        try:
+                            waveform = recovery_server.fetch(*key)
+                        except Exception as exc:
+                            checker.note_error(key, exc)
+                            checker.violations.append(
+                                f"recovery: post-fault read of {key} failed: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                        else:
+                            if checker.check_identity(key, waveform):
+                                recovery_reads += 1
+        faulty.detach()
+
+    return ChaosReport(
+        schema=CHAOS_SCHEMA,
+        device=device.name,
+        seed=seed,
+        threads=threads,
+        ops_per_thread=ops_per_thread,
+        duration_s=time.perf_counter() - started,
+        faults_injected=dict(faulty.faults_injected),
+        requests_threaded=requests_threaded,
+        requests_net=requests_net,
+        typed_errors=checker.typed_errors,
+        overloads=checker.overloads,
+        untyped_errors=checker.untyped_errors,
+        identity_checks=checker.identity_checks,
+        invariant_checks=checker.checks,
+        recovery_reads=recovery_reads,
+        violations=list(checker.violations),
+        server_stats=server_stats,
+        net_stats=net_stats,
+    )

@@ -14,6 +14,8 @@ Usage::
     python -m repro serve guadalupe.cqs --requests trace.json
     python -m repro serve-net guadalupe.cqs --port 7711 --workers 8
     python -m repro loadgen 127.0.0.1:7711 --synthetic 4096 --open --rate 500
+    python -m repro chaos --quick
+    python -m repro chaos --devices bogota,guadalupe --seed 7 --ops 400
 
 The ``--variant``/``--variants`` spellings remain accepted everywhere
 as deprecated aliases of ``--codec``/``--codecs``.
@@ -335,6 +337,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--records",
         action="store_true",
         help="fetch raw CQW1 record bytes instead of decoded samples",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injection chaos/soak harness over the serving stack",
+    )
+    chaos.add_argument(
+        "--devices",
+        default="bogota",
+        help="comma-separated device specs to soak (default: bogota)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke profile: one small device, short seeded workload",
+    )
+    chaos.add_argument("--threads", type=int, default=4)
+    chaos.add_argument(
+        "--ops",
+        type=int,
+        default=150,
+        help="operations per worker thread (the soak length knob)",
+    )
+    chaos.add_argument("--clients", type=int, default=3)
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument(
+        "--fault-period",
+        type=int,
+        default=7,
+        help="inject one fault per N batch decodes",
+    )
+    chaos.add_argument(
+        "--json",
+        default=None,
+        help="also write the full soak report to this path",
     )
     return parser
 
@@ -911,6 +949,44 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.perf.serving_bench import (
+        render_soak_table,
+        run_serving_soak,
+        soak_gates_ok,
+    )
+
+    if args.quick:
+        # The CI smoke profile: one small device, short seeded storm --
+        # still every fault kind, both workloads, and the recovery pass.
+        devices = ["bogota"]
+        threads, ops, clients = 3, 80, 2
+    else:
+        devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+        threads, ops, clients = args.threads, args.ops, args.clients
+    payload = run_serving_soak(
+        device_specs=devices,
+        seed=args.seed,
+        threads=threads,
+        ops_per_thread=ops,
+        net_clients=clients,
+        n_shards=args.shards,
+        fault_period=args.fault_period,
+    )
+    print(render_soak_table(payload))
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"   wrote: {out.resolve()}")
+    ok, failures = soak_gates_ok(payload)
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -932,4 +1008,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_net(args)
     elif args.command == "loadgen":
         return _cmd_loadgen(args)
+    elif args.command == "chaos":
+        return _cmd_chaos(args)
     return 0

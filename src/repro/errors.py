@@ -53,6 +53,17 @@ class ServerOverloadedError(ReproError):
     """
 
 
+class ChaosError(ReproError):
+    """A chaos/soak invariant was violated under fault injection.
+
+    Raised by the :mod:`repro.chaos` harness when a served waveform
+    diverges from the scalar oracle, a cache counter law breaks, or an
+    injected fault escapes the stack as something other than a typed
+    :class:`StoreError` / :class:`CompressionError` /
+    :class:`ProtocolError`.
+    """
+
+
 class ScheduleError(ReproError):
     """A circuit could not be scheduled onto a device."""
 

@@ -68,6 +68,9 @@ __all__ = [
     "render_serving_table",
     "write_serving_json",
     "serving_gates_ok",
+    "run_serving_soak",
+    "render_soak_table",
+    "soak_gates_ok",
 ]
 
 SERVING_BENCH_SCHEMA = "compaqt-bench-serving/v2"
@@ -399,4 +402,125 @@ def serving_gates_ok(payload: Dict) -> Tuple[bool, List[str]]:
         failures.append(
             "served waveforms are not bit-identical to decompress_channel"
         )
+    return (not failures, failures)
+
+
+# ---------------------------------------------------------------------------
+# Soak mode: the chaos harness over the bench's device sweep.
+# ---------------------------------------------------------------------------
+
+
+def run_serving_soak(
+    device_specs: Sequence[str] = SERVING_QUICK_DEVICE_SPECS,
+    seed: int = 0,
+    threads: int = 4,
+    ops_per_thread: int = 150,
+    net_clients: int = 3,
+    n_shards: int = 4,
+    fault_period: int = 7,
+) -> Dict:
+    """Run the fault-injection soak over each bench device.
+
+    Where :func:`run_serving_bench` measures the healthy stack's
+    throughput, this runs the same store/cache/server/net stack under
+    the seeded fault plan of :func:`repro.chaos.run_chaos` -- one run
+    per device spec -- and returns a JSON-able payload whose
+    ``all_ok`` is the CI gate (see :func:`soak_gates_ok`).
+    """
+    from repro.chaos import CHAOS_SCHEMA, FaultPlan, run_chaos
+
+    if not device_specs:
+        raise DeviceError("serving soak needs at least one device spec")
+    reports = [
+        run_chaos(
+            device_spec=spec,
+            seed=seed,
+            threads=threads,
+            ops_per_thread=ops_per_thread,
+            net_clients=net_clients,
+            n_shards=n_shards,
+            plan=FaultPlan(seed=seed, period=fault_period),
+        )
+        for spec in device_specs
+    ]
+    return {
+        "schema": CHAOS_SCHEMA,
+        "version": __version__,
+        "created_unix": time.time(),
+        "config": {
+            "devices": list(device_specs),
+            "seed": seed,
+            "threads": threads,
+            "ops_per_thread": ops_per_thread,
+            "net_clients": net_clients,
+            "n_shards": n_shards,
+            "fault_period": fault_period,
+        },
+        "entries": [report.as_dict() for report in reports],
+        "all_ok": all(report.ok for report in reports),
+    }
+
+
+def render_soak_table(payload: Dict) -> str:
+    """Render a soak payload as the repo's standard table."""
+    rows = []
+    for e in payload["entries"]:
+        faults = e["faults_injected"]
+        rows.append(
+            [
+                e["device"],
+                e["requests_threaded"] + e["requests_net"],
+                sum(faults.values()),
+                "/".join(str(faults.get(k, 0)) for k in sorted(faults)) or "-",
+                e["typed_errors"],
+                e["overloads"],
+                e["untyped_errors"],
+                e["identity_checks"],
+                e["recovery_reads"],
+                "ok" if e["ok"] else f"{len(e['violations'])} VIOLATIONS",
+            ]
+        )
+    return render_table(
+        f"Chaos soak: seeded faults over the serving stack "
+        f"(seed {payload['config']['seed']}, "
+        f"period {payload['config']['fault_period']})",
+        [
+            "device",
+            "requests",
+            "faults",
+            "by kind",
+            "typed err",
+            "shed",
+            "untyped",
+            "identity",
+            "recovered",
+            "verdict",
+        ],
+        rows,
+        note="by kind: " + "/".join(
+            sorted(
+                {
+                    k
+                    for e in payload["entries"]
+                    for k in e["faults_injected"]
+                }
+            )
+        ),
+    )
+
+
+def soak_gates_ok(payload: Dict) -> Tuple[bool, List[str]]:
+    """CI verdict for a soak payload: every run clean, every fault typed."""
+    failures: List[str] = []
+    for e in payload["entries"]:
+        if e["violations"]:
+            failures.append(
+                f"{e['device']}: {len(e['violations'])} invariant "
+                f"violation(s): {e['violations'][0]}"
+            )
+        if e["untyped_errors"]:
+            failures.append(
+                f"{e['device']}: {e['untyped_errors']} untyped exception(s) "
+                "escaped the stack"
+            )
     return (not failures, failures)

@@ -64,6 +64,7 @@ class NetServerStats:
     connections_open: int
     requests: int
     fetches: int
+    fetches_ok: int
     pulses_served: int
     overloads: int
     coalesced_keys: int
@@ -78,6 +79,7 @@ class NetServerStats:
             "connections_open": self.connections_open,
             "requests": self.requests,
             "fetches": self.fetches,
+            "fetches_ok": self.fetches_ok,
             "pulses_served": self.pulses_served,
             "overloads": self.overloads,
             "coalesced_keys": self.coalesced_keys,
@@ -103,6 +105,11 @@ class NetPulseServer:
             explicit overload reply, never queued.
         max_request_bytes: Inbound frame bound; a length prefix past it
             closes the connection.
+        frame_timeout: Seconds a half-received frame may take to
+            complete once its length prefix has arrived (default
+            :data:`FRAME_COMPLETION_TIMEOUT`).  Tests and the chaos
+            harness shrink this to drive the expiry path without
+            wall-clock waits.
 
     Lifecycle: ``await start()`` binds the socket, ``await aclose()``
     drains and shuts down.  Use :func:`serve_in_thread` to host one in
@@ -116,6 +123,7 @@ class NetPulseServer:
         port: int = 0,
         max_inflight: int = 32,
         max_request_bytes: int = protocol.MAX_REQUEST_FRAME_BYTES,
+        frame_timeout: float = FRAME_COMPLETION_TIMEOUT,
     ) -> None:
         if max_inflight < 1:
             raise StoreError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -123,11 +131,14 @@ class NetPulseServer:
             raise StoreError(
                 f"max_request_bytes must be >= 16, got {max_request_bytes}"
             )
+        if frame_timeout <= 0:
+            raise StoreError(f"frame_timeout must be > 0, got {frame_timeout}")
         self.serving = serving
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
         self.max_request_bytes = max_request_bytes
+        self.frame_timeout = frame_timeout
         self._listener: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._connections: Set[asyncio.StreamWriter] = set()
@@ -139,6 +150,7 @@ class NetPulseServer:
         self._connections_accepted = 0
         self._requests = 0
         self._fetches = 0
+        self._fetches_ok = 0
         self._pulses_served = 0
         self._overloads = 0
         self._coalesced_keys = 0
@@ -217,6 +229,7 @@ class NetPulseServer:
             connections_open=len(self._connections),
             requests=self._requests,
             fetches=self._fetches,
+            fetches_ok=self._fetches_ok,
             pulses_served=self._pulses_served,
             overloads=self._overloads,
             coalesced_keys=self._coalesced_keys,
@@ -260,7 +273,7 @@ class NetPulseServer:
             try:
                 length = protocol.parse_frame_length(header, self.max_request_bytes)
                 payload = await asyncio.wait_for(
-                    reader.readexactly(length), timeout=FRAME_COMPLETION_TIMEOUT
+                    reader.readexactly(length), timeout=self.frame_timeout
                 )
             except (ProtocolError, asyncio.TimeoutError) as exc:
                 self._protocol_errors += 1
@@ -322,6 +335,8 @@ class NetPulseServer:
         except ReproError as exc:
             self._request_errors += 1
             reply = protocol.encode_reply_error(str(exc))
+        else:
+            self._fetches_ok += 1
         finally:
             self._active -= 1
             if self._active == 0:
@@ -363,17 +378,51 @@ class NetPulseServer:
                 waveforms = await loop.run_in_executor(
                     executor, self.serving.fetch_batch, owned
                 )
+            except ReproError:
+                # One bad key must not poison coalesced waiters on the
+                # *valid* keys that happened to share this batch: fall
+                # back to per-key fills so every owned future carries
+                # its own outcome.  A request that asked for the bad
+                # key still sees its typed error through that key's
+                # future; a concurrent request coalesced onto a valid
+                # key is served normally.
+                for key in owned:
+                    future = self._inflight_keys.pop(key)
+                    try:
+                        waveform = await loop.run_in_executor(
+                            executor, self.serving.fetch, key[0], key[1]
+                        )
+                    except ReproError as per_key_exc:
+                        future.set_exception(per_key_exc)
+                    else:
+                        future.set_result(waveform)
             except BaseException as exc:
+                # Non-library failure (executor torn down, interpreter
+                # shutdown): fan out and re-raise -- there is no
+                # per-key story to salvage.
                 for key in owned:
                     future = self._inflight_keys.pop(key)
                     future.set_exception(exc)
-                    # Every future has at least this request awaiting
-                    # it below, so the exception is always retrieved.
                 raise
             else:
                 for key, waveform in zip(owned, waveforms):
                     self._inflight_keys.pop(key).set_result(waveform)
-        resolved = {key: await future for key, future in futures.items()}
+        # Settle every awaited future before raising so no "exception
+        # was never retrieved" future leaks when several keys fail at
+        # once; the first failure propagates (typed) afterwards.
+        outcomes = await asyncio.gather(
+            *futures.values(), return_exceptions=True
+        )
+        resolved = {}
+        first_error: Optional[BaseException] = None
+        for key, outcome in zip(futures, outcomes):
+            if isinstance(outcome, BaseException):
+                if first_error is None:
+                    first_error = outcome
+            else:
+                resolved[key] = outcome
+        if first_error is not None:
+            raise first_error
         items = [
             protocol.encode_samples_item(resolved[key]) for key in request.keys
         ]

@@ -34,13 +34,62 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StoreError
 from repro.pulses.waveform import Waveform
+from repro.store.hooks import preempt
 from repro.store.sharded import ShardedStore, normalize_key
 
 __all__ = ["CacheStats", "PulseCache"]
 
 _Key = Tuple[str, Tuple[int, ...]]
+
+
+def _lock_samples(waveform: Waveform) -> Waveform:
+    """Make a waveform's sample buffer immutable through *every* alias.
+
+    The cache hands the very same :class:`Waveform` object to every
+    hit, so a caller mutating ``.samples`` would silently corrupt each
+    later hit (and break the serving bench's bit-identity gate).  A
+    bare ``writeable=False`` flag is not enough:
+
+    * an array that **owns** its buffer can have the flag flipped back
+      with ``setflags(write=True)``, and
+    * an array whose **base** is writable (a view of caller memory)
+      can be mutated through that base without touching the flag.
+
+    So the cached array must be a *view over a read-only owner*: numpy
+    then refuses ``setflags(write=True)`` on the served array outright.
+    Waveforms off the fused decode path already own read-only buffers
+    (no copy here); anything aliasing writable memory is copied once at
+    insert time.
+    """
+    samples = waveform.samples
+    owner = samples
+    while isinstance(owner, np.ndarray) and owner.base is not None:
+        owner = owner.base
+    if not isinstance(owner, np.ndarray) or owner.flags.writeable:
+        # Aliases caller-writable memory (or a writable non-array
+        # buffer): re-own on a private read-only copy.
+        samples = samples.copy()
+        samples.setflags(write=False)
+        owner = samples
+    if samples is owner:
+        # Owning arrays can re-enable writeability; a view of the
+        # (read-only) owner cannot.
+        samples = samples[:]
+    if samples is waveform.samples:
+        return waveform
+    locked = object.__new__(Waveform)
+    set_ = object.__setattr__
+    set_(locked, "name", waveform.name)
+    set_(locked, "samples", samples)
+    set_(locked, "dt", waveform.dt)
+    set_(locked, "gate", waveform.gate)
+    set_(locked, "qubits", waveform.qubits)
+    set_(locked, "metadata", waveform.metadata)
+    return locked
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,10 +192,11 @@ class PulseCache:
         if not unique:
             return {}
         decoded = self.store.decode_many(unique)
-        out = dict(zip(unique, decoded))
+        preempt("cache.load.pre_insert")
+        out: Dict[_Key, Waveform] = {}
         with self._lock:
-            for key, waveform in out.items():
-                self._insert(key, waveform)
+            for key, waveform in zip(unique, decoded):
+                out[key] = self._insert(key, waveform)
         return out
 
     def prewarm(self, shards: Optional[Sequence[int]] = None) -> int:
@@ -158,7 +208,9 @@ class PulseCache:
         reached, remaining pulses and shards are skipped rather than
         decoded and churned straight back out.  Counters stay untouched
         (prewarming is not traffic).  Returns the number of pulses
-        inserted.
+        *newly* inserted: re-warming keys that are already resident
+        counts zero, so a second ``prewarm`` over an unchanged cache
+        reports 0 rather than the whole library again.
         """
         if shards is None:
             shards = range(self.store.n_shards)
@@ -171,13 +223,20 @@ class PulseCache:
                 with self._lock:
                     if len(self._lru) >= self.capacity and key not in self._lru:
                         break
+                    if key not in self._lru:
+                        inserted += 1
                     self._insert(key, waveform)
-                    inserted += 1
         return inserted
 
-    def _insert(self, key: _Key, waveform: Waveform) -> None:
-        """Insert under the lock, evicting least-recent entries to fit."""
+    def _insert(self, key: _Key, waveform: Waveform) -> Waveform:
+        """Insert under the lock, evicting least-recent entries to fit.
+
+        Stores -- and returns -- the sample-locked form of the waveform
+        (see :func:`_lock_samples`): the one object every later hit is
+        served, with a buffer no caller can re-enable writes on.
+        """
         already_present = key in self._lru
+        waveform = _lock_samples(waveform)
         self._lru[key] = waveform
         self._lru.move_to_end(key)
         if not already_present:
@@ -185,6 +244,7 @@ class PulseCache:
             while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
                 self._evictions += 1
+        return waveform
 
     # -- the public read path -------------------------------------------------
 

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import StoreError
 from repro.pulses.waveform import Waveform
 from repro.store.cache import CacheStats, PulseCache
+from repro.store.hooks import preempt
 from repro.store.sharded import ShardedStore, normalize_key
 
 __all__ = ["ServerStats", "PulseServer"]
@@ -180,8 +181,21 @@ class PulseServer:
                     # and submit(); honor the documented fallback.
                     pass
                 else:
+                    # Every submitted future must be retrieved even when
+                    # one shard's fill fails: returning on the first
+                    # error would leak "exception was never retrieved"
+                    # futures and abandon fills still in flight.  The
+                    # first failure propagates (typed) once all fills
+                    # have settled.
+                    first_error: Optional[BaseException] = None
                     for future in futures:
-                        resolved.update(future.result())
+                        try:
+                            resolved.update(future.result())
+                        except BaseException as exc:
+                            if first_error is None:
+                                first_error = exc
+                    if first_error is not None:
+                        raise first_error
                     filled = True
             if not filled:
                 for shard, shard_keys in missing_by_shard.items():
@@ -202,7 +216,9 @@ class PulseServer:
         """
         out: Dict[_Key, Waveform] = {}
         coalesced = 0
+        preempt("server.fill.pre_lock")
         with self._shard_locks[shard]:
+            preempt("server.fill.locked")
             to_load: List[_Key] = []
             for key in keys:
                 waveform = self.cache.peek(*key)

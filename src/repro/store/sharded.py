@@ -60,7 +60,7 @@ import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CompressionError, StoreError
 from repro.compression.bitstream import (
@@ -241,15 +241,30 @@ class _MmapPool:
     OS reclaims the mapping when the last view dies -- release is
     deterministic in the common case and never blocks or corrupts a
     concurrent reader.
+
+    ``fault_hook`` is the chaos harness's low-level injection point
+    (see :mod:`repro.chaos`): when set, it is called as
+    ``hook("view", shard)`` on every read (outside the pool lock, so a
+    slow-I/O hook delays only its own reader) and ``hook("map", shard)``
+    right before a shard file is mapped -- an ``OSError`` raised there
+    takes the exact same translation path as a real failed ``mmap`` and
+    surfaces as a typed :class:`~repro.errors.StoreError`.  ``None``
+    (the default) costs one attribute read per view.
     """
 
-    def __init__(self, paths: Tuple[pathlib.Path, ...], max_open: int) -> None:
+    def __init__(
+        self,
+        paths: Tuple[pathlib.Path, ...],
+        max_open: int,
+        fault_hook: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
         if max_open < 1:
             raise StoreError(f"max_open_shards must be >= 1, got {max_open}")
         self._paths = paths
         self._max_open = max_open
         self._lock = threading.Lock()
         self._maps: "OrderedDict[int, mmap.mmap]" = OrderedDict()
+        self.fault_hook = fault_hook
 
     @staticmethod
     def _release(mapping: mmap.mmap) -> None:
@@ -262,11 +277,16 @@ class _MmapPool:
 
     def view(self, shard: int) -> memoryview:
         """Zero-copy view over one whole shard file (mapped on demand)."""
+        hook = self.fault_hook
+        if hook is not None:
+            hook("view", shard)
         with self._lock:
             mapping = self._maps.get(shard)
             if mapping is None:
                 path = self._paths[shard]
                 try:
+                    if hook is not None:
+                        hook("map", shard)
                     with path.open("rb") as handle:
                         # mmap dups the descriptor, so the handle can
                         # close immediately; the pool caps mappings,
@@ -334,6 +354,19 @@ class ShardedStore:
             tuple(path / name for name in shard_files),
             max_open=min(max_open_shards, n_shards),
         )
+
+    @property
+    def io_fault_hook(self) -> Optional[Callable[[str, int], None]]:
+        """The mmap pool's chaos injection hook (see :class:`_MmapPool`).
+
+        Settable; :class:`repro.chaos.FaultyStore` installs its fault
+        plan here to reach the map/read path without subclassing.
+        """
+        return self._pool.fault_hook
+
+    @io_fault_hook.setter
+    def io_fault_hook(self, hook: Optional[Callable[[str, int], None]]) -> None:
+        self._pool.fault_hook = hook
 
     # -- opening -------------------------------------------------------------
 

@@ -144,6 +144,7 @@ class TestStatsDictSurface:
             connections_open=1,
             requests=2,
             fetches=1,
+            fetches_ok=1,
             pulses_served=4,
             overloads=0,
             coalesced_keys=0,

@@ -346,3 +346,185 @@ class TestClientRobustness:
             assert client.fetch(*key).samples.tobytes() == reference[key]
         finally:
             client.close()
+
+
+class _BlockingStore:
+    """Test double: every batch decode parks on a gate (fault hook, not sleep)."""
+
+    def __init__(self, store, started, release):
+        self._store = store
+        self._started = started
+        self._release = release
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+    def decode_many(self, requests):
+        self._started.set()
+        assert self._release.wait(timeout=10), "gate never released"
+        return self._store.decode_many(requests)
+
+
+class _KeyGateStore:
+    """Test double: shard routing for one gate name parks until released."""
+
+    def __init__(self, store, gate_name, release):
+        self._store = store
+        self._gate_name = gate_name
+        self._release = release
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+    def shard_of(self, gate, qubits):
+        if gate == self._gate_name:
+            assert self._release.wait(timeout=10), "gate never released"
+        return self._store.shard_of(gate, qubits)
+
+
+class TestCoalescingFailureScope:
+    def test_bad_key_does_not_poison_coalesced_valid_key(self, store, reference):
+        """A batch failing on one bad key must not fail a concurrent
+        request coalesced onto a *valid* key in the same batch.
+
+        Regression: the batch's exception used to fan out to every
+        owned in-flight future, so the coalesced valid-only request
+        failed spuriously.
+        """
+        valid = store.keys()[0]
+        bad = ("no-such-gate", (99,))
+        gate = threading.Event()
+        gated = _KeyGateStore(store, "no-such-gate", gate)
+
+        async def _run():
+            with PulseServer(gated, cache_capacity=64) as serving:
+                server = NetPulseServer(serving)
+                await server.start()
+                try:
+                    mixed = protocol.FetchRequest(
+                        mode=protocol.MODE_SAMPLES, keys=(valid, bad)
+                    )
+                    valid_only = protocol.FetchRequest(
+                        mode=protocol.MODE_SAMPLES, keys=(valid,)
+                    )
+                    task_mixed = asyncio.create_task(server._serve_fetch(mixed))
+                    # The mixed batch is parked inside shard routing on
+                    # the executor; its event-loop futures exist now.
+                    while valid not in server._inflight_keys:
+                        await asyncio.sleep(0.001)
+                    task_valid = asyncio.create_task(
+                        server._serve_fetch(valid_only)
+                    )
+                    while server.stats().coalesced_keys < 1:
+                        await asyncio.sleep(0.001)
+                    gate.set()  # the batch now fails on the bad key
+
+                    reply = await task_valid  # must NOT be poisoned
+                    decoded = protocol.decode_reply(reply[4:])
+                    assert decoded.status == protocol.STATUS_OK
+                    waveform = protocol.decode_samples_item(
+                        decoded.items[0], *valid
+                    )
+                    assert waveform.samples.tobytes() == reference[valid]
+
+                    with pytest.raises(StoreError, match="no pulse"):
+                        await task_mixed
+                finally:
+                    await server.aclose(drain_timeout=1.0)
+
+        asyncio.run(_run())
+
+
+class TestDrainRacesInflight:
+    def test_drain_waits_for_inflight_coalesced_fetch(self, store, reference):
+        """aclose() must let a parked in-flight fetch finish, not drop it."""
+        key = store.keys()[0]
+        started, release = threading.Event(), threading.Event()
+        gated = _BlockingStore(store, started, release)
+        result = {}
+        with PulseServer(gated, cache_capacity=64) as serving:
+            handle = serve_in_thread(serving)
+
+            def client():
+                with PulseClient(*handle.address) as c:
+                    result["waveform"] = c.fetch(*key)
+
+            fetcher = threading.Thread(target=client)
+            fetcher.start()
+            try:
+                assert started.wait(10)  # the fetch is parked in its fill
+                stopper = threading.Thread(target=handle.stop)
+                stopper.start()
+                deadline = time.monotonic() + 10
+                while not handle.stats().draining:
+                    assert time.monotonic() < deadline, "drain never started"
+                    time.sleep(0.005)
+                release.set()  # drain is racing the fill; let it finish
+                stopper.join(timeout=15)
+                assert not stopper.is_alive()
+            finally:
+                release.set()
+                fetcher.join(timeout=10)
+            assert result["waveform"].samples.tobytes() == reference[key]
+
+
+class TestSendFailureMidReply:
+    def test_reply_to_dead_peer_drops_only_that_connection(
+        self, store, reference
+    ):
+        """_best_effort_send failing must not take the server down."""
+        key = store.keys()[0]
+        with PulseServer(store, cache_capacity=64) as serving:
+            with serve_in_thread(serving) as handle:
+                before = handle.stats().fetches
+                sock = socket.create_connection(handle.address, timeout=10)
+                sock.sendall(protocol.encode_fetch([key]))
+                # Abortive close (RST on close): the server's reply
+                # write fails mid-send instead of buffering.
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.close()
+                deadline = time.monotonic() + 10
+                while handle.stats().fetches <= before:
+                    assert time.monotonic() < deadline, "fetch never served"
+                    time.sleep(0.01)
+                # The dead peer cost nothing but its own connection.
+                with PulseClient(*handle.address) as client:
+                    assert client.fetch(*key).samples.tobytes() == reference[key]
+
+
+class TestFrameTimeoutExpiry:
+    def test_half_sent_frame_expires_as_protocol_error(self, store):
+        """A frame that never completes times out typed, without a hang."""
+        with PulseServer(store, cache_capacity=8) as serving:
+            with serve_in_thread(serving, frame_timeout=0.2) as handle:
+                before = handle.stats().protocol_errors
+                full = protocol.encode_fetch([store.keys()[0]])
+                with socket.create_connection(handle.address, timeout=10) as sock:
+                    sock.settimeout(10)
+                    sock.sendall(full[:-3])  # length prefix + torn payload
+                    header = b""
+                    while len(header) < 4:
+                        chunk = sock.recv(4 - len(header))
+                        if not chunk:
+                            break
+                        header += chunk
+                    if len(header) == 4:
+                        length = protocol.parse_frame_length(header)
+                        payload = b""
+                        while len(payload) < length:
+                            chunk = sock.recv(length - len(payload))
+                            if not chunk:
+                                break
+                            payload += chunk
+                        reply = protocol.decode_reply(payload)
+                        assert reply.status == protocol.STATUS_ERROR
+                        assert "did not complete" in reply.message
+                assert handle.stats().protocol_errors > before
+
+    def test_frame_timeout_validated(self, serving):
+        with pytest.raises(StoreError, match="frame_timeout"):
+            NetPulseServer(serving, frame_timeout=0.0)

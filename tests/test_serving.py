@@ -327,3 +327,121 @@ class TestTraces:
             synthetic_trace(store.keys(), 0)
         with pytest.raises(StoreError):
             synthetic_trace(store.keys(), 5, skew=-1)
+
+
+class TestPrewarmCounting:
+    """`prewarm` reports genuinely new insertions, not re-warmed keys."""
+
+    def test_second_prewarm_reports_zero(self, store):
+        cache = PulseCache(store, capacity=1000)
+        assert cache.prewarm() == len(store.keys())
+        # Regression: re-insertions used to be counted again, so a
+        # second call re-reported the whole library instead of 0.
+        assert cache.prewarm() == 0
+        assert cache.stats().insertions == len(store.keys())
+
+    def test_prewarm_after_demand_fills_counts_the_remainder(self, store):
+        cache = PulseCache(store, capacity=1000)
+        warmed = store.keys()[:3]
+        for key in warmed:
+            cache.get(*key)
+        assert cache.prewarm() == len(store.keys()) - len(warmed)
+        assert cache.stats().insertions == len(store.keys())
+
+
+class TestServedBuffersReadOnly:
+    """Cached sample buffers cannot be mutated through any alias."""
+
+    def test_cache_hit_rejects_writes_and_reenabling(self, store, reference):
+        cache = PulseCache(store, capacity=8)
+        key = store.keys()[0]
+        waveform = cache.get(*key)
+        with pytest.raises(ValueError):
+            waveform.samples[0] = 123.0 + 0j
+        with pytest.raises(ValueError):
+            # The served array is a view over a read-only owner, so the
+            # write flag cannot be flipped back on.
+            waveform.samples.setflags(write=True)
+        _assert_served(reference, key, cache.get(*key))
+
+    def test_every_serving_path_is_locked(self, store):
+        with PulseServer(store, cache_capacity=32) as server:
+            served = [server.fetch(*store.keys()[0])]
+            served.extend(server.fetch_batch(store.keys()[:5]))
+            for waveform in served:
+                assert not waveform.samples.flags.writeable
+                with pytest.raises(ValueError):
+                    waveform.samples.setflags(write=True)
+
+    def test_prewarmed_entries_are_locked(self, store):
+        cache = PulseCache(store, capacity=1000)
+        cache.prewarm()
+        for key in store.keys()[:5]:
+            waveform = cache.peek(*key)
+            with pytest.raises(ValueError):
+                waveform.samples.setflags(write=True)
+
+
+class _ShardGatedStore:
+    """Test double: one shard's decode fails fast, another's blocks.
+
+    Everything else falls through to the real store, so the serving
+    stack above cannot tell it apart from a misbehaving disk.
+    """
+
+    def __init__(self, store, fail_shard, slow_shard, release):
+        self._store = store
+        self._fail = fail_shard
+        self._slow = slow_shard
+        self._release = release
+        self.slow_fill_done = False
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+    def decode_many(self, requests):
+        requests = list(requests)
+        shard = self._store.shard_of(*requests[0])
+        if shard == self._fail:
+            raise StoreError("chaos: injected shard failure")
+        if shard == self._slow:
+            assert self._release.wait(timeout=10), "gate never released"
+            result = self._store.decode_many(requests)
+            self.slow_fill_done = True
+            return result
+        return self._store.decode_many(requests)
+
+
+class TestFetchBatchPartialFailure:
+    def test_typed_error_propagates_after_all_fills_settle(
+        self, compiled, tmp_path
+    ):
+        """One failing shard must not abandon the other shards' fills.
+
+        Regression: fetch_batch used to return on the first failed
+        future, leaking the still-running fills ("exception was never
+        retrieved") and letting the final key lookup mask the typed
+        error as KeyError.
+        """
+        base = save_store(compiled, tmp_path / "pf.cqs", n_shards=3)
+        by_shard = {}
+        for key in base.keys():
+            by_shard.setdefault(base.shard_of(*key), []).append(key)
+        fail_shard, slow_shard = sorted(by_shard)[:2]
+        release = threading.Event()
+        gated = _ShardGatedStore(base, fail_shard, slow_shard, release)
+        with PulseServer(gated, cache_capacity=64, max_workers=4) as server:
+            batch = by_shard[fail_shard][:2] + by_shard[slow_shard][:2]
+            timer = threading.Timer(0.2, release.set)
+            timer.start()
+            try:
+                with pytest.raises(StoreError, match="injected shard failure"):
+                    server.fetch_batch(batch)
+            finally:
+                release.set()
+                timer.cancel()
+            # fetch_batch returned only after the slow shard's fill
+            # settled -- and that fill's work was not thrown away.
+            assert gated.slow_fill_done
+            for key in by_shard[slow_shard][:2]:
+                assert server.cache.peek(*key) is not None
