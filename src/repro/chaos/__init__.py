@@ -13,12 +13,18 @@ Entry points: ``repro chaos`` on the CLI, :func:`run_chaos` from code,
 multi-device sweep.
 """
 
-from repro.chaos.faults import FAULT_KINDS, FaultPlan, FaultyStore
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    POOL_FAULT_KINDS,
+    FaultPlan,
+    FaultyStore,
+)
 from repro.chaos.invariants import InvariantChecker
 from repro.chaos.runner import CHAOS_SCHEMA, ChaosReport, run_chaos
 
 __all__ = [
     "FAULT_KINDS",
+    "POOL_FAULT_KINDS",
     "FaultPlan",
     "FaultyStore",
     "InvariantChecker",

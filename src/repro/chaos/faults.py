@@ -51,12 +51,20 @@ from repro.errors import StoreError
 from repro.pulses.waveform import Waveform
 from repro.store.sharded import ShardedStore, normalize_key
 
-__all__ = ["FAULT_KINDS", "FaultPlan", "FaultyStore"]
+__all__ = ["FAULT_KINDS", "POOL_FAULT_KINDS", "FaultPlan", "FaultyStore"]
 
 _Key = Tuple[str, Tuple[int, ...]]
 
 #: Every fault kind a plan may schedule, in default rotation order.
 FAULT_KINDS = ("truncate", "bitflip", "map_oserror", "slow_io")
+
+#: Fault kinds the runner injects at the :class:`DecodePool` level
+#: rather than through :class:`FaultyStore` -- decode workers open the
+#: store themselves in another process, out of a wrapper's reach, so
+#: these are delivered as real SIGKILLs (``worker_kill``) and a slab
+#: too small for any batch (``shm_exhaust``, forcing the pipe-fallback
+#: path).  See :func:`repro.chaos.runner.run_chaos`.
+POOL_FAULT_KINDS = ("worker_kill", "shm_exhaust")
 
 
 @dataclass(frozen=True)

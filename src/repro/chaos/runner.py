@@ -1,6 +1,6 @@
 """The chaos/soak runner: seeded fault workloads over the live stack.
 
-One :func:`run_chaos` call is three phases over a single faulty store:
+One :func:`run_chaos` call is four phases over a single store:
 
 1. **Threaded.**  Worker threads hammer a
    :class:`~repro.store.PulseServer` with a seeded mix of ``fetch`` and
@@ -15,7 +15,18 @@ One :func:`run_chaos` call is three phases over a single faulty store:
    ``max_inflight`` so overload shedding runs too) and client threads
    repeat the exercise over the wire, mixing in requests for keys the
    store does not hold.
-3. **Recovery.**  Injection pauses and every key is read once more --
+3. **Pool storm** (``decode_workers > 0``).  A server routes cold
+   fills through a :class:`~repro.serve_net.workers.DecodePool` while
+   a killer thread SIGKILLs live decode workers mid-job
+   (``worker_kill``) and a deliberately tiny shared-memory slab forces
+   the pipe-transport fallback (``shm_exhaust``).  Kills must surface
+   only as typed :class:`~repro.errors.DecodeWorkerError` on the
+   victim job's keys -- never a hang, never an untyped escape -- and a
+   post-storm full-catalog read through the same (respawned) pool must
+   be bit-identical.  This phase runs over the *clean* store: workers
+   open the store themselves in child processes, where a
+   :class:`~repro.chaos.faults.FaultyStore` wrapper cannot reach.
+4. **Recovery.**  Injection pauses and every key is read once more --
    a store that took faults must still serve its whole catalog
    bit-identically.
 
@@ -27,8 +38,10 @@ JSON-able; ``report.ok`` is the CI gate.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import random
+import signal
 import tempfile
 import threading
 import time
@@ -41,7 +54,7 @@ from repro.chaos.faults import FaultPlan, FaultyStore
 from repro.chaos.invariants import InvariantChecker
 from repro.compression.pipeline import decompress_waveform
 from repro.core.compiler import CompaqtCompiler
-from repro.errors import ChaosError, ReproError
+from repro.errors import ChaosError, DecodeWorkerError, ReproError
 from repro.perf.compression_bench import resolve_device
 from repro.serve_net.client import PulseClient
 from repro.serve_net.server import serve_in_thread
@@ -77,6 +90,9 @@ class ChaosReport:
     violations: List[str] = field(default_factory=list)
     server_stats: Dict = field(default_factory=dict)
     net_stats: Dict = field(default_factory=dict)
+    decode_workers: int = 0
+    requests_pool: int = 0
+    pool_stats: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -103,6 +119,9 @@ class ChaosReport:
             "violations": list(self.violations),
             "server_stats": self.server_stats,
             "net_stats": self.net_stats,
+            "decode_workers": self.decode_workers,
+            "requests_pool": self.requests_pool,
+            "pool_stats": self.pool_stats,
             "ok": self.ok,
         }
 
@@ -246,6 +265,109 @@ def _net_phase(
     return sum(requests), stats.as_dict()
 
 
+def _pool_phase(
+    store,
+    keys: List[_Key],
+    checker: InvariantChecker,
+    seed: int,
+    threads: int,
+    ops_per_thread: int,
+    batch_size: int,
+    decode_workers: int,
+) -> Tuple[int, int, Dict]:
+    """SIGKILL storm on the decode pool; returns (requests, kills, stats).
+
+    The cache is sized below the catalog so evictions keep sending cold
+    fills through the pool, and the slab is sized below most batches so
+    the ``shm_exhaust`` fallback path runs alongside the kills.
+    """
+    requests = [0] * threads
+    kills = [0]
+    done = threading.Event()
+
+    with PulseServer(
+        store,
+        cache_capacity=max(2, len(keys) // 3),
+        max_workers=4,
+        workers=decode_workers,
+        shm_limit=4096,
+    ) as server:
+        pool = server.pool
+        assert pool is not None
+
+        def killer() -> None:
+            rng = random.Random((seed << 4) ^ 0xD1E)
+            while not done.wait(0.03):
+                pids = pool.pids
+                if not pids:
+                    continue
+                try:
+                    os.kill(pids[rng.randrange(len(pids))], signal.SIGKILL)
+                    kills[0] += 1
+                except OSError:
+                    pass
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random((seed << 12) ^ worker_id)
+            for _ in range(ops_per_thread):
+                batch = [
+                    keys[rng.randrange(len(keys))]
+                    for _ in range(1 + rng.randrange(batch_size))
+                ]
+                requests[worker_id] += len(batch)
+                try:
+                    waveforms = server.fetch_batch(batch)
+                except Exception as exc:
+                    checker.note_error(tuple(batch[:2]), exc)
+                else:
+                    for key, waveform in zip(batch, waveforms):
+                        checker.check_identity(key, waveform)
+                checker.check_cache(server.cache.stats())
+
+        killer_thread = threading.Thread(target=killer, name="chaos-killer")
+        workers = [
+            threading.Thread(target=worker, args=(i,), name=f"chaos-pool-{i}")
+            for i in range(threads)
+        ]
+        killer_thread.start()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        done.set()
+        killer_thread.join()
+
+        # Post-storm: the (respawned) pool must still serve the whole
+        # catalog bit-identically.  A SIGKILL sent in the storm's last
+        # instants can land *after* the killer thread is joined, so one
+        # read may legitimately eat a trailing DecodeWorkerError while
+        # the lane respawns -- retry past those; only repeated failure
+        # is a violation.
+        for attempt in range(3):
+            try:
+                waveforms = server.fetch_batch(keys)
+            except DecodeWorkerError as exc:
+                checker.note_error("pool-recovery", exc)
+                if attempt == 2:
+                    checker.violations.append(
+                        f"pool storm: post-kill catalog read failed "
+                        f"{attempt + 1} times: {type(exc).__name__}: {exc}"
+                    )
+            except Exception as exc:
+                checker.note_error("pool-recovery", exc)
+                checker.violations.append(
+                    f"pool storm: post-kill catalog read failed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                break
+            else:
+                for key, waveform in zip(keys, waveforms):
+                    checker.check_identity(key, waveform)
+                break
+        pool_stats = pool.stats().as_dict()
+    return sum(requests), kills[0], pool_stats
+
+
 def run_chaos(
     device_spec: str = "bogota",
     seed: int = 0,
@@ -256,14 +378,18 @@ def run_chaos(
     batch_size: int = 6,
     plan: Optional[FaultPlan] = None,
     store_dir: Optional[pathlib.Path] = None,
+    decode_workers: int = 2,
 ) -> ChaosReport:
     """Run the full chaos/soak harness; never raises on *found* faults.
 
     Violations land in the report (``report.ok``); only harness misuse
-    (bad arguments, unbuildable device) raises.
+    (bad arguments, unbuildable device) raises.  ``decode_workers``
+    sizes the pool-storm phase (0 skips it).
     """
     if threads < 1 or ops_per_thread < 1 or net_clients < 0 or batch_size < 1:
         raise ChaosError("threads, ops_per_thread and batch_size must be >= 1")
+    if decode_workers < 0:
+        raise ChaosError(f"decode_workers must be >= 0, got {decode_workers}")
     plan = plan if plan is not None else FaultPlan(seed=seed)
     started = time.perf_counter()
 
@@ -304,7 +430,17 @@ def run_chaos(
                         max(1, ops_per_thread // 2), batch_size,
                     )
 
-            # Phase 3: recovery -- injection off, every key must still
+            # Phase 3: SIGKILL storm on the decode-worker pool, over the
+            # clean store (workers re-open it in child processes, where
+            # the FaultyStore wrapper cannot reach).
+            requests_pool, kills, pool_stats = 0, 0, {}
+            if decode_workers:
+                requests_pool, kills, pool_stats = _pool_phase(
+                    store, keys, checker, seed, threads,
+                    max(1, ops_per_thread // 2), batch_size, decode_workers,
+                )
+
+            # Phase 4: recovery -- injection off, every key must still
             # serve bit-identically.
             recovery_reads = 0
             with faulty.calm():
@@ -325,6 +461,11 @@ def run_chaos(
                                 recovery_reads += 1
         faulty.detach()
 
+    faults_injected = dict(faulty.faults_injected)
+    if decode_workers:
+        faults_injected["worker_kill"] = kills
+        faults_injected["shm_exhaust"] = int(pool_stats.get("fallback_jobs", 0))
+
     return ChaosReport(
         schema=CHAOS_SCHEMA,
         device=device.name,
@@ -332,7 +473,7 @@ def run_chaos(
         threads=threads,
         ops_per_thread=ops_per_thread,
         duration_s=time.perf_counter() - started,
-        faults_injected=dict(faulty.faults_injected),
+        faults_injected=faults_injected,
         requests_threaded=requests_threaded,
         requests_net=requests_net,
         typed_errors=checker.typed_errors,
@@ -344,4 +485,7 @@ def run_chaos(
         violations=list(checker.violations),
         server_stats=server_stats,
         net_stats=net_stats,
+        decode_workers=decode_workers,
+        requests_pool=requests_pool,
+        pool_stats=pool_stats,
     )

@@ -10,10 +10,12 @@ Usage::
     python -m repro bench --quick --codecs int-DCT-W,delta
     python -m repro bench --serving --quick
     python -m repro bench --network --quick
+    python -m repro bench --network --scaling --workers 1,2,4 --check
     python -m repro pack guadalupe --shards 4 --codec int-DCT-W
     python -m repro serve guadalupe.cqs --requests trace.json
-    python -m repro serve-net guadalupe.cqs --port 7711 --workers 8
+    python -m repro serve-net guadalupe.cqs --port 7711 --workers 2
     python -m repro loadgen 127.0.0.1:7711 --synthetic 4096 --open --rate 500
+    python -m repro loadgen 127.0.0.1:7711 --open --rate 2000 --retries 3
     python -m repro chaos --quick
     python -m repro chaos --devices bogota,guadalupe --seed 7 --ops 400
 
@@ -135,6 +137,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="network profile: CQN1 socket throughput, tail latency and "
         "overload behaviour (writes BENCH_network.json)",
+    )
+    bench.add_argument(
+        "--scaling",
+        action="store_true",
+        help="with --network: also run the decode-scaling study "
+        "(threads vs the multi-process pool at 1/2/4/8 workers, cold "
+        "and warm) and gate on per-core pool efficiency",
+    )
+    bench.add_argument(
+        "--workers",
+        default=None,
+        help="with --scaling: comma-separated pool worker counts "
+        "(default 1,2,4,8)",
+    )
+    bench.add_argument(
+        "--start-method",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="with --scaling: multiprocessing start method for the "
+        "decode pool (default: the platform's)",
+    )
+    bench.add_argument(
+        "--shm-limit",
+        type=int,
+        default=None,
+        help="with --scaling: per-worker shared-memory slab bytes "
+        "(default 8 MiB; undersized slabs fall back to pipe transport)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="evaluate the gates but do not rewrite the default JSON "
+        "artifact (no dirty CI trees); an explicit --output still writes",
     )
     bench.add_argument(
         "--seed", type=int, default=7, help="serving-trace RNG seed"
@@ -266,8 +301,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_net.add_argument(
         "--workers",
         type=int,
+        default=0,
+        help="decode worker *processes* for cold-miss fills (0 = decode "
+        "in-process; see the worker-pool notes in the README)",
+    )
+    serve_net.add_argument(
+        "--fill-threads",
+        type=int,
         default=4,
         help="threads for the store's cross-shard parallel fills",
+    )
+    serve_net.add_argument(
+        "--shm-limit",
+        type=int,
+        default=None,
+        help="per-worker shared-memory slab bytes for pool results "
+        "(default 8 MiB)",
     )
     serve_net.add_argument(
         "--cache-size",
@@ -338,6 +387,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fetch raw CQW1 record bytes instead of decoded samples",
     )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="client retries per request on an overload reply, with "
+        "seeded exponential backoff (0 = count overloads, don't retry)",
+    )
+    loadgen.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds (doubles per attempt, "
+        "jittered)",
+    )
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -368,6 +431,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=7,
         help="inject one fault per N batch decodes",
+    )
+    chaos.add_argument(
+        "--decode-workers",
+        type=int,
+        default=2,
+        help="decode pool size for the worker-kill storm phase "
+        "(0 skips the pool phase)",
     )
     chaos.add_argument(
         "--json",
@@ -510,6 +580,26 @@ def _single_codec_arg(args: argparse.Namespace, profile: str) -> Optional[str]:
     return named[0]
 
 
+def _scaling_worker_counts(args: argparse.Namespace):
+    """The pool worker counts for --scaling; None on a parse error."""
+    from repro.perf import SCALING_WORKER_COUNTS
+
+    if args.workers is None:
+        return SCALING_WORKER_COUNTS
+    try:
+        counts = tuple(
+            dict.fromkeys(
+                int(v.strip()) for v in args.workers.split(",") if v.strip()
+            )
+        )
+    except ValueError:
+        counts = ()
+    if not counts or any(count < 1 for count in counts):
+        print(f"error: --workers {args.workers!r} is not a list of counts >= 1")
+        return None
+    return counts
+
+
 def _cmd_bench_network(args: argparse.Namespace) -> int:
     from repro.perf import (
         DEFAULT_NETWORK_OUTPUT,
@@ -517,7 +607,9 @@ def _cmd_bench_network(args: argparse.Namespace) -> int:
         NETWORK_QUICK_DEVICE_SPECS,
         network_gates_ok,
         render_network_table,
+        render_scaling_table,
         run_network_bench,
+        run_scaling_bench,
         write_network_json,
     )
 
@@ -547,9 +639,27 @@ def _cmd_bench_network(args: argparse.Namespace) -> int:
         window_size=args.window_size,
         codec=codec,
     )
-    path = write_network_json(payload, args.output or DEFAULT_NETWORK_OUTPUT)
     print(render_network_table(payload))
-    print(f"   wrote: {path}")
+    if args.scaling:
+        worker_counts = _scaling_worker_counts(args)
+        if worker_counts is None:
+            return 2
+        payload["scaling"] = run_scaling_bench(
+            device_specs=specs,
+            worker_counts=worker_counts,
+            rounds=4 if args.quick else 8,
+            seed=args.seed,
+            window_size=args.window_size,
+            codec=codec,
+            start_method=args.start_method,
+            shm_limit=args.shm_limit,
+        )
+        print(render_scaling_table(payload["scaling"]))
+    if args.check and not args.output:
+        print("   check mode: gates evaluated, JSON not written")
+    else:
+        path = write_network_json(payload, args.output or DEFAULT_NETWORK_OUTPUT)
+        print(f"   wrote: {path}")
     ok, failures = network_gates_ok(payload)
     for failure in failures:
         print(f"ERROR: {failure}")
@@ -592,9 +702,12 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
         window_size=args.window_size,
         variant=codec,
     )
-    path = write_serving_json(payload, args.output or DEFAULT_SERVING_OUTPUT)
     print(render_serving_table(payload))
-    print(f"   wrote: {path}")
+    if args.check and not args.output:
+        print("   check mode: gates evaluated, JSON not written")
+    else:
+        path = write_serving_json(payload, args.output or DEFAULT_SERVING_OUTPUT)
+        print(f"   wrote: {path}")
     ok, failures = serving_gates_ok(payload)
     for failure in failures:
         print(f"ERROR: {failure}")
@@ -613,6 +726,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.network:
         return _cmd_bench_network(args)
+    if args.scaling:
+        print("error: --scaling is part of the --network profile")
+        return 2
     if args.serving:
         return _cmd_bench_serving(args)
     if args.devices:
@@ -649,9 +765,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         mode="decode" if args.decode else "all",
     )
-    path = write_bench_json(payload, args.output or DEFAULT_OUTPUT)
     print(render_bench_table(payload))
-    print(f"   wrote: {path}")
+    if args.check and not args.output:
+        print("   check mode: gates evaluated, JSON not written")
+    else:
+        path = write_bench_json(payload, args.output or DEFAULT_OUTPUT)
+        print(f"   wrote: {path}")
     summary = payload["summary"]
     failures = []
     if not summary["all_parity_ok"]:
@@ -838,7 +957,11 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
 
     async def _run() -> None:
         with PulseServer(
-            store, cache_capacity=cache_size, max_workers=args.workers
+            store,
+            cache_capacity=cache_size,
+            max_workers=args.fill_threads,
+            workers=args.workers,
+            shm_limit=args.shm_limit,
         ) as serving:
             if args.prewarm:
                 serving.cache.prewarm()
@@ -850,10 +973,14 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             )
             await server.start()
             host, port = server.address
+            pool_note = (
+                f", {args.workers} decode workers" if args.workers else ""
+            )
             print(
                 f"serving {store.device_name} ({len(store.keys())} pulses, "
                 f"{store.n_shards} shards) on {host}:{port} -- CQN1, "
-                f"max inflight {args.max_inflight}; Ctrl-C drains and exits"
+                f"max inflight {args.max_inflight}{pool_note}; "
+                f"Ctrl-C drains and exits"
             )
             try:
                 await server.serve_forever()
@@ -887,6 +1014,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         source = f"synthetic over {len(keys)} server keys (seed {args.seed})"
 
     mode = "records" if args.records else "samples"
+    if args.retries < 0 or args.backoff < 0:
+        print("error: --retries and --backoff must be >= 0")
+        return 2
     if args.open:
         report = run_open_loop(
             address,
@@ -897,6 +1027,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             max_outstanding=args.max_outstanding,
             seed=args.seed,
             mode=mode,
+            retries=args.retries,
+            backoff=args.backoff,
         )
     else:
         report = run_closed_loop(
@@ -905,6 +1037,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             batch_size=args.batch_size or 64,
             connections=args.connections or 4,
             mode=mode,
+            retries=args.retries,
+            backoff=args.backoff,
+            seed=args.seed,
         )
     latency = report.latency_ms
 
@@ -938,6 +1073,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 ]
             ],
             note=f"trace: {source}"
+            + (
+                f", retries: {report.retries}" if args.retries else ""
+            )
             + (
                 f", target rate {report.target_rate:.0f} req/s, peak "
                 f"outstanding {report.peak_outstanding}/{report.max_outstanding}"
@@ -975,6 +1113,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         net_clients=clients,
         n_shards=args.shards,
         fault_period=args.fault_period,
+        decode_workers=args.decode_workers,
     )
     print(render_soak_table(payload))
     if args.json:

@@ -501,5 +501,6 @@ def render_bench_table(payload: Dict) -> str:
 def write_bench_json(payload: Dict, path: str = DEFAULT_OUTPUT) -> pathlib.Path:
     """Write the payload to disk; returns the resolved path."""
     out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     return out.resolve()

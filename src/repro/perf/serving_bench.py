@@ -391,6 +391,7 @@ def write_serving_json(
 ) -> pathlib.Path:
     """Write the payload to disk; returns the resolved path."""
     out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     return out.resolve()
 
@@ -418,13 +419,15 @@ def run_serving_soak(
     net_clients: int = 3,
     n_shards: int = 4,
     fault_period: int = 7,
+    decode_workers: int = 2,
 ) -> Dict:
     """Run the fault-injection soak over each bench device.
 
     Where :func:`run_serving_bench` measures the healthy stack's
     throughput, this runs the same store/cache/server/net stack under
     the seeded fault plan of :func:`repro.chaos.run_chaos` -- one run
-    per device spec -- and returns a JSON-able payload whose
+    per device spec, including the decode-pool SIGKILL storm when
+    ``decode_workers > 0`` -- and returns a JSON-able payload whose
     ``all_ok`` is the CI gate (see :func:`soak_gates_ok`).
     """
     from repro.chaos import CHAOS_SCHEMA, FaultPlan, run_chaos
@@ -440,6 +443,7 @@ def run_serving_soak(
             net_clients=net_clients,
             n_shards=n_shards,
             plan=FaultPlan(seed=seed, period=fault_period),
+            decode_workers=decode_workers,
         )
         for spec in device_specs
     ]
@@ -455,6 +459,7 @@ def run_serving_soak(
             "net_clients": net_clients,
             "n_shards": n_shards,
             "fault_period": fault_period,
+            "decode_workers": decode_workers,
         },
         "entries": [report.as_dict() for report in reports],
         "all_ok": all(report.ok for report in reports),
@@ -469,7 +474,9 @@ def render_soak_table(payload: Dict) -> str:
         rows.append(
             [
                 e["device"],
-                e["requests_threaded"] + e["requests_net"],
+                e["requests_threaded"]
+                + e["requests_net"]
+                + e.get("requests_pool", 0),
                 sum(faults.values()),
                 "/".join(str(faults.get(k, 0)) for k in sorted(faults)) or "-",
                 e["typed_errors"],

@@ -11,7 +11,10 @@ ping, remote stats, remote key inventory).
 Overload is a first-class outcome, not an exception to hide: when the
 server sheds a request under admission control, clients raise
 :class:`~repro.errors.ServerOverloadedError` so callers can back off,
-retry, or (in the load generator's case) count.
+retry, or (in the load generator's case) count.  Both clients can also
+do the backing off themselves: construct with ``retries=N`` and shed
+fetches are retried with seeded exponential backoff + jitter before
+the error is surfaced (``retries_performed`` counts what that cost).
 
 Connections are lazy: the first request dials the server, ``close``
 hangs up, and both clients are context managers.  One client drives
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -99,6 +103,22 @@ def _normalize(requests: Sequence[_Request]) -> List[_Key]:
     return [(gate, tuple(int(q) for q in qubits)) for gate, qubits in requests]
 
 
+def _validate_retry(retries: int, backoff: float) -> None:
+    if retries < 0:
+        raise StoreError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise StoreError(f"backoff must be >= 0, got {backoff}")
+
+
+def _retry_delay(rng: random.Random, backoff: float, attempt: int) -> float:
+    """Exponential backoff with jitter in [0.5x, 1.5x) of the step.
+
+    Jitter is driven by the client's seeded RNG so load tests are
+    reproducible while real fleets still decorrelate their retries.
+    """
+    return backoff * (2**attempt) * (0.5 + rng.random())
+
+
 class PulseClient:
     """Blocking ``CQN1`` client over a plain TCP socket.
 
@@ -108,6 +128,12 @@ class PulseClient:
         port: Port when ``address`` is a bare host name.
         timeout: Socket timeout in seconds for connect and each
             request/response round trip.
+        retries: How many times a fetch shed with ``STATUS_OVERLOAD``
+            is retried before :class:`~repro.errors.ServerOverloadedError`
+            surfaces.  0 (the default) preserves raise-immediately.
+        backoff: Base delay in seconds for the exponential backoff
+            schedule (doubles per attempt, jittered).
+        seed: Seed for the jitter RNG (``None`` = nondeterministic).
     """
 
     def __init__(
@@ -115,9 +141,17 @@ class PulseClient:
         address: Union[str, Tuple[str, int]],
         port: Optional[int] = None,
         timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        seed: Optional[int] = None,
     ) -> None:
+        _validate_retry(retries, backoff)
         self.address = parse_address(address, port)
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.retries_performed = 0
+        self._rng = random.Random(seed)
         self._sock: Optional[socket.socket] = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -201,18 +235,30 @@ class PulseClient:
         """A batch of decoded pulses, in request order.
 
         Raises :class:`~repro.errors.ServerOverloadedError` when the
-        server sheds the request, :class:`~repro.errors.StoreError` on
-        server-side errors (e.g. unknown keys).
+        server sheds the request (after ``retries`` backed-off
+        attempts), :class:`~repro.errors.StoreError` on server-side
+        errors (e.g. unknown keys).
         """
-        keys = _normalize(requests)
-        reply = self._roundtrip(protocol.encode_fetch(keys, protocol.MODE_SAMPLES))
-        return _decode_fetch_reply(reply, keys, protocol.MODE_SAMPLES)
+        return self._fetch(requests, protocol.MODE_SAMPLES)
 
     def fetch_records(self, requests: Sequence[_Request]) -> List[bytes]:
         """Raw ``CQW1`` record bytes per key (no decode on either side)."""
+        return self._fetch(requests, protocol.MODE_RECORD)
+
+    def _fetch(self, requests: Sequence[_Request], mode: int) -> List:
         keys = _normalize(requests)
-        reply = self._roundtrip(protocol.encode_fetch(keys, protocol.MODE_RECORD))
-        return _decode_fetch_reply(reply, keys, protocol.MODE_RECORD)
+        frame = protocol.encode_fetch(keys, mode)
+        attempt = 0
+        while True:
+            try:
+                return _decode_fetch_reply(self._roundtrip(frame), keys, mode)
+            except ServerOverloadedError:
+                if attempt >= self.retries:
+                    raise
+                delay = _retry_delay(self._rng, self.backoff, attempt)
+                attempt += 1
+                self.retries_performed += 1
+                time.sleep(delay)
 
     def ping(self) -> float:
         """Round-trip a PING; returns the latency in seconds."""
@@ -253,9 +299,17 @@ class AsyncPulseClient:
         address: Union[str, Tuple[str, int]],
         port: Optional[int] = None,
         timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        seed: Optional[int] = None,
     ) -> None:
+        _validate_retry(retries, backoff)
         self.address = parse_address(address, port)
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.retries_performed = 0
+        self._rng = random.Random(seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -329,18 +383,27 @@ class AsyncPulseClient:
         return (await self.fetch_batch([(gate, qubits)]))[0]
 
     async def fetch_batch(self, requests: Sequence[_Request]) -> List[Waveform]:
-        keys = _normalize(requests)
-        reply = await self._roundtrip(
-            protocol.encode_fetch(keys, protocol.MODE_SAMPLES)
-        )
-        return _decode_fetch_reply(reply, keys, protocol.MODE_SAMPLES)
+        return await self._fetch(requests, protocol.MODE_SAMPLES)
 
     async def fetch_records(self, requests: Sequence[_Request]) -> List[bytes]:
+        return await self._fetch(requests, protocol.MODE_RECORD)
+
+    async def _fetch(self, requests: Sequence[_Request], mode: int) -> List:
         keys = _normalize(requests)
-        reply = await self._roundtrip(
-            protocol.encode_fetch(keys, protocol.MODE_RECORD)
-        )
-        return _decode_fetch_reply(reply, keys, protocol.MODE_RECORD)
+        frame = protocol.encode_fetch(keys, mode)
+        attempt = 0
+        while True:
+            try:
+                return _decode_fetch_reply(
+                    await self._roundtrip(frame), keys, mode
+                )
+            except ServerOverloadedError:
+                if attempt >= self.retries:
+                    raise
+                delay = _retry_delay(self._rng, self.backoff, attempt)
+                attempt += 1
+                self.retries_performed += 1
+                await asyncio.sleep(delay)
 
     async def ping(self) -> float:
         start = time.perf_counter()

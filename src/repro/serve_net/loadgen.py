@@ -78,6 +78,7 @@ class LoadReport:
     target_rate: float = 0.0
     max_outstanding: int = 0
     peak_outstanding: int = 0
+    retries: int = 0
 
     @property
     def requests_per_s(self) -> float:
@@ -109,6 +110,7 @@ class LoadReport:
             "target_rate": self.target_rate,
             "max_outstanding": self.max_outstanding,
             "peak_outstanding": self.peak_outstanding,
+            "retries": self.retries,
         }
 
 
@@ -147,13 +149,18 @@ def run_closed_loop(
     connections: int = 4,
     mode: Union[int, str] = MODE_SAMPLES,
     timeout: float = 30.0,
+    retries: int = 0,
+    backoff: float = 0.05,
+    seed: int = 0,
 ) -> LoadReport:
     """Drive the server as hard as N serial connections can.
 
     The trace is chopped into ``batch_size`` fetches and dealt
     round-robin across ``connections`` worker threads, each running a
     blocking :class:`~repro.serve_net.client.PulseClient` in a strict
-    request/response loop.
+    request/response loop.  ``retries``/``backoff`` are handed to each
+    client (seeded per connection, so runs reproduce); the report's
+    ``retries`` totals what the clients spent.
     """
     if connections < 1:
         raise StoreError(f"connections must be >= 1, got {connections}")
@@ -163,10 +170,16 @@ def run_closed_loop(
     lanes: List[List[List]] = [batches[i::connections] for i in range(connections)]
     lock = threading.Lock()
     latencies: List[float] = []
-    counters = {"ok": 0, "overload": 0, "error": 0, "pulses": 0}
+    counters = {"ok": 0, "overload": 0, "error": 0, "pulses": 0, "retries": 0}
 
-    def _worker(lane: List[List]) -> None:
-        with PulseClient(host_port, timeout=timeout) as client:
+    def _worker(index: int, lane: List[List]) -> None:
+        with PulseClient(
+            host_port,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            seed=seed + index,
+        ) as client:
             for batch in lane:
                 start = time.perf_counter()
                 try:
@@ -187,10 +200,12 @@ def run_closed_loop(
                     counters["ok"] += 1
                     counters["pulses"] += len(batch)
                     latencies.append(elapsed)
+            with lock:
+                counters["retries"] += client.retries_performed
 
     threads = [
-        threading.Thread(target=_worker, args=(lane,), daemon=True)
-        for lane in lanes
+        threading.Thread(target=_worker, args=(index, lane), daemon=True)
+        for index, lane in enumerate(lanes)
         if lane
     ]
     wall_start = time.perf_counter()
@@ -212,6 +227,7 @@ def run_closed_loop(
         pulses_ok=counters["pulses"],
         elapsed_s=wall_elapsed,
         latencies_s=tuple(latencies),
+        retries=counters["retries"],
     )
 
 
@@ -231,14 +247,19 @@ def run_open_loop(
     process: str = "poisson",
     mode: Union[int, str] = MODE_SAMPLES,
     timeout: float = 30.0,
+    retries: int = 0,
+    backoff: float = 0.05,
 ) -> LoadReport:
     """Fire batches on an arrival schedule, regardless of completions.
 
     ``rate`` is the target arrival rate in *requests* (batch frames)
     per second.  Arrivals finding ``max_outstanding`` requests already
     in flight are shed client-side (``skipped``) -- the generator's own
-    no-unbounded-queue rule.  Overload replies from the server are
-    counted, not retried.
+    no-unbounded-queue rule.  By default overload replies from the
+    server are counted, not retried; ``retries > 0`` turns on the
+    clients' seeded backoff-and-retry and the report's ``retries``
+    totals what that cost (a retrying request still counts against
+    ``max_outstanding`` the whole time, so the bound holds).
     """
     if connections < 1:
         raise StoreError(f"connections must be >= 1, got {connections}")
@@ -257,6 +278,7 @@ def run_open_loop(
         "pulses": 0,
         "outstanding": 0,
         "peak": 0,
+        "retries": 0,
     }
     latencies: List[float] = []
 
@@ -283,8 +305,14 @@ def run_open_loop(
 
     async def _main() -> float:
         clients = [
-            AsyncPulseClient(host_port, timeout=timeout)
-            for _ in range(connections)
+            AsyncPulseClient(
+                host_port,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                seed=seed + index,
+            )
+            for index in range(connections)
         ]
         tasks: List[asyncio.Task] = []
         start = time.perf_counter()
@@ -312,6 +340,9 @@ def run_open_loop(
                 await asyncio.gather(*tasks)
             return time.perf_counter() - start
         finally:
+            counters["retries"] = sum(
+                client.retries_performed for client in clients
+            )
             for client in clients:
                 await client.aclose()
 
@@ -331,4 +362,5 @@ def run_open_loop(
         target_rate=rate,
         max_outstanding=max_outstanding,
         peak_outstanding=counters["peak"],
+        retries=counters["retries"],
     )

@@ -36,6 +36,7 @@ from repro.store.sharded import (
     STORE_FORMAT_VERSION,
     STORE_MAGIC,
     ShardedStore,
+    StoreHandle,
     StoreRecord,
     open_store,
     save_store,
@@ -56,6 +57,7 @@ __all__ = [
     "MANIFEST_NAME",
     "StoreRecord",
     "ShardedStore",
+    "StoreHandle",
     "shard_index",
     "save_store",
     "open_store",

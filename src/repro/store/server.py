@@ -54,15 +54,19 @@ class ServerStats:
     shard_fills: int
     coalesced_fills: int
     cache: CacheStats
+    pool: Optional[Dict] = None
 
     def as_dict(self) -> Dict:
-        return {
+        out = {
             "requests": self.requests,
             "batches": self.batches,
             "shard_fills": self.shard_fills,
             "coalesced_fills": self.coalesced_fills,
             "cache": self.cache.as_dict(),
         }
+        if self.pool is not None:
+            out["pool"] = dict(self.pool)
+        return out
 
     # Historical spelling; ``as_dict`` is the shared stats-object surface.
     to_dict = as_dict
@@ -80,11 +84,22 @@ class PulseServer:
             under per-shard single-flight).
         cache: Optionally share a pre-built :class:`PulseCache` (e.g.
             one cache behind several servers in a test harness).
+        workers: Decode worker *processes*.  ``0`` (the default)
+            preserves the in-process fill path exactly; ``>= 1`` routes
+            every cold-miss decode through a
+            :class:`~repro.serve_net.workers.DecodePool` with
+            shared-memory sample handoff.  Per-shard single-flight and
+            coalescing are unchanged either way -- the shard lock wraps
+            the fill regardless of where the decode runs.
+        shm_limit: Per-worker shared-memory slab in bytes (pool only).
+        start_method: Multiprocessing start method for the pool
+            (``None`` = platform default).
 
     Use as a context manager, or call :meth:`close` to release the
-    fill executor and the store's mmap pool; serving after ``close``
-    still works -- fills run inline on the calling thread and the pool
-    remaps shards on demand.
+    fill executor, drain the decode pool, and release the store's mmap
+    pool; serving after ``close`` still works -- fills run inline and
+    in-process on the calling thread and the pool remaps shards on
+    demand.
     """
 
     def __init__(
@@ -93,13 +108,30 @@ class PulseServer:
         cache_capacity: int = 64,
         max_workers: int = 4,
         cache: Optional[PulseCache] = None,
+        workers: int = 0,
+        shm_limit: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise StoreError(f"max_workers must be >= 1, got {max_workers}")
+        if workers < 0:
+            raise StoreError(f"workers must be >= 0, got {workers}")
         if cache is not None and cache.store is not store:
             raise StoreError("shared cache is bound to a different store")
         self.store = store
         self.cache = cache if cache is not None else PulseCache(store, cache_capacity)
+        self._pool = None
+        if workers > 0:
+            # Imported lazily: repro.serve_net.workers imports from
+            # repro.store, so a module-level import here would cycle.
+            from repro.serve_net.workers import DEFAULT_SHM_LIMIT, DecodePool
+
+            self._pool = DecodePool(
+                store.handle(),
+                workers=workers,
+                shm_limit=DEFAULT_SHM_LIMIT if shm_limit is None else shm_limit,
+                start_method=start_method,
+            )
         self._shard_locks = tuple(
             threading.Lock() for _ in range(store.n_shards)
         )
@@ -118,14 +150,18 @@ class PulseServer:
     def close(self) -> None:
         """Shut down the fill executor and release store handles.
 
-        Idempotent.  The cache's ``close`` cascades to the store's mmap
-        pool; because the pool remaps on demand, a shared cache or
-        store behind several servers keeps working after one of them
-        closes.
+        Idempotent.  The decode pool (if any) drains gracefully --
+        in-flight worker jobs finish or fail typed, never hang.  The
+        cache's ``close`` cascades to the store's mmap pool; because
+        the pool remaps on demand, a shared cache or store behind
+        several servers keeps working after one of them closes.
         """
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
         self.cache.close()
 
     def __enter__(self) -> "PulseServer":
@@ -228,7 +264,19 @@ class PulseServer:
                 else:
                     to_load.append(key)
             if to_load:
-                out.update(self.cache.load_many(to_load))
+                pool = self._pool
+                if pool is None:
+                    out.update(self.cache.load_many(to_load))
+                else:
+                    # The decode runs in a worker process; the insert
+                    # (and its _lock_samples discipline) stays here,
+                    # still under this shard's single-flight lock.
+                    waveforms = pool.decode(to_load)
+                    out.update(
+                        self.cache.insert_decoded(
+                            list(zip(to_load, waveforms))
+                        )
+                    )
         with self._stats_lock:
             self._shard_fills += 1
             self._coalesced_fills += coalesced
@@ -236,7 +284,13 @@ class PulseServer:
 
     # -- bookkeeping -------------------------------------------------------------
 
+    @property
+    def pool(self):
+        """The live :class:`DecodePool`, or ``None`` (``workers=0``)."""
+        return self._pool
+
     def stats(self) -> ServerStats:
+        pool = self._pool
         with self._stats_lock:
             return ServerStats(
                 requests=self._requests,
@@ -244,4 +298,5 @@ class PulseServer:
                 shard_fills=self._shard_fills,
                 coalesced_fills=self._coalesced_fills,
                 cache=self.cache.stats(),
+                pool=pool.stats().as_dict() if pool is not None else None,
             )

@@ -79,6 +79,7 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "MANIFEST_NAME",
     "StoreRecord",
+    "StoreHandle",
     "normalize_key",
     "ShardedStore",
     "shard_index",
@@ -124,6 +125,27 @@ class StoreRecord:
     length: int
     mse: float
     threshold: float
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """A picklable recipe for reopening a store in another process.
+
+    A :class:`ShardedStore` itself cannot cross a process boundary (it
+    owns mmap handles and locks), but opening one is cheap -- the
+    manifest is the only eager read.  The handle carries just the store
+    directory and the pool budget, so a decode worker
+    (:class:`repro.serve_net.workers.DecodePool`) can be handed one
+    through ``multiprocessing`` and open its *own* read-only view with
+    its own :class:`_MmapPool`.
+    """
+
+    path: str
+    max_open_shards: int = 8
+
+    def open(self) -> "ShardedStore":
+        """Open an independent read handle on the store directory."""
+        return ShardedStore.open(self.path, self.max_open_shards)
 
 
 def _shard_file_name(shard: int) -> str:
@@ -353,6 +375,12 @@ class ShardedStore:
         self._pool = _MmapPool(
             tuple(path / name for name in shard_files),
             max_open=min(max_open_shards, n_shards),
+        )
+
+    def handle(self) -> StoreHandle:
+        """A picklable :class:`StoreHandle` for this store directory."""
+        return StoreHandle(
+            path=str(self.path), max_open_shards=self._pool._max_open
         )
 
     @property

@@ -12,6 +12,7 @@ import pytest
 
 from repro.chaos import (
     FAULT_KINDS,
+    POOL_FAULT_KINDS,
     ChaosReport,
     FaultPlan,
     FaultyStore,
@@ -232,7 +233,9 @@ class TestRunChaos:
             net_clients=2,
         )
         assert report.ok, report.violations
-        assert set(report.faults_injected) == set(FAULT_KINDS)
+        assert set(report.faults_injected) == (
+            set(FAULT_KINDS) | set(POOL_FAULT_KINDS)
+        )
         assert report.typed_errors >= 1
         assert report.untyped_errors == 0
         assert report.identity_checks > 0
@@ -241,9 +244,43 @@ class TestRunChaos:
         assert report.recovery_reads == report.server_stats["cache"]["capacity"]
         assert report.as_dict()["ok"] is True
 
+    def test_pool_storm_counters(self):
+        report = run_chaos(
+            device_spec="bogota", seed=3, threads=3, ops_per_thread=60,
+            net_clients=0, decode_workers=2,
+        )
+        assert report.ok, report.violations
+        assert report.decode_workers == 2
+        assert report.requests_pool > 0
+        assert report.pool_stats["workers"] == 2
+        # Deaths and respawns stay paired, and the deliberately tiny
+        # slab exercised the pipe-transport fallback.  (A SIGKILL sent
+        # in the storm's last instants may not be *detected* until
+        # after the snapshot, so kills bound deaths from above.)
+        assert report.pool_stats["worker_deaths"] >= 1
+        assert report.pool_stats["respawns"] == report.pool_stats["worker_deaths"]
+        assert report.faults_injected["shm_exhaust"] >= 1
+        assert (
+            report.faults_injected["worker_kill"]
+            >= report.pool_stats["worker_deaths"]
+        )
+
+    def test_decode_workers_zero_skips_the_pool_phase(self):
+        report = run_chaos(
+            device_spec="bogota", seed=0, threads=2, ops_per_thread=30,
+            net_clients=0, decode_workers=0,
+        )
+        assert report.ok, report.violations
+        assert report.decode_workers == 0
+        assert report.requests_pool == 0
+        assert report.pool_stats == {}
+        assert not set(POOL_FAULT_KINDS) & set(report.faults_injected)
+
     def test_validates_arguments(self):
         with pytest.raises(ChaosError):
             run_chaos(threads=0)
+        with pytest.raises(ChaosError):
+            run_chaos(decode_workers=-1)
 
     def test_soak_payload_and_gates(self):
         payload = run_serving_soak(

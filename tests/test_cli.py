@@ -26,6 +26,79 @@ class TestParser:
         assert args.devices is None
         assert args.window_size == 16
         assert args.repeats is None
+        assert not args.scaling
+        assert not args.check
+        assert args.workers is None
+        assert args.start_method is None
+        assert args.shm_limit is None
+
+    def test_bench_scaling_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench", "--network", "--scaling", "--workers", "1,2",
+                "--start-method", "spawn", "--shm-limit", "65536", "--check",
+            ]
+        )
+        assert args.scaling and args.check
+        assert args.workers == "1,2"
+        assert args.start_method == "spawn"
+        assert args.shm_limit == 65536
+
+    def test_scaling_outside_network_is_an_error(self, capsys):
+        assert main(["bench", "--scaling", "--quick"]) == 2
+        assert "--network" in capsys.readouterr().out
+
+    def test_serve_net_worker_flags(self):
+        args = build_parser().parse_args(["serve-net", "some.cqs"])
+        assert args.workers == 0  # decode processes: in-process default
+        assert args.fill_threads == 4
+        assert args.shm_limit is None
+
+    def test_loadgen_retry_flags(self):
+        args = build_parser().parse_args(["loadgen", "127.0.0.1:1"])
+        assert args.retries == 0
+        assert args.backoff == 0.05
+        args = build_parser().parse_args(
+            ["loadgen", "127.0.0.1:1", "--retries", "3", "--backoff", "0.01"]
+        )
+        assert (args.retries, args.backoff) == (3, 0.01)
+
+    def test_chaos_decode_workers_flag(self):
+        assert build_parser().parse_args(["chaos"]).decode_workers == 2
+        args = build_parser().parse_args(["chaos", "--decode-workers", "0"])
+        assert args.decode_workers == 0
+
+
+class TestBenchCheckMode:
+    def test_check_evaluates_gates_without_writing(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["bench", "--devices", "bogota", "--codecs", "int-DCT-W", "--check"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check mode" in out
+        assert not (tmp_path / "BENCH_compression.json").exists()
+
+    def test_explicit_output_still_writes_under_check(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        # Nested directory: the writers must create parents (CI points
+        # --output at an artifact dir that does not exist yet).
+        target = tmp_path / "bench-out" / "out.json"
+        code = main(
+            [
+                "bench", "--devices", "bogota", "--codecs", "int-DCT-W",
+                "--check", "--output", str(target),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert target.is_file()
+        assert not (tmp_path / "BENCH_compression.json").exists()
 
 
 class TestCommands:
