@@ -20,6 +20,12 @@ error.  It asserts the properties that must hold anyway:
 * **Net accounting.**  After quiesce, every admitted fetch resolved
   exactly one way: ``fetches == fetches_ok + request_errors``
   (overload sheds are refused *before* admission and counted apart).
+* **Metric consistency.**  The metrics registry and the legacy stats
+  dataclasses are one set of books: after quiesce the registry
+  counters must agree with the ``as_dict`` surfaces
+  (``cache.hits + cache.misses == cache.lookups``, pool
+  ``jobs_ok + jobs_failed == jobs_submitted``).  A registry that
+  drifts from the stats it claims to back is a violation.
 
 Violations accumulate (thread-safely) as human-readable strings;
 :meth:`InvariantChecker.raise_if_violated` turns them into one
@@ -153,6 +159,83 @@ class InvariantChecker:
         elif min(stats.overloads, stats.coalesced_keys, stats.protocol_errors) < 0:
             self._fail("net: a counter went negative")
         else:
+            self._pass()
+
+    def check_metrics(
+        self,
+        snapshot: Mapping,
+        server_stats: ServerStats,
+        net_stats=None,
+    ) -> None:
+        """The registry and the legacy stats must be one set of books.
+
+        ``snapshot`` is a merged metrics-registry snapshot
+        (:meth:`PulseServer.metrics_snapshot` or
+        :meth:`NetPulseServer.metrics_snapshot`) taken at the same
+        quiesced moment as the stats dataclasses.  Checks both the
+        cross-surface agreement (registry counter == stats field) and
+        the internal counter laws the registry must satisfy on its own.
+        """
+        counters = dict(snapshot.get("counters", {})) if snapshot else {}
+
+        def _expect(name: str, stat_value: int, label: str) -> bool:
+            got = counters.get(name, 0)
+            if got != stat_value:
+                self._fail(
+                    f"metrics: registry {name}={got} disagrees with "
+                    f"{label}={stat_value}"
+                )
+                return False
+            return True
+
+        cache = server_stats.cache
+        ok = True
+        ok &= _expect("cache.hits", cache.hits, "CacheStats.hits")
+        ok &= _expect("cache.misses", cache.misses, "CacheStats.misses")
+        ok &= _expect("cache.insertions", cache.insertions, "CacheStats.insertions")
+        ok &= _expect("cache.evictions", cache.evictions, "CacheStats.evictions")
+        if counters.get("cache.hits", 0) + counters.get("cache.misses", 0) != (
+            cache.lookups
+        ):
+            self._fail(
+                f"metrics: cache.hits {counters.get('cache.hits', 0)} + "
+                f"cache.misses {counters.get('cache.misses', 0)} != "
+                f"lookups {cache.lookups}"
+            )
+            ok = False
+        ok &= _expect("server.requests", server_stats.requests, "ServerStats.requests")
+        ok &= _expect(
+            "server.shard_fills", server_stats.shard_fills, "ServerStats.shard_fills"
+        )
+        pool = server_stats.pool
+        if pool is not None:
+            submitted = counters.get("pool.jobs_submitted", 0)
+            jobs_ok = counters.get("pool.jobs_ok", 0)
+            jobs_failed = counters.get("pool.jobs_failed", 0)
+            if jobs_ok + jobs_failed != submitted:
+                self._fail(
+                    f"metrics: pool jobs_ok {jobs_ok} + jobs_failed "
+                    f"{jobs_failed} != jobs_submitted {submitted}"
+                )
+                ok = False
+            ok &= _expect("pool.jobs_ok", pool["jobs_ok"], "PoolStats.jobs_ok")
+            ok &= _expect(
+                "pool.jobs_failed", pool["jobs_failed"], "PoolStats.jobs_failed"
+            )
+        if net_stats is not None:
+            ok &= _expect("net.fetches", net_stats.fetches, "NetServerStats.fetches")
+            ok &= _expect(
+                "net.fetches_ok", net_stats.fetches_ok, "NetServerStats.fetches_ok"
+            )
+            ok &= _expect(
+                "net.overloads", net_stats.overloads, "NetServerStats.overloads"
+            )
+            ok &= _expect(
+                "net.request_errors",
+                net_stats.request_errors,
+                "NetServerStats.request_errors",
+            )
+        if ok:
             self._pass()
 
     # -- reporting -----------------------------------------------------------

@@ -215,12 +215,18 @@ def _net_phase(
     clients: int,
     ops_per_client: int,
     batch_size: int,
+    trace_sample_rate: float = 0.0,
 ) -> Tuple[int, Dict]:
     """The same storm over a real CQN1 socket; returns (requests, stats)."""
     bogus: _Key = ("chaos-no-such-gate", (0,))
     requests = [0] * clients
 
-    with serve_in_thread(server, max_inflight=8, frame_timeout=5.0) as handle:
+    with serve_in_thread(
+        server,
+        max_inflight=8,
+        frame_timeout=5.0,
+        trace_sample_rate=trace_sample_rate,
+    ) as handle:
         host, port = handle.address
 
         def client_worker(client_id: int) -> None:
@@ -261,7 +267,9 @@ def _net_phase(
         for thread in workers:
             thread.join()
         stats = handle.stats()
+        snapshot = handle.server.metrics_snapshot()
     checker.check_net(stats)
+    checker.check_metrics(snapshot, server.stats(), net_stats=stats)
     return sum(requests), stats.as_dict()
 
 
@@ -364,6 +372,7 @@ def _pool_phase(
                 for key, waveform in zip(keys, waveforms):
                     checker.check_identity(key, waveform)
                 break
+        checker.check_metrics(server.metrics_snapshot(), server.stats())
         pool_stats = pool.stats().as_dict()
     return sum(requests), kills[0], pool_stats
 
@@ -379,12 +388,16 @@ def run_chaos(
     plan: Optional[FaultPlan] = None,
     store_dir: Optional[pathlib.Path] = None,
     decode_workers: int = 2,
+    trace_sample_rate: float = 0.0,
 ) -> ChaosReport:
     """Run the full chaos/soak harness; never raises on *found* faults.
 
     Violations land in the report (``report.ok``); only harness misuse
     (bad arguments, unbuildable device) raises.  ``decode_workers``
-    sizes the pool-storm phase (0 skips it).
+    sizes the pool-storm phase (0 skips it).  ``trace_sample_rate``
+    turns on request tracing in the networked phase (1.0 = trace every
+    fetch) -- the chaos CI job runs at full sampling so the tracing
+    path itself soaks under faults.
     """
     if threads < 1 or ops_per_thread < 1 or net_clients < 0 or batch_size < 1:
         raise ChaosError("threads, ops_per_thread and batch_size must be >= 1")
@@ -417,6 +430,7 @@ def run_chaos(
                     batch_size,
                 )
                 checker.check_single_flight(server.stats(), len(keys))
+                checker.check_metrics(server.metrics_snapshot(), server.stats())
                 server_stats = server.stats().as_dict()
 
             # Phase 2: the same faulty store behind a real socket.
@@ -428,6 +442,7 @@ def run_chaos(
                     requests_net, net_stats = _net_phase(
                         net_serving, keys, checker, seed, net_clients,
                         max(1, ops_per_thread // 2), batch_size,
+                        trace_sample_rate=trace_sample_rate,
                     )
 
             # Phase 3: SIGKILL storm on the decode-worker pool, over the
@@ -459,6 +474,10 @@ def run_chaos(
                         else:
                             if checker.check_identity(key, waveform):
                                 recovery_reads += 1
+                    checker.check_metrics(
+                        recovery_server.metrics_snapshot(),
+                        recovery_server.stats(),
+                    )
         faulty.detach()
 
     faults_injected = dict(faulty.faults_injected)

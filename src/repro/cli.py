@@ -14,10 +14,14 @@ Usage::
     python -m repro pack guadalupe --shards 4 --codec int-DCT-W
     python -m repro serve guadalupe.cqs --requests trace.json
     python -m repro serve-net guadalupe.cqs --port 7711 --workers 2
+    python -m repro serve-net guadalupe.cqs --metrics-port 9200 --trace-sample-rate 0.01
     python -m repro loadgen 127.0.0.1:7711 --synthetic 4096 --open --rate 500
     python -m repro loadgen 127.0.0.1:7711 --open --rate 2000 --retries 3
+    python -m repro metrics 127.0.0.1:7711
+    python -m repro traces 127.0.0.1:7711 --limit 4
     python -m repro chaos --quick
     python -m repro chaos --devices bogota,guadalupe --seed 7 --ops 400
+    python -m repro chaos --quick --trace-sample-rate 1.0
 
 The ``--variant``/``--variants`` spellings remain accepted everywhere
 as deprecated aliases of ``--codec``/``--codecs``.
@@ -342,6 +346,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds to wait for in-flight requests on shutdown",
     )
+    serve_net.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve Prometheus-style text metrics over HTTP on "
+        "this port (GET /metrics; /metrics.json for the raw snapshot)",
+    )
+    serve_net.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        help="fraction of fetches that record a server-side trace "
+        "(default 0.01; client-traced fetches always record)",
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -440,9 +458,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 skips the pool phase)",
     )
     chaos.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="request-trace sampling rate for the networked phase "
+        "(1.0 soaks the tracing path itself under faults)",
+    )
+    chaos.add_argument(
         "--json",
         default=None,
         help="also write the full soak report to this path",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="scrape a CQN1 server's metrics registry over the wire",
+    )
+    metrics.add_argument("address", help="server address, host:port")
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw snapshot as JSON instead of Prometheus text",
+    )
+
+    traces = subparsers.add_parser(
+        "traces",
+        help="fetch a CQN1 server's recent request traces",
+    )
+    traces.add_argument("address", help="server address, host:port")
+    traces.add_argument(
+        "--limit",
+        type=int,
+        default=16,
+        help="most recent traces to fetch (1-1024)",
+    )
+    traces.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw trace dicts as JSON instead of span trees",
     )
     return parser
 
@@ -970,6 +1023,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
                 host=args.host,
                 port=args.port,
                 max_inflight=args.max_inflight,
+                trace_sample_rate=args.trace_sample_rate,
             )
             await server.start()
             host, port = server.address
@@ -982,9 +1036,24 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
                 f"max inflight {args.max_inflight}{pool_note}; "
                 f"Ctrl-C drains and exits"
             )
+            metrics_http = None
+            if args.metrics_port is not None:
+                from repro.obs import start_metrics_server
+
+                metrics_http = start_metrics_server(
+                    server.metrics_snapshot,
+                    host=args.host,
+                    port=args.metrics_port,
+                )
+                metrics_host, metrics_port = metrics_http.address
+                print(
+                    f"metrics on http://{metrics_host}:{metrics_port}/metrics"
+                )
             try:
                 await server.serve_forever()
             finally:
+                if metrics_http is not None:
+                    metrics_http.close()
                 await server.aclose(drain_timeout=args.drain_timeout)
 
     try:
@@ -1114,6 +1183,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         n_shards=args.shards,
         fault_period=args.fault_period,
         decode_workers=args.decode_workers,
+        trace_sample_rate=args.trace_sample_rate,
     )
     print(render_soak_table(payload))
     if args.json:
@@ -1124,6 +1194,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for failure in failures:
         print(f"ERROR: {failure}")
     return 0 if ok else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_prometheus
+    from repro.serve_net import PulseClient
+
+    with PulseClient(args.address) as client:
+        snapshot = client.metrics()
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(render_prometheus(snapshot), end="")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import format_trace_tree
+    from repro.serve_net import PulseClient
+
+    with PulseClient(args.address) as client:
+        traces = client.traces(limit=args.limit)
+    if args.json:
+        print(json.dumps(traces, indent=2))
+        return 0
+    if not traces:
+        print(
+            "no traces recorded -- raise the server's sampling "
+            "(serve-net --trace-sample-rate) or trace client-side"
+        )
+        return 0
+    for trace_dict in traces:
+        print(format_trace_tree(trace_dict))
+        print()
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1149,4 +1257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "metrics":
+        return _cmd_metrics(args)
+    elif args.command == "traces":
+        return _cmd_traces(args)
     return 0

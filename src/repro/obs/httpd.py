@@ -1,0 +1,84 @@
+"""Tiny stdlib HTTP endpoint serving the metrics text exposition.
+
+``repro serve-net --metrics-port`` starts one of these next to the
+CQN1 listener so a Prometheus scraper (or ``curl``) can read the live
+registry without speaking the binary protocol.  Routes:
+
+- ``GET /metrics``       Prometheus text exposition v0.0.4
+- ``GET /metrics.json``  the raw registry snapshot as JSON
+
+The server runs a :class:`http.server.ThreadingHTTPServer` in a daemon
+thread and pulls a fresh snapshot per request via the ``collect``
+callable, so it never holds references into the serving stack's locks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping, Tuple
+
+from .registry import render_prometheus
+
+__all__ = ["MetricsHTTPServer", "start_metrics_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    collect: Callable[[], Mapping[str, Any]]  # patched onto the subclass
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_prometheus(self.collect()).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = json.dumps(self.collect(), sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /metrics.json)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class MetricsHTTPServer:
+    """Handle for a running metrics endpoint; ``close()`` to stop."""
+
+    def __init__(self, collect: Callable[[], Mapping[str, Any]], host: str, port: int) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"collect": staticmethod(collect)})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics-http", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    collect: Callable[[], Mapping[str, Any]], host: str = "127.0.0.1", port: int = 0
+) -> MetricsHTTPServer:
+    """Start the exposition endpoint; ``port=0`` picks a free port."""
+    return MetricsHTTPServer(collect, host, port)

@@ -24,6 +24,17 @@ phases against a loopback ``NetPulseServer``:
   generator's outstanding-request bound must hold
   (``peak_outstanding <= max_outstanding``) -- no unbounded queue on
   either side.
+
+Schema v3 adds the **instrumentation** section (run once, on the first
+device): an overhead leg comparing warm closed-loop throughput with the
+telemetry layer fully enabled (metrics registries on, default trace
+sampling on client and server) against the same stack with every
+registry disabled and sampling off -- gated at
+:data:`INSTRUMENTATION_OVERHEAD_GATE` -- and a trace-coverage check
+asserting that one sampled cold fetch yields a merged client+server
+trace whose stages cover the whole path (client, admission, fill, and
+pool decode when workers are attached) with a well-formed breakdown
+(:func:`repro.obs.stage_breakdown`).
 """
 
 from __future__ import annotations
@@ -42,6 +53,15 @@ from repro.analysis.report import render_table
 from repro.compression.pipeline import decompress_waveform
 from repro.core.compiler import CompaqtCompiler
 from repro.errors import DeviceError
+from repro.obs import (
+    DEFAULT_TRACE_SAMPLE_RATE,
+    MetricsRegistry,
+    Tracer,
+    default_registry,
+    merge_trace_spans,
+    set_default_registry,
+    stage_breakdown,
+)
 from repro.perf.compression_bench import resolve_device
 from repro.serve_net.client import PulseClient
 from repro.serve_net.loadgen import run_closed_loop, run_open_loop
@@ -57,6 +77,8 @@ __all__ = [
     "NETWORK_FULL_DEVICE_SPECS",
     "WARM_PULSES_PER_S_GATE",
     "WARM_P99_GATE_MS",
+    "INSTRUMENTATION_OVERHEAD_GATE",
+    "TRACE_COVERAGE_STAGES",
     "SCALING_WORKER_COUNTS",
     "SCALING_EFFICIENCY_GATE",
     "SCALING_SPEEDUP_X4_GATE",
@@ -68,7 +90,7 @@ __all__ = [
     "network_gates_ok",
 ]
 
-NETWORK_BENCH_SCHEMA = "compaqt-bench-network/v2"
+NETWORK_BENCH_SCHEMA = "compaqt-bench-network/v3"
 
 DEFAULT_NETWORK_OUTPUT = "BENCH_network.json"
 
@@ -86,6 +108,22 @@ WARM_PULSES_PER_S_GATE = 10_000.0
 #: warm-cache batches complete in well under a millisecond each; the
 #: bound is deliberately loose so CI-runner jitter cannot flake it.
 WARM_P99_GATE_MS = 250.0
+
+#: Warm closed-loop throughput with the telemetry layer fully enabled
+#: (metrics + default trace sampling) must stay within 5% of the same
+#: stack with every registry disabled and sampling off.  Low-overhead
+#: is a design requirement of the metrics layer, not a hope; this gate
+#: keeps it honest on every bench run.
+INSTRUMENTATION_OVERHEAD_GATE = 0.95
+
+#: Stages one sampled cold fetch must cover end to end (``pool.decode``
+#: is required only when decode workers are attached).
+TRACE_COVERAGE_STAGES = (
+    "client.fetch",
+    "server.admission",
+    "server.fill",
+    "pool.decode",
+)
 
 #: Worker-count ladder for the ``--scaling`` measurement mode.
 SCALING_WORKER_COUNTS = (1, 2, 4, 8)
@@ -135,6 +173,151 @@ def _identity_ok(
     return True
 
 
+def _warm_closed_loop_pps(
+    store,
+    keys,
+    trace,
+    batch_size: int,
+    connections: int,
+    repeats: int,
+    enabled: bool,
+) -> float:
+    """Best-of-``repeats`` warm throughput with telemetry on or off.
+
+    ``enabled=False`` is the honest baseline: every registry in the
+    stack (server, net tier, and the process-wide default the store
+    modules write to) is a no-op registry and trace sampling is zero.
+    ``enabled=True`` is production defaults: live registries plus
+    default-rate trace sampling on both the client and the server.
+    """
+    prior = default_registry()
+    set_default_registry(MetricsRegistry(enabled=enabled))
+    try:
+        sample_rate = DEFAULT_TRACE_SAMPLE_RATE if enabled else 0.0
+        client_tracer = Tracer(sample_rate=sample_rate) if enabled else None
+        with PulseServer(
+            store,
+            cache_capacity=len(keys),
+            metrics=MetricsRegistry(enabled=enabled),
+        ) as serving:
+            with serve_in_thread(
+                serving,
+                metrics=MetricsRegistry(enabled=enabled),
+                trace_sample_rate=sample_rate,
+            ) as handle:
+                address = handle.address
+                run_closed_loop(
+                    address, trace, batch_size=batch_size,
+                    connections=connections,
+                )  # warming pass
+                best = max(
+                    (
+                        run_closed_loop(
+                            address,
+                            trace,
+                            batch_size=batch_size,
+                            connections=connections,
+                            tracer=client_tracer,
+                        )
+                        for _ in range(repeats)
+                    ),
+                    key=lambda report: report.pulses_per_s,
+                )
+        return best.pulses_per_s
+    finally:
+        set_default_registry(prior)
+
+
+def _instrumentation_overhead(
+    store, keys, trace, batch_size: int, connections: int, repeats: int
+) -> Dict:
+    """The overhead leg: telemetry-enabled vs telemetry-disabled warm runs.
+
+    The two configurations are measured *interleaved* (off/on pairs on
+    fresh servers) and each side keeps its best, so slow box-level
+    drift -- CPU frequency, a background compile -- lands on both
+    sides instead of masquerading as instrumentation cost.  The
+    attempt count is floored at 3 regardless of ``--quick`` because a
+    single noisy run must not gate.
+    """
+    attempts = max(repeats, 3)
+    disabled = 0.0
+    enabled = 0.0
+    for _ in range(attempts):
+        disabled = max(
+            disabled,
+            _warm_closed_loop_pps(
+                store, keys, trace, batch_size, connections, 1, enabled=False
+            ),
+        )
+        enabled = max(
+            enabled,
+            _warm_closed_loop_pps(
+                store, keys, trace, batch_size, connections, 1, enabled=True
+            ),
+        )
+    ratio = enabled / disabled if disabled > 0 else 0.0
+    return {
+        "disabled_pulses_per_s": disabled,
+        "enabled_pulses_per_s": enabled,
+        "overhead_ratio": ratio,
+        "gate": INSTRUMENTATION_OVERHEAD_GATE,
+        "gate_ok": ratio >= INSTRUMENTATION_OVERHEAD_GATE,
+    }
+
+
+def _trace_coverage(store, keys, workers: int = 1) -> Dict:
+    """One sampled cold fetch must trace the whole path, well-formed.
+
+    The client traces at rate 1.0 and propagates its ids over the wire;
+    the server (also at 1.0) buffers its half.  The two halves are
+    stitched and :func:`repro.obs.stage_breakdown` must find every
+    required stage with nested, non-overlapping spans whose self times
+    sum to at most the end-to-end duration.
+    """
+    client_tracer = Tracer(sample_rate=1.0)
+    with PulseServer(
+        store, cache_capacity=len(keys), workers=workers
+    ) as serving:
+        with serve_in_thread(serving, trace_sample_rate=1.0) as handle:
+            with PulseClient(handle.address, tracer=client_tracer) as client:
+                client.fetch(*keys[0])  # cold: the cache starts empty
+                server_traces = client.traces(limit=8)
+    client_trace = client_tracer.recent(limit=1)[0]
+    server_trace = next(
+        (
+            trace_dict
+            for trace_dict in server_traces
+            if trace_dict["trace_id"] == client_trace["trace_id"]
+        ),
+        None,
+    )
+    spans = merge_trace_spans(client_trace, server_trace)
+    breakdown = stage_breakdown(spans)
+    required = [
+        stage
+        for stage in TRACE_COVERAGE_STAGES
+        if workers > 0 or stage != "pool.decode"
+    ]
+    missing = [s for s in required if s not in breakdown["stages"]]
+    problems = list(breakdown["problems"])
+    if server_trace is None:
+        problems.append("server half of the trace never reached the ring")
+    if missing:
+        problems.append(f"stages missing from the trace: {missing}")
+    return {
+        "trace_id": client_trace["trace_id"],
+        "workers": workers,
+        "required_stages": required,
+        "stages": breakdown["stages"],
+        "self_s": breakdown["self_s"],
+        "end_to_end_s": breakdown["end_to_end_s"],
+        "total_self_s": breakdown["total_self_s"],
+        "problems": problems,
+        "ok": not problems,
+    }
+
+
 def run_network_bench(
     device_specs: Sequence[str] = NETWORK_QUICK_DEVICE_SPECS,
     n_requests: int = 4096,
@@ -165,6 +348,7 @@ def run_network_bench(
         )
 
     entries: List[Dict] = []
+    instrumentation: Optional[Dict] = None
     for spec in device_specs:
         device = resolve_device(spec)
         compiled = CompaqtCompiler(
@@ -220,6 +404,17 @@ def run_network_bench(
                         seed=seed,
                     )
                     net_stats = overdrive_handle.stats()
+
+            # The instrumentation section runs once, on the first
+            # device: the overhead gate and the trace-coverage check
+            # are properties of the telemetry layer, not per-device.
+            if instrumentation is None:
+                instrumentation = _instrumentation_overhead(
+                    store, keys, trace, batch_size, connections, repeats
+                )
+                instrumentation["trace_coverage"] = _trace_coverage(
+                    store, keys, workers=1
+                )
             store.close()
 
         warm_latency = warm.latency_ms
@@ -265,6 +460,16 @@ def run_network_bench(
             <= e["overdrive"]["max_outstanding"]
             for e in entries
         ),
+        "instrumentation_overhead_ratio": (
+            instrumentation["overhead_ratio"] if instrumentation else None
+        ),
+        "instrumentation_overhead_gate": INSTRUMENTATION_OVERHEAD_GATE,
+        "instrumentation_overhead_gate_ok": (
+            bool(instrumentation and instrumentation["gate_ok"])
+        ),
+        "trace_coverage_ok": bool(
+            instrumentation and instrumentation["trace_coverage"]["ok"]
+        ),
         "n_entries": len(entries),
     }
     return {
@@ -287,6 +492,7 @@ def run_network_bench(
             "overdrive_max_outstanding": overdrive_max_outstanding,
         },
         "entries": entries,
+        "instrumentation": instrumentation,
         "summary": summary,
     }
 
@@ -631,6 +837,15 @@ def render_network_table(payload: Dict) -> str:
         f"{'ok' if summary['warm_pulses_per_s_gate_ok'] else 'FAILED'})",
         f"overloads {'observed' if summary['overloads_observed'] else 'MISSING'}",
     ]
+    ratio = summary.get("instrumentation_overhead_ratio")
+    if ratio is not None:
+        notes.append(
+            f"telemetry overhead {ratio:.3f}x "
+            f"(gate {summary['instrumentation_overhead_gate']:.2f}x: "
+            f"{'ok' if summary['instrumentation_overhead_gate_ok'] else 'FAILED'}), "
+            f"trace coverage "
+            f"{'ok' if summary['trace_coverage_ok'] else 'FAILED'}"
+        )
     return render_table(
         "Network serving: CQN1 front end over loopback TCP "
         f"(batch={payload['config']['batch_size']}, "
@@ -694,6 +909,21 @@ def network_gates_ok(payload: Dict) -> Tuple[bool, List[str]]:
         failures.append(
             "load generator exceeded its outstanding-request bound -- "
             "queue growth is unbounded"
+        )
+    if not summary.get("instrumentation_overhead_gate_ok", True):
+        failures.append(
+            f"telemetry-enabled warm throughput is "
+            f"{summary['instrumentation_overhead_ratio']:.3f}x the disabled "
+            f"baseline, below the "
+            f"{summary['instrumentation_overhead_gate']:.2f}x gate"
+        )
+    if not summary.get("trace_coverage_ok", True):
+        problems = (payload.get("instrumentation") or {}).get(
+            "trace_coverage", {}
+        ).get("problems", [])
+        failures.append(
+            "a sampled cold fetch did not produce a well-formed "
+            f"end-to-end trace: {'; '.join(problems) or 'unknown'}"
         )
     scaling = payload.get("scaling")
     if scaling is not None:

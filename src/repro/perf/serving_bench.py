@@ -420,6 +420,7 @@ def run_serving_soak(
     n_shards: int = 4,
     fault_period: int = 7,
     decode_workers: int = 2,
+    trace_sample_rate: float = 0.0,
 ) -> Dict:
     """Run the fault-injection soak over each bench device.
 
@@ -444,6 +445,7 @@ def run_serving_soak(
             n_shards=n_shards,
             plan=FaultPlan(seed=seed, period=fault_period),
             decode_workers=decode_workers,
+            trace_sample_rate=trace_sample_rate,
         )
         for spec in device_specs
     ]
@@ -460,6 +462,7 @@ def run_serving_soak(
             "n_shards": n_shards,
             "fault_period": fault_period,
             "decode_workers": decode_workers,
+            "trace_sample_rate": trace_sample_rate,
         },
         "entries": [report.as_dict() for report in reports],
         "all_ok": all(report.ok for report in reports),

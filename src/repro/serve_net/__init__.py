@@ -41,6 +41,7 @@ Quickstart::
 from repro.serve_net.protocol import (
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
+    OBS_EXT_VERSION,
     MODE_RECORD,
     MODE_SAMPLES,
     STATUS_OK,
@@ -49,6 +50,7 @@ from repro.serve_net.protocol import (
     MAX_FRAME_BYTES,
     MAX_REQUEST_FRAME_BYTES,
     MAX_KEYS_PER_REQUEST,
+    MAX_TRACES_PER_REQUEST,
 )
 from repro.serve_net.server import (
     NetPulseServer,
@@ -76,6 +78,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MAX_REQUEST_FRAME_BYTES",
     "MAX_KEYS_PER_REQUEST",
+    "MAX_TRACES_PER_REQUEST",
+    "OBS_EXT_VERSION",
     "NetPulseServer",
     "NetServerHandle",
     "NetServerStats",

@@ -33,6 +33,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError, ServerOverloadedError, StoreError
+from repro.obs import Tracer
 from repro.pulses.waveform import Waveform
 from repro.serve_net import protocol
 
@@ -134,6 +135,12 @@ class PulseClient:
         backoff: Base delay in seconds for the exponential backoff
             schedule (doubles per attempt, jittered).
         seed: Seed for the jitter RNG (``None`` = nondeterministic).
+        tracer: Optional :class:`~repro.obs.Tracer`.  Sampled fetches
+            open a ``client.fetch`` root span and propagate its ids to
+            the server in a ``FETCH_TRACED`` frame, so the server-side
+            stage spans land in the same trace.  ``None`` disables
+            client-side tracing (and the frames stay byte-identical to
+            the pre-extension protocol).
     """
 
     def __init__(
@@ -144,6 +151,7 @@ class PulseClient:
         retries: int = 0,
         backoff: float = 0.05,
         seed: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         _validate_retry(retries, backoff)
         self.address = parse_address(address, port)
@@ -151,6 +159,7 @@ class PulseClient:
         self.retries = retries
         self.backoff = backoff
         self.retries_performed = 0
+        self.tracer = tracer
         self._rng = random.Random(seed)
         self._sock: Optional[socket.socket] = None
 
@@ -247,18 +256,31 @@ class PulseClient:
 
     def _fetch(self, requests: Sequence[_Request], mode: int) -> List:
         keys = _normalize(requests)
-        frame = protocol.encode_fetch(keys, mode)
+        sp = None
+        if self.tracer is not None:
+            sp = self.tracer.start_trace(
+                "client.fetch", keys=len(keys), mode=mode
+            )
+        trace = None if sp is None else (sp.trace_id, sp.span_id)
+        frame = protocol.encode_fetch(keys, mode, trace=trace)
         attempt = 0
-        while True:
-            try:
-                return _decode_fetch_reply(self._roundtrip(frame), keys, mode)
-            except ServerOverloadedError:
-                if attempt >= self.retries:
-                    raise
-                delay = _retry_delay(self._rng, self.backoff, attempt)
-                attempt += 1
-                self.retries_performed += 1
-                time.sleep(delay)
+        try:
+            while True:
+                try:
+                    return _decode_fetch_reply(
+                        self._roundtrip(frame), keys, mode
+                    )
+                except ServerOverloadedError:
+                    if attempt >= self.retries:
+                        raise
+                    delay = _retry_delay(self._rng, self.backoff, attempt)
+                    attempt += 1
+                    self.retries_performed += 1
+                    time.sleep(delay)
+        finally:
+            if sp is not None:
+                sp.tags["retries"] = attempt
+                sp.finish()
 
     def ping(self) -> float:
         """Round-trip a PING; returns the latency in seconds."""
@@ -283,6 +305,32 @@ class PulseClient:
         )
         return list(reply.keys)
 
+    def metrics(self) -> Dict:
+        """The server's merged metrics-registry snapshot.
+
+        Shape: ``{"counters": ..., "gauges": ..., "histograms": ...}``
+        (see :meth:`repro.obs.MetricsRegistry.snapshot`), aggregated
+        across the network tier, serving layer, cache, decode-worker
+        lanes, and the process-wide default registry.
+        """
+        reply = _check_reply(
+            self._roundtrip(protocol.encode_metrics()), protocol.MSG_METRICS
+        )
+        try:
+            return json.loads(reply.items[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"metrics reply is not JSON: {exc}") from None
+
+    def traces(self, limit: int = 16) -> List[Dict]:
+        """Up to ``limit`` recent completed traces, newest last."""
+        reply = _check_reply(
+            self._roundtrip(protocol.encode_traces(limit)), protocol.MSG_TRACES
+        )
+        try:
+            return json.loads(reply.items[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"traces reply is not JSON: {exc}") from None
+
 
 class AsyncPulseClient:
     """Asyncio ``CQN1`` client; the coroutine twin of :class:`PulseClient`.
@@ -302,6 +350,7 @@ class AsyncPulseClient:
         retries: int = 0,
         backoff: float = 0.05,
         seed: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         _validate_retry(retries, backoff)
         self.address = parse_address(address, port)
@@ -309,6 +358,7 @@ class AsyncPulseClient:
         self.retries = retries
         self.backoff = backoff
         self.retries_performed = 0
+        self.tracer = tracer
         self._rng = random.Random(seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -390,20 +440,31 @@ class AsyncPulseClient:
 
     async def _fetch(self, requests: Sequence[_Request], mode: int) -> List:
         keys = _normalize(requests)
-        frame = protocol.encode_fetch(keys, mode)
+        sp = None
+        if self.tracer is not None:
+            sp = self.tracer.start_trace(
+                "client.fetch", keys=len(keys), mode=mode
+            )
+        trace = None if sp is None else (sp.trace_id, sp.span_id)
+        frame = protocol.encode_fetch(keys, mode, trace=trace)
         attempt = 0
-        while True:
-            try:
-                return _decode_fetch_reply(
-                    await self._roundtrip(frame), keys, mode
-                )
-            except ServerOverloadedError:
-                if attempt >= self.retries:
-                    raise
-                delay = _retry_delay(self._rng, self.backoff, attempt)
-                attempt += 1
-                self.retries_performed += 1
-                await asyncio.sleep(delay)
+        try:
+            while True:
+                try:
+                    return _decode_fetch_reply(
+                        await self._roundtrip(frame), keys, mode
+                    )
+                except ServerOverloadedError:
+                    if attempt >= self.retries:
+                        raise
+                    delay = _retry_delay(self._rng, self.backoff, attempt)
+                    attempt += 1
+                    self.retries_performed += 1
+                    await asyncio.sleep(delay)
+        finally:
+            if sp is not None:
+                sp.tags["retries"] = attempt
+                sp.finish()
 
     async def ping(self) -> float:
         start = time.perf_counter()
@@ -424,3 +485,23 @@ class AsyncPulseClient:
             await self._roundtrip(protocol.encode_keys()), protocol.MSG_KEYS
         )
         return list(reply.keys)
+
+    async def metrics(self) -> Dict:
+        reply = _check_reply(
+            await self._roundtrip(protocol.encode_metrics()),
+            protocol.MSG_METRICS,
+        )
+        try:
+            return json.loads(reply.items[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"metrics reply is not JSON: {exc}") from None
+
+    async def traces(self, limit: int = 16) -> List[Dict]:
+        reply = _check_reply(
+            await self._roundtrip(protocol.encode_traces(limit)),
+            protocol.MSG_TRACES,
+        )
+        try:
+            return json.loads(reply.items[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"traces reply is not JSON: {exc}") from None

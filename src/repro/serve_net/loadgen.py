@@ -34,9 +34,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.errors import ReproError, ServerOverloadedError, StoreError
+from repro.obs import Histogram, Tracer, exact_quantile
 from repro.serve_net.client import AsyncPulseClient, PulseClient, parse_address
 from repro.serve_net.protocol import MODE_RECORD, MODE_SAMPLES
 from repro.store.trace import arrival_times
@@ -47,16 +46,21 @@ _Key = Tuple[str, Tuple[int, ...]]
 
 
 def latency_summary(samples_s: Sequence[float]) -> Dict[str, Optional[float]]:
-    """p50/p95/p99/mean/max of a latency sample set, in milliseconds."""
+    """p50/p95/p99/mean/max of a latency sample set, in milliseconds.
+
+    Quantiles go through :func:`repro.obs.exact_quantile` -- the same
+    closest-ranks interpolation the metrics histograms use -- so a
+    load report and a registry histogram over the same samples agree.
+    """
     if not len(samples_s):
         return {"p50": None, "p95": None, "p99": None, "mean": None, "max": None}
-    ms = np.asarray(samples_s, dtype=float) * 1e3
+    ms = sorted(float(sample) * 1e3 for sample in samples_s)
     return {
-        "p50": float(np.percentile(ms, 50)),
-        "p95": float(np.percentile(ms, 95)),
-        "p99": float(np.percentile(ms, 99)),
-        "mean": float(np.mean(ms)),
-        "max": float(np.max(ms)),
+        "p50": exact_quantile(ms, 0.50, presorted=True),
+        "p95": exact_quantile(ms, 0.95, presorted=True),
+        "p99": exact_quantile(ms, 0.99, presorted=True),
+        "mean": sum(ms) / len(ms),
+        "max": ms[-1],
     }
 
 
@@ -79,6 +83,10 @@ class LoadReport:
     max_outstanding: int = 0
     peak_outstanding: int = 0
     retries: int = 0
+    #: Optional full latency histogram (``Histogram.snapshot()`` shape,
+    #: seconds) -- present when the generator ran with
+    #: ``collect_histogram=True``, absent from ``as_dict`` otherwise.
+    histogram: Optional[Dict] = None
 
     @property
     def requests_per_s(self) -> float:
@@ -93,7 +101,7 @@ class LoadReport:
         return latency_summary(self.latencies_s)
 
     def as_dict(self) -> Dict:
-        return {
+        out = {
             "mode": self.mode,
             "connections": self.connections,
             "batch_size": self.batch_size,
@@ -112,6 +120,9 @@ class LoadReport:
             "peak_outstanding": self.peak_outstanding,
             "retries": self.retries,
         }
+        if self.histogram is not None:
+            out["histogram"] = dict(self.histogram)
+        return out
 
 
 def _batches(
@@ -152,6 +163,8 @@ def run_closed_loop(
     retries: int = 0,
     backoff: float = 0.05,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    collect_histogram: bool = False,
 ) -> LoadReport:
     """Drive the server as hard as N serial connections can.
 
@@ -160,7 +173,11 @@ def run_closed_loop(
     blocking :class:`~repro.serve_net.client.PulseClient` in a strict
     request/response loop.  ``retries``/``backoff`` are handed to each
     client (seeded per connection, so runs reproduce); the report's
-    ``retries`` totals what the clients spent.
+    ``retries`` totals what the clients spent.  A ``tracer`` is shared
+    by every client (sampled fetches propagate trace context to the
+    server); ``collect_histogram=True`` additionally folds each latency
+    into a log-bucketed :class:`~repro.obs.Histogram` carried on the
+    report.
     """
     if connections < 1:
         raise StoreError(f"connections must be >= 1, got {connections}")
@@ -170,6 +187,7 @@ def run_closed_loop(
     lanes: List[List[List]] = [batches[i::connections] for i in range(connections)]
     lock = threading.Lock()
     latencies: List[float] = []
+    histogram = Histogram("loadgen.latency_seconds") if collect_histogram else None
     counters = {"ok": 0, "overload": 0, "error": 0, "pulses": 0, "retries": 0}
 
     def _worker(index: int, lane: List[List]) -> None:
@@ -179,6 +197,7 @@ def run_closed_loop(
             retries=retries,
             backoff=backoff,
             seed=seed + index,
+            tracer=tracer,
         ) as client:
             for batch in lane:
                 start = time.perf_counter()
@@ -196,6 +215,8 @@ def run_closed_loop(
                         counters["error"] += 1
                     continue
                 elapsed = time.perf_counter() - start
+                if histogram is not None:
+                    histogram.observe(elapsed)
                 with lock:
                     counters["ok"] += 1
                     counters["pulses"] += len(batch)
@@ -228,6 +249,7 @@ def run_closed_loop(
         elapsed_s=wall_elapsed,
         latencies_s=tuple(latencies),
         retries=counters["retries"],
+        histogram=histogram.snapshot() if histogram is not None else None,
     )
 
 
@@ -249,6 +271,8 @@ def run_open_loop(
     timeout: float = 30.0,
     retries: int = 0,
     backoff: float = 0.05,
+    tracer: Optional[Tracer] = None,
+    collect_histogram: bool = False,
 ) -> LoadReport:
     """Fire batches on an arrival schedule, regardless of completions.
 
@@ -281,6 +305,7 @@ def run_open_loop(
         "retries": 0,
     }
     latencies: List[float] = []
+    histogram = Histogram("loadgen.latency_seconds") if collect_histogram else None
 
     async def _fire(
         client: AsyncPulseClient, batch: List, scheduled_at: float, start: float
@@ -299,7 +324,10 @@ def run_open_loop(
             counters["pulses"] += len(batch)
             # Open-loop latency runs from the scheduled arrival, so
             # queueing delay under overdrive is part of the number.
-            latencies.append(time.perf_counter() - (start + scheduled_at))
+            elapsed = time.perf_counter() - (start + scheduled_at)
+            latencies.append(elapsed)
+            if histogram is not None:
+                histogram.observe(elapsed)
         finally:
             counters["outstanding"] -= 1
 
@@ -311,6 +339,7 @@ def run_open_loop(
                 retries=retries,
                 backoff=backoff,
                 seed=seed + index,
+                tracer=tracer,
             )
             for index in range(connections)
         ]
@@ -363,4 +392,5 @@ def run_open_loop(
         max_outstanding=max_outstanding,
         peak_outstanding=counters["peak"],
         retries=counters["retries"],
+        histogram=histogram.snapshot() if histogram is not None else None,
     )

@@ -8,11 +8,24 @@ Every message travels as one frame::
 
 and every payload starts with a one-byte message type::
 
-    requests                         responses
-    0x01 FETCH   mode + key batch    0x81 REPLY  status + body
-    0x02 PING    (empty)
-    0x03 STATS   (empty)
-    0x04 KEYS    (empty)
+    requests                                   responses
+    0x01 FETCH         mode + key batch        0x81 REPLY  status + body
+    0x02 PING          (empty)
+    0x03 STATS         (empty)
+    0x04 KEYS          (empty)
+    0x05 METRICS       u8 ext-version
+    0x06 TRACES        u8 ext-version + u16 limit
+    0x07 FETCH_TRACED  u8 ext-version + mode + u64 trace id
+                       + u64 parent span id + key batch
+
+Types ``0x05``-``0x07`` are the versioned telemetry extension
+(:data:`OBS_EXT_VERSION`): ``METRICS`` returns the server's merged
+registry snapshot and ``TRACES`` its most recent completed traces
+(both as one JSON blob, exactly the ``STATS`` reply shape);
+``FETCH_TRACED`` is a ``FETCH`` carrying the client's trace context so
+the server's spans join the client's trace.  An untraced
+:func:`encode_fetch` still emits a byte-identical ``0x01`` frame, so
+old servers and clients interoperate whenever tracing is off.
 
 A ``FETCH`` body is ``u8 mode`` (:data:`MODE_RECORD` for raw ``CQW1``
 record bytes, :data:`MODE_SAMPLES` for decoded sample payloads) and a
@@ -54,7 +67,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,7 +81,12 @@ __all__ = [
     "MSG_PING",
     "MSG_STATS",
     "MSG_KEYS",
+    "MSG_METRICS",
+    "MSG_TRACES",
+    "MSG_FETCH_TRACED",
     "MSG_REPLY",
+    "OBS_EXT_VERSION",
+    "MAX_TRACES_PER_REQUEST",
     "MODE_RECORD",
     "MODE_SAMPLES",
     "STATUS_OK",
@@ -81,6 +99,8 @@ __all__ = [
     "PingRequest",
     "StatsRequest",
     "KeysRequest",
+    "MetricsRequest",
+    "TracesRequest",
     "Reply",
     "frame",
     "parse_frame_length",
@@ -88,11 +108,15 @@ __all__ = [
     "encode_ping",
     "encode_stats",
     "encode_keys",
+    "encode_metrics",
+    "encode_traces",
     "decode_request",
     "encode_reply_fetch",
     "encode_reply_ping",
     "encode_reply_stats",
     "encode_reply_keys",
+    "encode_reply_metrics",
+    "encode_reply_traces",
     "encode_reply_overload",
     "encode_reply_error",
     "decode_reply",
@@ -107,9 +131,28 @@ MSG_FETCH = 0x01
 MSG_PING = 0x02
 MSG_STATS = 0x03
 MSG_KEYS = 0x04
+MSG_METRICS = 0x05
+MSG_TRACES = 0x06
+MSG_FETCH_TRACED = 0x07
 MSG_REPLY = 0x81
 
-_REQUEST_TYPES = (MSG_FETCH, MSG_PING, MSG_STATS, MSG_KEYS)
+#: Version byte leading every telemetry-extension request body; a
+#: server that does not speak the version rejects the frame instead of
+#: guessing at its layout.
+OBS_EXT_VERSION = 1
+
+#: Largest number of recent traces one TRACES request may ask for.
+MAX_TRACES_PER_REQUEST = 1024
+
+_REQUEST_TYPES = (
+    MSG_FETCH,
+    MSG_PING,
+    MSG_STATS,
+    MSG_KEYS,
+    MSG_METRICS,
+    MSG_TRACES,
+    MSG_FETCH_TRACED,
+)
 
 MODE_RECORD = 0
 MODE_SAMPLES = 1
@@ -133,15 +176,23 @@ _Key = Tuple[str, Tuple[int, ...]]
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 _F64 = struct.Struct("<d")
 
 
 @dataclass(frozen=True, slots=True)
 class FetchRequest:
-    """A decoded FETCH: serve these pulse keys in this mode."""
+    """A decoded FETCH: serve these pulse keys in this mode.
+
+    ``trace_id``/``parent_span_id`` are set when the frame was a
+    ``FETCH_TRACED``: the client sampled this request, and the
+    server's spans should attach under the client's fetch span.
+    """
 
     mode: int
     keys: Tuple[_Key, ...]
+    trace_id: Optional[int] = None
+    parent_span_id: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,6 +208,18 @@ class StatsRequest:
 @dataclass(frozen=True, slots=True)
 class KeysRequest:
     """Ask the server for the store's full key inventory."""
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsRequest:
+    """Ask the server for its merged registry snapshot (JSON reply)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TracesRequest:
+    """Ask the server for its most recent completed traces (JSON reply)."""
+
+    limit: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -202,6 +265,9 @@ class _Cursor:
 
     def u32(self) -> int:
         return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
 
     def f64(self) -> float:
         return _F64.unpack(self.take(8))[0]
@@ -305,12 +371,31 @@ def _decode_key_batch(cursor: _Cursor) -> Tuple[_Key, ...]:
 
 
 def encode_fetch(
-    keys: Sequence[Tuple[str, Sequence[int]]], mode: int = MODE_SAMPLES
+    keys: Sequence[Tuple[str, Sequence[int]]],
+    mode: int = MODE_SAMPLES,
+    trace: Optional[Tuple[int, int]] = None,
 ) -> bytes:
-    """Encode a FETCH request frame for a batch of pulse keys."""
+    """Encode a FETCH request frame for a batch of pulse keys.
+
+    With ``trace=(trace_id, parent_span_id)`` the frame is a
+    ``FETCH_TRACED`` carrying that context; without it the bytes are
+    identical to the pre-extension ``FETCH`` frame.
+    """
     if mode not in (MODE_RECORD, MODE_SAMPLES):
         raise ProtocolError(f"unknown fetch mode {mode}")
-    return frame(bytes([MSG_FETCH, mode]) + _encode_key_batch(keys))
+    if trace is None:
+        return frame(bytes([MSG_FETCH, mode]) + _encode_key_batch(keys))
+    trace_id, parent_span_id = trace
+    if not 0 < trace_id <= 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"trace id {trace_id} does not fit a non-zero u64")
+    if not 0 <= parent_span_id <= 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"parent span id {parent_span_id} does not fit u64")
+    return frame(
+        bytes([MSG_FETCH_TRACED, OBS_EXT_VERSION, mode])
+        + _U64.pack(trace_id)
+        + _U64.pack(parent_span_id)
+        + _encode_key_batch(keys)
+    )
 
 
 def encode_ping() -> bytes:
@@ -325,7 +410,32 @@ def encode_keys() -> bytes:
     return frame(bytes([MSG_KEYS]))
 
 
-Request = Union[FetchRequest, PingRequest, StatsRequest, KeysRequest]
+def encode_metrics() -> bytes:
+    """Encode a METRICS request (versioned telemetry extension)."""
+    return frame(bytes([MSG_METRICS, OBS_EXT_VERSION]))
+
+
+def encode_traces(limit: int = 16) -> bytes:
+    """Encode a TRACES request for up to ``limit`` recent traces."""
+    if not 1 <= limit <= MAX_TRACES_PER_REQUEST:
+        raise ProtocolError(
+            f"traces limit must be in [1, {MAX_TRACES_PER_REQUEST}], got {limit}"
+        )
+    return frame(bytes([MSG_TRACES, OBS_EXT_VERSION]) + _U16.pack(limit))
+
+
+Request = Union[
+    FetchRequest, PingRequest, StatsRequest, KeysRequest, MetricsRequest, TracesRequest
+]
+
+
+def _check_ext_version(cursor: _Cursor, msg_type: int) -> None:
+    version = cursor.u8()
+    if version != OBS_EXT_VERSION:
+        raise ProtocolError(
+            f"request 0x{msg_type:02x} speaks telemetry extension version "
+            f"{version}; this server speaks {OBS_EXT_VERSION}"
+        )
 
 
 def decode_request(payload: bytes) -> Request:
@@ -334,13 +444,38 @@ def decode_request(payload: bytes) -> Request:
     msg_type = cursor.u8()
     if msg_type not in _REQUEST_TYPES:
         raise ProtocolError(f"unknown request type 0x{msg_type:02x}")
-    if msg_type == MSG_FETCH:
-        mode = cursor.u8()
+    if msg_type in (MSG_FETCH, MSG_FETCH_TRACED):
+        trace_id = None
+        parent_span_id = 0
+        if msg_type == MSG_FETCH_TRACED:
+            _check_ext_version(cursor, msg_type)
+            mode = cursor.u8()
+            trace_id = cursor.u64()
+            if trace_id == 0:
+                raise ProtocolError("traced fetch carries a zero trace id")
+            parent_span_id = cursor.u64()
+        else:
+            mode = cursor.u8()
         if mode not in (MODE_RECORD, MODE_SAMPLES):
             raise ProtocolError(f"unknown fetch mode {mode}")
         keys = _decode_key_batch(cursor)
         cursor.finish()
-        return FetchRequest(mode=mode, keys=keys)
+        return FetchRequest(
+            mode=mode, keys=keys, trace_id=trace_id, parent_span_id=parent_span_id
+        )
+    if msg_type == MSG_METRICS:
+        _check_ext_version(cursor, msg_type)
+        cursor.finish()
+        return MetricsRequest()
+    if msg_type == MSG_TRACES:
+        _check_ext_version(cursor, msg_type)
+        limit = cursor.u16()
+        if not 1 <= limit <= MAX_TRACES_PER_REQUEST:
+            raise ProtocolError(
+                f"traces limit must be in [1, {MAX_TRACES_PER_REQUEST}], got {limit}"
+            )
+        cursor.finish()
+        return TracesRequest(limit=limit)
     cursor.finish()
     if msg_type == MSG_PING:
         return PingRequest()
@@ -379,6 +514,24 @@ def encode_reply_stats(stats_json: bytes) -> bytes:
 
 def encode_reply_keys(keys: Sequence[Tuple[str, Sequence[int]]]) -> bytes:
     return frame(bytes([MSG_REPLY, STATUS_OK, MSG_KEYS]) + _encode_key_batch(keys))
+
+
+def encode_reply_metrics(metrics_json: bytes) -> bytes:
+    """OK reply to METRICS: one length-prefixed JSON blob (STATS shape)."""
+    return frame(
+        bytes([MSG_REPLY, STATUS_OK, MSG_METRICS])
+        + _U32.pack(len(metrics_json))
+        + metrics_json
+    )
+
+
+def encode_reply_traces(traces_json: bytes) -> bytes:
+    """OK reply to TRACES: one length-prefixed JSON blob (STATS shape)."""
+    return frame(
+        bytes([MSG_REPLY, STATUS_OK, MSG_TRACES])
+        + _U32.pack(len(traces_json))
+        + traces_json
+    )
 
 
 def encode_reply_overload() -> bytes:
@@ -425,10 +578,10 @@ def decode_reply(payload: bytes) -> Reply:
         items = tuple(cursor.take(cursor.u32()) for _ in range(n_items))
         cursor.finish()
         return Reply(status=STATUS_OK, echo_type=MSG_FETCH, mode=mode, items=items)
-    if echo_type == MSG_STATS:
+    if echo_type in (MSG_STATS, MSG_METRICS, MSG_TRACES):
         blob = cursor.take(cursor.u32())
         cursor.finish()
-        return Reply(status=STATUS_OK, echo_type=MSG_STATS, items=(blob,))
+        return Reply(status=STATUS_OK, echo_type=echo_type, items=(blob,))
     if echo_type == MSG_KEYS:
         keys = _decode_key_batch(cursor)
         cursor.finish()

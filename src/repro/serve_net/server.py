@@ -36,13 +36,17 @@ truncated frame) closes the connection after a best-effort error reply
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolError, ReproError, StoreError
+from repro.obs import MetricsRegistry, Tracer, default_registry, merge_snapshots
+from repro.obs import trace as obs_trace
 from repro.serve_net import protocol
 from repro.store.server import PulseServer, ServerStats
 
@@ -110,6 +114,13 @@ class NetPulseServer:
             :data:`FRAME_COMPLETION_TIMEOUT`).  Tests and the chaos
             harness shrink this to drive the expiry path without
             wall-clock waits.
+        metrics: Registry for the ``net.*`` counters and latency
+            histogram (private by default).
+        tracer: Trace collector for sampled requests; built from
+            ``trace_sample_rate`` when not given.
+        trace_sample_rate: Fraction of untraced fetches that start a
+            server-side trace (client-traced fetches always do).
+            Ignored when ``tracer`` is passed.
 
     Lifecycle: ``await start()`` binds the socket, ``await aclose()``
     drains and shuts down.  Use :func:`serve_in_thread` to host one in
@@ -124,6 +135,9 @@ class NetPulseServer:
         max_inflight: int = 32,
         max_request_bytes: int = protocol.MAX_REQUEST_FRAME_BYTES,
         frame_timeout: float = FRAME_COMPLETION_TIMEOUT,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        trace_sample_rate: Optional[float] = None,
     ) -> None:
         if max_inflight < 1:
             raise StoreError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -147,15 +161,27 @@ class NetPulseServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._draining = False
-        self._connections_accepted = 0
-        self._requests = 0
-        self._fetches = 0
-        self._fetches_ok = 0
-        self._pulses_served = 0
-        self._overloads = 0
-        self._coalesced_keys = 0
-        self._request_errors = 0
-        self._protocol_errors = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None:
+            tracer = Tracer(
+                sample_rate=(
+                    obs_trace.DEFAULT_TRACE_SAMPLE_RATE
+                    if trace_sample_rate is None
+                    else trace_sample_rate
+                )
+            )
+        self.tracer = tracer
+        self._connections_accepted = self.metrics.counter("net.connections_accepted")
+        self._requests = self.metrics.counter("net.requests")
+        self._fetches = self.metrics.counter("net.fetches")
+        self._fetches_ok = self.metrics.counter("net.fetches_ok")
+        self._pulses_served = self.metrics.counter("net.pulses_served")
+        self._overloads = self.metrics.counter("net.overloads")
+        self._coalesced_keys = self.metrics.counter("net.coalesced_keys")
+        self._request_errors = self.metrics.counter("net.request_errors")
+        self._protocol_errors = self.metrics.counter("net.protocol_errors")
+        self._inflight_gauge = self.metrics.gauge("net.inflight")
+        self._request_seconds = self.metrics.histogram("net.request_seconds")
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -224,19 +250,34 @@ class NetPulseServer:
     # -- bookkeeping -------------------------------------------------------------
 
     def stats(self) -> NetServerStats:
+        """Frozen :class:`NetServerStats` view over the registry counters."""
         return NetServerStats(
-            connections_accepted=self._connections_accepted,
+            connections_accepted=self._connections_accepted.value,
             connections_open=len(self._connections),
-            requests=self._requests,
-            fetches=self._fetches,
-            fetches_ok=self._fetches_ok,
-            pulses_served=self._pulses_served,
-            overloads=self._overloads,
-            coalesced_keys=self._coalesced_keys,
-            request_errors=self._request_errors,
-            protocol_errors=self._protocol_errors,
+            requests=self._requests.value,
+            fetches=self._fetches.value,
+            fetches_ok=self._fetches_ok.value,
+            pulses_served=self._pulses_served.value,
+            overloads=self._overloads.value,
+            coalesced_keys=self._coalesced_keys.value,
+            request_errors=self._request_errors.value,
+            protocol_errors=self._protocol_errors.value,
             draining=self._draining,
             serving=self.serving.stats(),
+        )
+
+    def metrics_snapshot(self) -> Dict:
+        """Full merged snapshot: net tier + serving stack + module metrics.
+
+        This is what the ``METRICS`` wire message and the
+        ``--metrics-port`` HTTP exposition serve.  The process-wide
+        default registry contributes the module-level store series
+        (mmap opens, fused-decode batches).
+        """
+        return merge_snapshots(
+            self.metrics.snapshot(),
+            self.serving.metrics_snapshot(),
+            default_registry().snapshot(),
         )
 
     # -- connection handling -----------------------------------------------------
@@ -244,7 +285,7 @@ class NetPulseServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self._connections_accepted += 1
+        self._connections_accepted.inc()
         self._connections.add(writer)
         try:
             await self._connection_loop(reader, writer)
@@ -266,7 +307,7 @@ class NetPulseServer:
                 if exc.partial:
                     # A torn length prefix is a framing error; bare EOF
                     # between frames is a clean close.
-                    self._protocol_errors += 1
+                    self._protocol_errors.inc()
                 return
             except (ConnectionError, OSError):
                 return
@@ -276,7 +317,7 @@ class NetPulseServer:
                     reader.readexactly(length), timeout=self.frame_timeout
                 )
             except (ProtocolError, asyncio.TimeoutError) as exc:
-                self._protocol_errors += 1
+                self._protocol_errors.inc()
                 reason = (
                     "frame did not complete in time"
                     if isinstance(exc, asyncio.TimeoutError)
@@ -287,7 +328,7 @@ class NetPulseServer:
                 )
                 return
             except asyncio.IncompleteReadError:
-                self._protocol_errors += 1
+                self._protocol_errors.inc()
                 return
             except (ConnectionError, OSError):
                 return
@@ -297,12 +338,12 @@ class NetPulseServer:
                 # The stream itself is still framed correctly, but a
                 # peer sending unparseable requests is not worth
                 # trusting further: answer once, then close.
-                self._protocol_errors += 1
+                self._protocol_errors.inc()
                 await self._best_effort_send(
                     writer, protocol.encode_reply_error(str(exc))
                 )
                 return
-            self._requests += 1
+            self._requests.inc()
             if not await self._dispatch(request, writer):
                 return
 
@@ -321,24 +362,57 @@ class NetPulseServer:
             return await self._best_effort_send(
                 writer, protocol.encode_reply_keys(self.serving.store.keys())
             )
+        if isinstance(request, protocol.MetricsRequest):
+            blob = json.dumps(self.metrics_snapshot()).encode("utf-8")
+            return await self._best_effort_send(
+                writer, protocol.encode_reply_metrics(blob)
+            )
+        if isinstance(request, protocol.TracesRequest):
+            blob = json.dumps(self.tracer.recent(request.limit)).encode("utf-8")
+            return await self._best_effort_send(
+                writer, protocol.encode_reply_traces(blob)
+            )
         assert isinstance(request, protocol.FetchRequest)
+        # A client-supplied trace id always gets a server-side span (the
+        # client already paid the sampling coin toss); untraced fetches
+        # go through this server's own sampler.
+        sp = self.tracer.start_trace(
+            "server.admission",
+            trace_id=request.trace_id,
+            parent_id=request.parent_span_id or None,
+            force=request.trace_id is not None,
+            keys=len(request.keys),
+            mode=request.mode,
+        )
         if self._draining or self._active >= self.max_inflight:
-            self._overloads += 1
+            self._overloads.inc()
+            if sp is not None:
+                sp.tags["outcome"] = "overload"
+                sp.finish()
             return await self._best_effort_send(
                 writer, protocol.encode_reply_overload()
             )
-        self._fetches += 1
+        self._fetches.inc()
         self._active += 1
         self._idle.clear()
+        self._inflight_gauge.add(1)
+        started = time.perf_counter()
         try:
-            reply = await self._serve_fetch(request)
+            with obs_trace.activate(sp):
+                reply = await self._serve_fetch(request)
         except ReproError as exc:
-            self._request_errors += 1
+            self._request_errors.inc()
+            if sp is not None:
+                sp.tags["outcome"] = "error"
             reply = protocol.encode_reply_error(str(exc))
         else:
-            self._fetches_ok += 1
+            self._fetches_ok.inc()
         finally:
             self._active -= 1
+            self._inflight_gauge.add(-1)
+            self._request_seconds.observe(time.perf_counter() - started)
+            if sp is not None:
+                sp.finish()
             if self._active == 0:
                 self._idle.set()
         return await self._best_effort_send(writer, reply)
@@ -354,9 +428,10 @@ class NetPulseServer:
             store = self.serving.store
             blobs = await loop.run_in_executor(
                 executor,
+                contextvars.copy_context().run,
                 lambda: [store.read_record_bytes(*key) for key in request.keys],
             )
-            self._pulses_served += len(blobs)
+            self._pulses_served.inc(len(blobs))
             return protocol.encode_reply_fetch(protocol.MODE_RECORD, blobs)
 
         # Decoded-sample mode: coalesce concurrent fills per key on the
@@ -371,12 +446,17 @@ class NetPulseServer:
                 self._inflight_keys[key] = future
                 owned.append(key)
             else:
-                self._coalesced_keys += 1
+                self._coalesced_keys.inc()
             futures[key] = future
         if owned:
             try:
+                # copy_context(): executor threads do not inherit
+                # contextvars, and the admission span rides on one.
                 waveforms = await loop.run_in_executor(
-                    executor, self.serving.fetch_batch, owned
+                    executor,
+                    contextvars.copy_context().run,
+                    self.serving.fetch_batch,
+                    owned,
                 )
             except ReproError:
                 # One bad key must not poison coalesced waiters on the
@@ -390,7 +470,11 @@ class NetPulseServer:
                     future = self._inflight_keys.pop(key)
                     try:
                         waveform = await loop.run_in_executor(
-                            executor, self.serving.fetch, key[0], key[1]
+                            executor,
+                            contextvars.copy_context().run,
+                            self.serving.fetch,
+                            key[0],
+                            key[1],
                         )
                     except ReproError as per_key_exc:
                         future.set_exception(per_key_exc)
@@ -426,7 +510,7 @@ class NetPulseServer:
         items = [
             protocol.encode_samples_item(resolved[key]) for key in request.keys
         ]
-        self._pulses_served += len(items)
+        self._pulses_served.inc(len(items))
         return protocol.encode_reply_fetch(protocol.MODE_SAMPLES, items)
 
     @staticmethod

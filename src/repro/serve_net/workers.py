@@ -58,6 +58,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
 from multiprocessing import connection, shared_memory
@@ -67,6 +68,8 @@ import numpy as np
 
 import repro.errors as _errors
 from repro.errors import DecodeWorkerError, StoreError
+from repro.obs import DEFAULT_SIZE_BOUNDS, MetricsRegistry, merge_snapshots
+from repro.obs import trace as obs_trace
 from repro.pulses.waveform import Waveform
 from repro.store.sharded import StoreHandle
 
@@ -95,7 +98,7 @@ def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
 
 
-def _fail(future: Future, exc: BaseException) -> None:
+def _fail(future: Future, exc: BaseException) -> bool:
     """Fail ``future`` unless a resolution already won the race.
 
     A worker can die immediately *after* shipping its result: the
@@ -104,11 +107,15 @@ def _fail(future: Future, exc: BaseException) -> None:
     path must not re-resolve the finished future -- the
     ``InvalidStateError`` would kill the dispatcher thread, and a
     dead dispatcher strands every later job forever.
+
+    Returns whether this call resolved the future: the caller that
+    wins the race owns the job's ok/failed accounting.
     """
     try:
         future.set_exception(exc)
+        return True
     except InvalidStateError:
-        pass
+        return False
 
 
 def _pack_results(waveforms, buf, limit: int):
@@ -223,6 +230,15 @@ def _worker_main(
     finally:
         resource_tracker.register = register
     store = handle.open()
+    # Per-lane telemetry: a private registry whose *cumulative*
+    # snapshot rides back on every result message.  The dispatcher
+    # keeps the latest snapshot per lane and folds a dead lane's last
+    # snapshot into a retired total, so pool-wide aggregation survives
+    # worker death.
+    lane_metrics = MetricsRegistry()
+    lane_jobs = lane_metrics.counter("pool.worker.jobs")
+    lane_pulses = lane_metrics.counter("pool.worker.pulses")
+    lane_decode_s = lane_metrics.histogram("pool.worker.decode_seconds")
     try:
         while True:
             try:
@@ -231,21 +247,50 @@ def _worker_main(
                 break  # parent went away: exit quietly.
             if message[0] == "stop":
                 break
-            _, job_id, keys, crash = message
+            _, job_id, keys, crash, traced = message
             if crash:
                 # Deterministic crash seam for lifecycle tests and the
                 # chaos harness: die exactly as an OOM-killed or
                 # segfaulted worker would -- no cleanup, no reply.
                 os._exit(1)
             try:
+                started = time.perf_counter()
                 waveforms = store.decode_many(keys)
                 metas, used_shm, payload = _pack_results(
                     waveforms, shm.buf, shm_limit
                 )
-                result_conn.send(("ok", job_id, metas, used_shm, payload))
+                duration = time.perf_counter() - started
+                lane_jobs.inc()
+                lane_pulses.inc(len(keys))
+                lane_decode_s.observe(duration)
+                # perf_counter is CLOCK_MONOTONIC on Linux -- system-
+                # wide, so this start/duration pair is directly
+                # comparable to spans measured in the parent.
+                span = (
+                    ("pool.worker", started, duration, {"pid": os.getpid()})
+                    if traced
+                    else None
+                )
+                result_conn.send(
+                    (
+                        "ok",
+                        job_id,
+                        metas,
+                        used_shm,
+                        payload,
+                        span,
+                        lane_metrics.snapshot(),
+                    )
+                )
             except BaseException as exc:  # ship *everything* back typed
                 result_conn.send(
-                    ("err", job_id, type(exc).__name__, str(exc))
+                    (
+                        "err",
+                        job_id,
+                        type(exc).__name__,
+                        str(exc),
+                        lane_metrics.snapshot(),
+                    )
                 )
     finally:
         store.close()
@@ -299,6 +344,7 @@ class _Slot:
         "result_conn",
         "job_id",
         "future",
+        "metrics",
     )
 
     def __init__(self, index: int, shm) -> None:
@@ -309,6 +355,7 @@ class _Slot:
         self.result_conn = None  # parent-side read end
         self.job_id: Optional[int] = None  # current in-flight job
         self.future: Optional[Future] = None
+        self.metrics: Optional[Dict] = None  # latest lane registry snapshot
 
 
 class DecodePool:
@@ -325,6 +372,11 @@ class DecodePool:
             throughput, never correctness.
         start_method: ``"fork"``, ``"spawn"``, ``"forkserver"``, or
             ``None`` for the platform default.
+        metrics: Registry for the parent-side ``pool.*`` counters
+            (private by default; the serving layer passes its own so
+            one registry covers the whole server).  Worker-side
+            ``pool.worker.*`` metrics live in per-lane registries and
+            are merged via :meth:`lane_metrics_snapshot`.
     """
 
     def __init__(
@@ -333,6 +385,7 @@ class DecodePool:
         workers: int,
         shm_limit: int = DEFAULT_SHM_LIMIT,
         start_method: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise StoreError(f"DecodePool needs workers >= 1, got {workers}")
@@ -350,12 +403,19 @@ class DecodePool:
         self._slots: List[_Slot] = []
         self._closed = False
         self._next_job_id = 0
-        self._jobs_ok = 0
-        self._jobs_failed = 0
-        self._shm_jobs = 0
-        self._fallback_jobs = 0
-        self._worker_deaths = 0
-        self._respawns = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._jobs_submitted = self.metrics.counter("pool.jobs_submitted")
+        self._jobs_ok = self.metrics.counter("pool.jobs_ok")
+        self._jobs_failed = self.metrics.counter("pool.jobs_failed")
+        self._shm_jobs = self.metrics.counter("pool.shm_jobs")
+        self._fallback_jobs = self.metrics.counter("pool.fallback_jobs")
+        self._worker_deaths = self.metrics.counter("pool.worker_deaths")
+        self._respawns = self.metrics.counter("pool.respawns")
+        self._decode_seconds = self.metrics.histogram("pool.decode_seconds")
+        self._decode_pulses = self.metrics.histogram(
+            "pool.decode_batch_pulses", DEFAULT_SIZE_BOUNDS
+        )
+        self._retired_lane_metrics: Dict = merge_snapshots()
         try:
             for index in range(workers):
                 shm = shared_memory.SharedMemory(create=True, size=shm_limit)
@@ -438,15 +498,29 @@ class DecodePool:
                 slot.job_id = job_id
                 slot.future = future
                 request_conn = slot.request_conn
-            try:
-                request_conn.send(("job", job_id, list(keys), _crash_worker))
-            except (BrokenPipeError, EOFError, OSError):
-                # The worker died under us; the dispatcher will see the
-                # EOF on its result pipe and fail this future typed.
-                pass
-            metas, used_shm, payload = future.result()
-            buf = slot.shm.buf if used_shm else payload
-            return _materialize(metas, buf)
+                self._jobs_submitted.inc()
+            started = time.perf_counter()
+            with obs_trace.span("pool.decode", lane=slot.index, keys=len(keys)) as sp:
+                try:
+                    request_conn.send(
+                        ("job", job_id, list(keys), _crash_worker, sp is not None)
+                    )
+                except (BrokenPipeError, EOFError, OSError):
+                    # The worker died under us; the dispatcher will see
+                    # the EOF on its result pipe and fail this future
+                    # typed.
+                    pass
+                metas, used_shm, payload, worker_span = future.result()
+                if sp is not None and worker_span is not None:
+                    # Graft the worker-measured decode span into the
+                    # live trace (same perf_counter domain on Linux).
+                    stage, span_start, span_duration, tags = worker_span
+                    sp.add_finished_child(stage, span_start, span_duration, **tags)
+                buf = slot.shm.buf if used_shm else payload
+                out = _materialize(metas, buf)
+            self._decode_seconds.observe(time.perf_counter() - started)
+            self._decode_pulses.observe(len(keys))
+            return out
         finally:
             # Release *after* materializing -- the slab must not be
             # overwritten by the next job while we still read from it.
@@ -522,31 +596,35 @@ class DecodePool:
                 return  # stale result from before a respawn: drop it.
             future = slot.future
             if kind == "ok":
-                _, _, metas, used_shm, payload = message
-                self._jobs_ok += 1
-                if used_shm:
-                    self._shm_jobs += 1
-                else:
-                    self._fallback_jobs += 1
+                _, _, metas, used_shm, payload, worker_span, lane_snap = message
             else:
-                _, _, exc_name, exc_message = message
-                self._jobs_failed += 1
+                _, _, exc_name, exc_message, lane_snap = message
+            slot.metrics = lane_snap
+        # Job accounting follows the future's *resolution*: whoever
+        # resolves it (this handler, close(), _abort(), or the death
+        # path) counts it, so ``jobs_ok + jobs_failed ==
+        # jobs_submitted`` holds exactly even across shutdown races --
+        # the chaos invariant checker enforces that law.
         if kind == "ok":
             try:
-                future.set_result((metas, used_shm, payload))
+                future.set_result((metas, used_shm, payload, worker_span))
             except InvalidStateError:
-                pass  # close() failed it while the result was in the pipe
+                return  # close() failed it while the result was in the pipe
+            self._jobs_ok.inc()
+            if used_shm:
+                self._shm_jobs.inc()
+            else:
+                self._fallback_jobs.inc()
         else:
             exc_type = _TYPED_ERRORS.get(exc_name)
             if exc_type is None:
-                _fail(
-                    future,
-                    DecodeWorkerError(
-                        f"decode worker failed: {exc_name}: {exc_message}"
-                    ),
+                exc: BaseException = DecodeWorkerError(
+                    f"decode worker failed: {exc_name}: {exc_message}"
                 )
             else:
-                _fail(future, exc_type(exc_message))
+                exc = exc_type(exc_message)
+            if _fail(future, exc):
+                self._jobs_failed.inc()
 
     def _handle_death(self, slot: _Slot) -> None:
         """Fail a dead worker's in-flight keys; respawn it on its slot."""
@@ -554,10 +632,18 @@ class DecodePool:
             process = slot.process
             if process is None:
                 return
-            self._worker_deaths += 1
+            self._worker_deaths.inc()
             future = slot.future
             slot.job_id = None
             slot.future = None
+            # Fold the lane's last-known snapshot into the retired
+            # total so pool-wide aggregation survives the death; the
+            # respawned generation starts its own snapshot from zero.
+            if slot.metrics is not None:
+                self._retired_lane_metrics = merge_snapshots(
+                    self._retired_lane_metrics, slot.metrics
+                )
+                slot.metrics = None
             pid = process.pid
             process.join()
             for conn in (slot.request_conn, slot.result_conn):
@@ -573,22 +659,20 @@ class DecodePool:
                 slot.process = None
             else:
                 self._spawn(slot)
-                self._respawns += 1
-            # A future already resolved means the worker shipped its
-            # result and died afterwards: the job *succeeded*.
-            if future is not None and not future.done():
-                self._jobs_failed += 1
+                self._respawns.inc()
         # Resolve outside the lock: the waiter's next move is
-        # reacquiring it in _release_slot.
-        if future is not None:
-            _fail(
-                future,
-                DecodeWorkerError(
-                    f"decode worker {slot.index} (pid {pid}) died "
-                    "mid-job; its in-flight keys failed and the worker "
-                    "was respawned"
-                ),
-            )
+        # reacquiring it in _release_slot.  A future already resolved
+        # means the worker shipped its result and died afterwards: the
+        # job *succeeded* and was counted by whoever resolved it.
+        if future is not None and _fail(
+            future,
+            DecodeWorkerError(
+                f"decode worker {slot.index} (pid {pid}) died "
+                "mid-job; its in-flight keys failed and the worker "
+                "was respawned"
+            ),
+        ):
+            self._jobs_failed.inc()
 
     def _abort(self, reason: str) -> None:
         """Fail everything and tear down -- never leave waiters hanging."""
@@ -603,7 +687,8 @@ class DecodePool:
                 slot.future = None
             self._cond.notify_all()
         for future in futures:
-            _fail(future, DecodeWorkerError(reason))
+            if _fail(future, DecodeWorkerError(reason)):
+                self._jobs_failed.inc()
         for slot in self._slots:
             process = slot.process
             slot.process = None
@@ -661,11 +746,11 @@ class DecodePool:
                 future = slot.future
                 slot.job_id = None
                 slot.future = None
-            if future is not None and not future.done():
-                _fail(
-                    future,
-                    DecodeWorkerError("decode pool closed while job in flight"),
-                )
+            if future is not None and _fail(
+                future,
+                DecodeWorkerError("decode pool closed while job in flight"),
+            ):
+                self._jobs_failed.inc()
         if self._dispatcher.is_alive():
             self._dispatcher.join(timeout=2.0)
         for slot in self._slots:
@@ -709,16 +794,35 @@ class DecodePool:
 
     # -- bookkeeping ----------------------------------------------------------
 
+    def lane_metrics_snapshot(self) -> Dict:
+        """Merged ``pool.worker.*`` metrics across all lanes, ever.
+
+        The latest cumulative snapshot of each live lane plus the
+        retired totals of every lane generation that died.  Merging is
+        associative and order-independent (see
+        :func:`repro.obs.merge_snapshots`), so the aggregate is exact
+        no matter how deaths and respawns interleave.
+        """
+        with self._cond:
+            live = [slot.metrics for slot in self._slots if slot.metrics is not None]
+            retired = self._retired_lane_metrics
+        return merge_snapshots(retired, *live)
+
+    def metrics_snapshot(self) -> Dict:
+        """Parent-side ``pool.*`` metrics merged with all worker lanes."""
+        return merge_snapshots(self.metrics.snapshot(), self.lane_metrics_snapshot())
+
     def stats(self) -> PoolStats:
+        """Frozen :class:`PoolStats` view over the registry counters."""
         with self._cond:
             return PoolStats(
                 workers=self.workers,
                 start_method=self.start_method,
                 shm_limit=self.shm_limit,
-                jobs_ok=self._jobs_ok,
-                jobs_failed=self._jobs_failed,
-                shm_jobs=self._shm_jobs,
-                fallback_jobs=self._fallback_jobs,
-                worker_deaths=self._worker_deaths,
-                respawns=self._respawns,
+                jobs_ok=self._jobs_ok.value,
+                jobs_failed=self._jobs_failed.value,
+                shm_jobs=self._shm_jobs.value,
+                fallback_jobs=self._fallback_jobs.value,
+                worker_deaths=self._worker_deaths.value,
+                respawns=self._respawns.value,
             )

@@ -25,6 +25,11 @@ each distinct requested key to exactly one hit or one miss, capacity is
 never exceeded, and eviction strictly follows least-recent use.  The
 property suite in ``tests/test_serving.py`` holds the implementation to
 a shadow-model of exactly these rules.
+
+The counters live in a :class:`repro.obs.MetricsRegistry` (each cache
+owns a private one unless the caller passes ``metrics=``), and
+:class:`CacheStats` is a frozen view over those registry counters --
+one source of truth for both surfaces.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import StoreError
+from repro.obs import MetricsRegistry
 from repro.pulses.waveform import Waveform
 from repro.store.hooks import preempt
 from repro.store.sharded import ShardedStore, normalize_key
@@ -135,19 +141,28 @@ class PulseCache:
         capacity: Maximum decoded pulses held (>= 1).  Decoded IBM
             pulses run ~1-10 KB each, so capacity is effectively the
             hot-set budget in pulse count.
+        metrics: Registry to record ``cache.*`` counters in.  Defaults
+            to a private per-cache registry so multiple caches never
+            pool their counts.
     """
 
-    def __init__(self, store: ShardedStore, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        store: ShardedStore,
+        capacity: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise StoreError(f"cache capacity must be >= 1, got {capacity}")
         self.store = store
         self.capacity = capacity
         self._lru: "OrderedDict[_Key, Waveform]" = OrderedDict()
         self._lock = threading.RLock()
-        self._hits = 0
-        self._misses = 0
-        self._insertions = 0
-        self._evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._insertions = self.metrics.counter("cache.insertions")
+        self._evictions = self.metrics.counter("cache.evictions")
 
     # -- probes ---------------------------------------------------------------
 
@@ -157,10 +172,10 @@ class PulseCache:
         with self._lock:
             cached = self._lru.get(key)
             if cached is not None:
-                self._hits += 1
+                self._hits.inc()
                 self._lru.move_to_end(key)
             else:
-                self._misses += 1
+                self._misses.inc()
             return cached
 
     def peek(self, gate: str, qubits: Sequence[int]) -> Optional[Waveform]:
@@ -261,10 +276,10 @@ class PulseCache:
         self._lru[key] = waveform
         self._lru.move_to_end(key)
         if not already_present:
-            self._insertions += 1
+            self._insertions.inc()
             while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
         return waveform
 
     # -- the public read path -------------------------------------------------
@@ -335,13 +350,18 @@ class PulseCache:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """This cache's registry snapshot (``cache.*`` series)."""
+        return self.metrics.snapshot()
+
     def stats(self) -> CacheStats:
+        """Frozen :class:`CacheStats` view over the registry counters."""
         with self._lock:
             return CacheStats(
                 capacity=self.capacity,
                 size=len(self._lru),
-                hits=self._hits,
-                misses=self._misses,
-                insertions=self._insertions,
-                evictions=self._evictions,
+                hits=self._hits.value,
+                misses=self._misses.value,
+                insertions=self._insertions.value,
+                evictions=self._evictions.value,
             )

@@ -29,12 +29,16 @@ end-to-end by the serving benchmark's identity gate.
 
 from __future__ import annotations
 
+import contextvars
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StoreError
+from repro.obs import MetricsRegistry, merge_snapshots
+from repro.obs import trace as obs_trace
 from repro.pulses.waveform import Waveform
 from repro.store.cache import CacheStats, PulseCache
 from repro.store.hooks import preempt
@@ -94,6 +98,12 @@ class PulseServer:
         shm_limit: Per-worker shared-memory slab in bytes (pool only).
         start_method: Multiprocessing start method for the pool
             (``None`` = platform default).
+        metrics: Registry for the ``server.*`` counters and the fill
+            latency histogram.  Defaults to a private registry; a
+            privately built cache and decode pool share it (one
+            merged view per server), while a shared ``cache=`` keeps
+            its own registry and is merged in
+            :meth:`metrics_snapshot`.
 
     Use as a context manager, or call :meth:`close` to release the
     fill executor, drain the decode pool, and release the store's mmap
@@ -111,6 +121,7 @@ class PulseServer:
         workers: int = 0,
         shm_limit: Optional[int] = None,
         start_method: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_workers < 1:
             raise StoreError(f"max_workers must be >= 1, got {max_workers}")
@@ -119,7 +130,12 @@ class PulseServer:
         if cache is not None and cache.store is not store:
             raise StoreError("shared cache is bound to a different store")
         self.store = store
-        self.cache = cache if cache is not None else PulseCache(store, cache_capacity)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = (
+            cache
+            if cache is not None
+            else PulseCache(store, cache_capacity, metrics=self.metrics)
+        )
         self._pool = None
         if workers > 0:
             # Imported lazily: repro.serve_net.workers imports from
@@ -131,6 +147,7 @@ class PulseServer:
                 workers=workers,
                 shm_limit=DEFAULT_SHM_LIMIT if shm_limit is None else shm_limit,
                 start_method=start_method,
+                metrics=self.metrics,
             )
         self._shard_locks = tuple(
             threading.Lock() for _ in range(store.n_shards)
@@ -140,10 +157,11 @@ class PulseServer:
             thread_name_prefix="pulse-serve",
         )
         self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._batches = 0
-        self._shard_fills = 0
-        self._coalesced_fills = 0
+        self._requests = self.metrics.counter("server.requests")
+        self._batches = self.metrics.counter("server.batches")
+        self._shard_fills = self.metrics.counter("server.shard_fills")
+        self._coalesced_fills = self.metrics.counter("server.coalesced_fills")
+        self._fill_seconds = self.metrics.histogram("server.fill_seconds")
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -182,7 +200,7 @@ class PulseServer:
         if waveform is None:
             waveform = self._fill_shard(self.store.shard_of(*key), [key])[key]
         with self._stats_lock:
-            self._requests += 1
+            self._requests.inc()
         return waveform
 
     def fetch_batch(
@@ -208,8 +226,17 @@ class PulseServer:
             filled = False
             if executor is not None and len(missing_by_shard) > 1:
                 try:
+                    # copy_context(): run_in-executor threads do not
+                    # inherit contextvars, and the active trace span
+                    # rides on one -- each fill gets its own copy so
+                    # parallel fills attach as siblings.
                     futures = [
-                        executor.submit(self._fill_shard, shard, shard_keys)
+                        executor.submit(
+                            contextvars.copy_context().run,
+                            self._fill_shard,
+                            shard,
+                            shard_keys,
+                        )
                         for shard, shard_keys in missing_by_shard.items()
                     ]
                 except RuntimeError:
@@ -237,8 +264,8 @@ class PulseServer:
                 for shard, shard_keys in missing_by_shard.items():
                     resolved.update(self._fill_shard(shard, shard_keys))
         with self._stats_lock:
-            self._requests += len(keys)
-            self._batches += 1
+            self._requests.inc(len(keys))
+            self._batches.inc()
         return [resolved[key] for key in keys]
 
     # -- fills -----------------------------------------------------------------
@@ -252,34 +279,37 @@ class PulseServer:
         """
         out: Dict[_Key, Waveform] = {}
         coalesced = 0
-        preempt("server.fill.pre_lock")
-        with self._shard_locks[shard]:
-            preempt("server.fill.locked")
-            to_load: List[_Key] = []
-            for key in keys:
-                waveform = self.cache.peek(*key)
-                if waveform is not None:
-                    out[key] = waveform
-                    coalesced += 1
-                else:
-                    to_load.append(key)
-            if to_load:
-                pool = self._pool
-                if pool is None:
-                    out.update(self.cache.load_many(to_load))
-                else:
-                    # The decode runs in a worker process; the insert
-                    # (and its _lock_samples discipline) stays here,
-                    # still under this shard's single-flight lock.
-                    waveforms = pool.decode(to_load)
-                    out.update(
-                        self.cache.insert_decoded(
-                            list(zip(to_load, waveforms))
+        started = time.perf_counter()
+        with obs_trace.span("server.fill", shard=shard, keys=len(keys)):
+            preempt("server.fill.pre_lock")
+            with self._shard_locks[shard]:
+                preempt("server.fill.locked")
+                to_load: List[_Key] = []
+                for key in keys:
+                    waveform = self.cache.peek(*key)
+                    if waveform is not None:
+                        out[key] = waveform
+                        coalesced += 1
+                    else:
+                        to_load.append(key)
+                if to_load:
+                    pool = self._pool
+                    if pool is None:
+                        out.update(self.cache.load_many(to_load))
+                    else:
+                        # The decode runs in a worker process; the insert
+                        # (and its _lock_samples discipline) stays here,
+                        # still under this shard's single-flight lock.
+                        waveforms = pool.decode(to_load)
+                        out.update(
+                            self.cache.insert_decoded(
+                                list(zip(to_load, waveforms))
+                            )
                         )
-                    )
+        self._fill_seconds.observe(time.perf_counter() - started)
         with self._stats_lock:
-            self._shard_fills += 1
-            self._coalesced_fills += coalesced
+            self._shard_fills.inc()
+            self._coalesced_fills.inc(coalesced)
         return out
 
     # -- bookkeeping -------------------------------------------------------------
@@ -289,14 +319,30 @@ class PulseServer:
         """The live :class:`DecodePool`, or ``None`` (``workers=0``)."""
         return self._pool
 
+    def metrics_snapshot(self) -> Dict:
+        """Merged registry snapshot: server + cache + decode-pool lanes.
+
+        A privately built cache and pool already write into this
+        server's registry; a shared ``cache=`` (its own registry) and
+        the pool's per-lane worker registries are merged in here.
+        """
+        snapshots = [self.metrics.snapshot()]
+        if self.cache.metrics is not self.metrics:
+            snapshots.append(self.cache.metrics.snapshot())
+        pool = self._pool
+        if pool is not None:
+            snapshots.append(pool.lane_metrics_snapshot())
+        return merge_snapshots(*snapshots)
+
     def stats(self) -> ServerStats:
+        """Frozen :class:`ServerStats` view over the registry counters."""
         pool = self._pool
         with self._stats_lock:
             return ServerStats(
-                requests=self._requests,
-                batches=self._batches,
-                shard_fills=self._shard_fills,
-                coalesced_fills=self._coalesced_fills,
+                requests=self._requests.value,
+                batches=self._batches.value,
+                shard_fills=self._shard_fills.value,
+                coalesced_fills=self._coalesced_fills.value,
                 cache=self.cache.stats(),
                 pool=pool.stats().as_dict() if pool is not None else None,
             )

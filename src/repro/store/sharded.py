@@ -57,12 +57,14 @@ import json
 import mmap
 import pathlib
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CompressionError, StoreError
+from repro.obs import DEFAULT_SIZE_BOUNDS, default_registry
 from repro.compression.bitstream import (
     LibraryBitstream,
     LibraryEntry,
@@ -286,6 +288,7 @@ class _MmapPool:
         self._max_open = max_open
         self._lock = threading.Lock()
         self._maps: "OrderedDict[int, mmap.mmap]" = OrderedDict()
+        self._ever_mapped: set = set()
         self.fault_hook = fault_hook
 
     @staticmethod
@@ -320,6 +323,15 @@ class _MmapPool:
                     raise StoreError(
                         f"cannot map shard file {path}: {exc}"
                     ) from None
+                # Resolved at event time so a swapped default registry
+                # (the overhead bench's disabled leg) takes effect;
+                # mapping is rare, the lookup cost is noise.
+                registry = default_registry()
+                if shard in self._ever_mapped:
+                    registry.counter("store.mmap_reopens").inc()
+                else:
+                    registry.counter("store.mmap_opens").inc()
+                    self._ever_mapped.add(shard)
                 self._maps[shard] = mapping
                 while len(self._maps) > self._max_open:
                     _stale, old = self._maps.popitem(last=False)
@@ -649,7 +661,18 @@ class ShardedStore:
         """
         keys, unique = self._spans_in_read_order(requests)
         views = [self._read_span(self._index[key]) for key in unique]
+        started = time.perf_counter()
         waveforms = decode_records(views) if views else []
+        if views:
+            registry = default_registry()
+            registry.counter("store.decode_batches").inc()
+            registry.counter("store.decode_pulses").inc(len(views))
+            registry.histogram("store.decode_batch_pulses", DEFAULT_SIZE_BOUNDS).observe(
+                len(views)
+            )
+            registry.histogram("store.decode_seconds").observe(
+                time.perf_counter() - started
+            )
         decoded: Dict[_Key, Waveform] = {}
         for key, waveform in zip(unique, waveforms):
             self._check_binding(key, waveform.gate, waveform.qubits)

@@ -108,9 +108,74 @@ class TestRequestRoundTrip:
             protocol.decode_request(body)
 
     def test_unknown_request_type_rejected(self):
-        for msg_type in (0x00, 0x05, 0x42, 0x81, 0xFF):
+        for msg_type in (0x00, 0x08, 0x42, 0x81, 0xFF):
             with pytest.raises(ProtocolError):
                 protocol.decode_request(bytes([msg_type]))
+
+    def test_traced_fetch_round_trip(self):
+        frame_bytes = protocol.encode_fetch(
+            KEYS, protocol.MODE_SAMPLES, trace=(0xDEADBEEF, 0x1234)
+        )
+        request = protocol.decode_request(payload_of(frame_bytes))
+        assert isinstance(request, protocol.FetchRequest)
+        assert request.keys == tuple(KEYS)
+        assert request.trace_id == 0xDEADBEEF
+        assert request.parent_span_id == 0x1234
+
+    def test_untraced_fetch_is_byte_identical_to_legacy(self):
+        # trace=None must produce the pre-extension FETCH bytes exactly,
+        # so old servers keep decoding new clients.
+        assert protocol.encode_fetch(KEYS) == protocol.encode_fetch(KEYS, trace=None)
+        payload = payload_of(protocol.encode_fetch(KEYS, trace=None))
+        assert payload[0] == protocol.MSG_FETCH
+        request = protocol.decode_request(payload)
+        assert request.trace_id is None
+        assert request.parent_span_id == 0
+
+    def test_traced_fetch_rejects_bad_ids_on_encode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch(KEYS, trace=(0, 0))  # zero trace id
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch(KEYS, trace=(1 << 64, 0))
+        with pytest.raises(ProtocolError):
+            protocol.encode_fetch(KEYS, trace=(1, -1))
+
+    def test_traced_fetch_rejects_zero_trace_id_on_decode(self):
+        good = bytearray(payload_of(protocol.encode_fetch(KEYS, trace=(1, 0))))
+        good[3:11] = struct.pack("<Q", 0)  # trace id field
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(bytes(good))
+
+    def test_metrics_round_trip(self):
+        request = protocol.decode_request(payload_of(protocol.encode_metrics()))
+        assert isinstance(request, protocol.MetricsRequest)
+
+    def test_traces_round_trip(self):
+        request = protocol.decode_request(payload_of(protocol.encode_traces(limit=7)))
+        assert isinstance(request, protocol.TracesRequest)
+        assert request.limit == 7
+
+    def test_traces_limit_bounds(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_traces(limit=0)
+        with pytest.raises(ProtocolError):
+            protocol.encode_traces(limit=protocol.MAX_TRACES_PER_REQUEST + 1)
+        body = bytes([protocol.MSG_TRACES, protocol.OBS_EXT_VERSION])
+        body += struct.pack("<H", protocol.MAX_TRACES_PER_REQUEST + 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(body)
+
+    def test_wrong_extension_version_rejected(self):
+        bad_version = protocol.OBS_EXT_VERSION + 1
+        for good in (
+            protocol.encode_metrics(),
+            protocol.encode_traces(),
+            protocol.encode_fetch(KEYS, trace=(1, 0)),
+        ):
+            payload = bytearray(payload_of(good))
+            payload[1] = bad_version
+            with pytest.raises(ProtocolError):
+                protocol.decode_request(bytes(payload))
 
     def test_unknown_fetch_mode_rejected(self):
         good = bytearray(payload_of(protocol.encode_fetch(KEYS)))
@@ -133,9 +198,14 @@ class TestRequestRoundTrip:
         [
             lambda: protocol.encode_fetch(KEYS, protocol.MODE_SAMPLES),
             lambda: protocol.encode_fetch(KEYS, protocol.MODE_RECORD),
+            lambda: protocol.encode_fetch(
+                KEYS, protocol.MODE_SAMPLES, trace=(0xABCDEF, 77)
+            ),
             protocol.encode_ping,
             protocol.encode_stats,
             protocol.encode_keys,
+            protocol.encode_metrics,
+            lambda: protocol.encode_traces(limit=9),
         ],
     )
     def test_every_truncation_raises(self, encoder):
@@ -148,9 +218,12 @@ class TestRequestRoundTrip:
         "encoder",
         [
             lambda: protocol.encode_fetch(KEYS),
+            lambda: protocol.encode_fetch(KEYS, trace=(5, 5)),
             protocol.encode_ping,
             protocol.encode_stats,
             protocol.encode_keys,
+            protocol.encode_metrics,
+            lambda: protocol.encode_traces(),
         ],
     )
     def test_trailing_bytes_raise(self, encoder):
@@ -181,6 +254,22 @@ class TestReplyRoundTrip:
         assert reply.items == (blob,)
         reply = protocol.decode_reply(payload_of(protocol.encode_reply_keys(KEYS)))
         assert reply.keys == tuple(KEYS)
+
+    def test_metrics_traces_replies(self):
+        blob = b'{"counters": {"net.fetches": 12}}'
+        reply = protocol.decode_reply(payload_of(protocol.encode_reply_metrics(blob)))
+        assert (reply.status, reply.echo_type) == (
+            protocol.STATUS_OK,
+            protocol.MSG_METRICS,
+        )
+        assert reply.items == (blob,)
+        blob = b'[{"trace_id": "00ff", "spans": []}]'
+        reply = protocol.decode_reply(payload_of(protocol.encode_reply_traces(blob)))
+        assert (reply.status, reply.echo_type) == (
+            protocol.STATUS_OK,
+            protocol.MSG_TRACES,
+        )
+        assert reply.items == (blob,)
 
     def test_overload_reply(self):
         reply = protocol.decode_reply(payload_of(protocol.encode_reply_overload()))
@@ -230,6 +319,8 @@ class TestReplyRoundTrip:
             protocol.encode_reply_ping,
             lambda: protocol.encode_reply_stats(b"{}"),
             lambda: protocol.encode_reply_keys(KEYS),
+            lambda: protocol.encode_reply_metrics(b'{"counters": {}}'),
+            lambda: protocol.encode_reply_traces(b"[]"),
             protocol.encode_reply_overload,
             lambda: protocol.encode_reply_error("boom"),
         ],
@@ -291,8 +382,11 @@ class TestRandomFuzz:
         # Mutations of valid payloads: flip one byte at a random offset.
         seeds = [
             payload_of(protocol.encode_fetch(KEYS)),
+            payload_of(protocol.encode_fetch(KEYS, trace=(0xFEED, 3))),
+            payload_of(protocol.encode_traces(limit=4)),
             payload_of(protocol.encode_reply_fetch(protocol.MODE_SAMPLES, [b"xy"])),
             payload_of(protocol.encode_reply_keys(KEYS)),
+            payload_of(protocol.encode_reply_metrics(b'{"gauges": {}}')),
             payload_of(protocol.encode_reply_error("bad")),
         ]
         for seed_payload in seeds:
