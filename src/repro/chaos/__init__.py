@@ -16,6 +16,7 @@ multi-device sweep.
 from repro.chaos.faults import (
     FAULT_KINDS,
     POOL_FAULT_KINDS,
+    WRITE_FAULT_KINDS,
     FaultPlan,
     FaultyStore,
 )
@@ -25,6 +26,7 @@ from repro.chaos.runner import CHAOS_SCHEMA, ChaosReport, run_chaos
 __all__ = [
     "FAULT_KINDS",
     "POOL_FAULT_KINDS",
+    "WRITE_FAULT_KINDS",
     "FaultPlan",
     "FaultyStore",
     "InvariantChecker",

@@ -51,11 +51,18 @@ from repro.errors import StoreError
 from repro.pulses.waveform import Waveform
 from repro.store.sharded import ShardedStore, normalize_key
 
-__all__ = ["FAULT_KINDS", "POOL_FAULT_KINDS", "FaultPlan", "FaultyStore"]
+__all__ = [
+    "FAULT_KINDS",
+    "POOL_FAULT_KINDS",
+    "WRITE_FAULT_KINDS",
+    "FaultPlan",
+    "FaultyStore",
+]
 
 _Key = Tuple[str, Tuple[int, ...]]
 
-#: Every fault kind a plan may schedule, in default rotation order.
+#: Every read-path fault kind a plan may schedule, in default rotation
+#: order.
 FAULT_KINDS = ("truncate", "bitflip", "map_oserror", "slow_io")
 
 #: Fault kinds the runner injects at the :class:`DecodePool` level
@@ -65,6 +72,16 @@ FAULT_KINDS = ("truncate", "bitflip", "map_oserror", "slow_io")
 #: too small for any batch (``shm_exhaust``, forcing the pipe-fallback
 #: path).  See :func:`repro.chaos.runner.run_chaos`.
 POOL_FAULT_KINDS = ("worker_kill", "shm_exhaust")
+
+#: Fault kinds the runner injects into the CQS2 *commit protocol*
+#: (:class:`repro.store.writable.StoreWriter`) during the write-storm
+#: phase: ``crash_commit`` aborts a commit at a seeded
+#: :data:`~repro.store.writable.COMMIT_HOOK_POINTS` yield point,
+#: ``torn_write`` truncates the tail of a just-published generation
+#: manifest (simulating rename-durable-but-data-torn storage).  Both
+#: must leave the store reopenable as exactly the previous or the new
+#: generation.
+WRITE_FAULT_KINDS = ("crash_commit", "torn_write")
 
 
 @dataclass(frozen=True)
@@ -93,7 +110,7 @@ class FaultPlan:
             raise StoreError(f"fault period must be >= 1, got {self.period}")
         if not self.kinds:
             raise StoreError("fault plan needs at least one kind")
-        unknown = set(self.kinds) - set(FAULT_KINDS)
+        unknown = set(self.kinds) - set(FAULT_KINDS) - set(WRITE_FAULT_KINDS)
         if unknown:
             raise StoreError(f"unknown fault kinds: {sorted(unknown)}")
         if self.bitflip_target not in ("magic", "payload"):
@@ -133,6 +150,13 @@ class FaultyStore:
     """
 
     def __init__(self, store: ShardedStore, plan: FaultPlan) -> None:
+        write_kinds = set(plan.kinds) & set(WRITE_FAULT_KINDS)
+        if write_kinds:
+            raise StoreError(
+                "FaultyStore injects read-path faults only; "
+                f"{sorted(write_kinds)} belong to the commit protocol "
+                "(see repro.chaos.runner's write storm)"
+            )
         self._store = store
         self.plan = plan
         self._lock = threading.Lock()

@@ -96,6 +96,34 @@ class InvariantChecker:
         self._pass()
         return True
 
+    def check_versioned_identity(
+        self, key: _Key, waveform: Waveform, candidates: List[np.ndarray]
+    ) -> bool:
+        """Under live writes, a served waveform must be *some committed version*.
+
+        Snapshot-consistent readers may legitimately serve any version
+        that was ever durably committed for ``key`` (a reader pinned to
+        an older generation serves older samples); what they may never
+        serve is a hybrid, a torn record, or bytes from an aborted
+        commit.  ``candidates`` is the committed-version history the
+        write storm maintains for ``key``.
+        """
+        with self._lock:
+            self.identity_checks += 1
+        if not candidates:
+            self._fail(f"versioned-identity: served unknown key {key}")
+            return False
+        got = waveform.samples
+        for expected in candidates:
+            if got.shape == expected.shape and np.array_equal(got, expected):
+                self._pass()
+                return True
+        self._fail(
+            f"versioned-identity: key {key} matches none of "
+            f"{len(candidates)} committed version(s)"
+        )
+        return False
+
     def note_error(self, key, exc: BaseException) -> None:
         """Classify a workload exception: typed is fine, anything else is not."""
         with self._lock:

@@ -465,10 +465,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(1.0 soaks the tracing path itself under faults)",
     )
     chaos.add_argument(
+        "--write-commits",
+        type=int,
+        default=12,
+        help="commits in the write-storm phase, with crash_commit / "
+        "torn_write faults injected into the commit protocol "
+        "(0 skips the phase)",
+    )
+    chaos.add_argument(
+        "--store-dir",
+        default=None,
+        help="keep the soak's store directories here instead of a "
+        "temp dir (the surviving write-storm store can then be "
+        "scrubbed with `repro store verify`)",
+    )
+    chaos.add_argument(
         "--json",
         default=None,
         help="also write the full soak report to this path",
     )
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect and scrub CQS1/CQS2 store directories",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="scrub a store directory: manifest chain, shard sizes, "
+        "span bounds, per-record parseability (fused vs scalar)",
+    )
+    store_verify.add_argument("dir", help="store directory to scrub")
 
     metrics = subparsers.add_parser(
         "metrics",
@@ -1174,6 +1201,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         devices = [d.strip() for d in args.devices.split(",") if d.strip()]
         threads, ops, clients = args.threads, args.ops, args.clients
+    store_dir = None
+    if args.store_dir:
+        store_dir = pathlib.Path(args.store_dir)
+        store_dir.mkdir(parents=True, exist_ok=True)
     payload = run_serving_soak(
         device_specs=devices,
         seed=args.seed,
@@ -1184,16 +1215,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         fault_period=args.fault_period,
         decode_workers=args.decode_workers,
         trace_sample_rate=args.trace_sample_rate,
+        write_commits=args.write_commits,
+        store_dir=store_dir,
     )
     print(render_soak_table(payload))
     if args.json:
+        from repro.store import atomic_write
+
         out = pathlib.Path(args.json)
-        out.write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write(out, json.dumps(payload, indent=2) + "\n")
         print(f"   wrote: {out.resolve()}")
     ok, failures = soak_gates_ok(payload)
     for failure in failures:
         print(f"ERROR: {failure}")
     return 0 if ok else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store.verify import format_report, verify_store
+
+    report = verify_store(args.dir)
+    print(format_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -1257,6 +1300,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "store":
+        return _cmd_store(args)
     elif args.command == "metrics":
         return _cmd_metrics(args)
     elif args.command == "traces":

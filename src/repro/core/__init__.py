@@ -9,7 +9,9 @@ from repro.core.compiler import (
 from repro.core.fidelity_aware import fidelity_aware_compress, DEFAULT_TARGET_MSE
 from repro.core.adaptive import (
     adaptive_compress,
+    recalibration_updates,
     AdaptiveCompressionResult,
+    DriftModel,
     RepeatSegment,
     WindowSegment,
 )
@@ -30,7 +32,9 @@ __all__ = [
     "fidelity_aware_compress",
     "DEFAULT_TARGET_MSE",
     "adaptive_compress",
+    "recalibration_updates",
     "AdaptiveCompressionResult",
+    "DriftModel",
     "RepeatSegment",
     "WindowSegment",
     "RfsocModel",

@@ -9,12 +9,21 @@ the hardware feeds straight to the DAC buffer, bypassing both the memory
 The rise and fall ramps are compressed with the normal windowed pipeline.
 Plateau boundaries are aligned to window edges so the ramp segments stay
 whole windows.
+
+This module also hosts the **drift / recalibration** model
+(:class:`DriftModel`, :func:`recalibration_updates`): the seeded
+amplitude-and-phase wander that makes a calibrated pulse library go
+stale, and the selector for which pulses have drifted far enough to be
+recompiled and republished through the writable store
+(``examples/recalibration_loop.py`` drives the full loop).
 """
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,7 +39,14 @@ from repro.compression.pipeline import (
 from repro.pulses.waveform import Waveform
 from repro.transforms.rle import TAG_REPEAT, MemoryWord
 
-__all__ = ["RepeatSegment", "WindowSegment", "AdaptiveCompressionResult", "adaptive_compress"]
+__all__ = [
+    "RepeatSegment",
+    "WindowSegment",
+    "AdaptiveCompressionResult",
+    "adaptive_compress",
+    "DriftModel",
+    "recalibration_updates",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +132,94 @@ class AdaptiveCompressionResult:
     def bypass_fraction(self) -> float:
         """Fraction of playback time spent in the low-power bypass."""
         return self.bypass_samples / self.original.n_samples
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Seeded amplitude/phase drift of a calibrated pulse library.
+
+    Real control electronics wander: mixer gain and LO phase drift with
+    temperature, so a pulse that was calibrated at step 0 slowly stops
+    matching the device.  This model is the deterministic stand-in --
+    each ``(waveform, step)`` pair maps to one drifted envelope, with
+    the wander growing like a random walk (``sqrt(step)``) so later
+    steps have drifted further.
+
+    Attributes:
+        seed: Root of every draw; two models with the same seed drift a
+            library identically.
+        amplitude_sigma: Per-step relative gain wander (std dev).
+        phase_sigma: Per-step phase wander in radians (std dev).
+    """
+
+    seed: int = 0
+    amplitude_sigma: float = 0.01
+    phase_sigma: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.amplitude_sigma < 0 or self.phase_sigma < 0:
+            raise CompressionError(
+                "drift sigmas must be >= 0, got "
+                f"amplitude={self.amplitude_sigma} phase={self.phase_sigma}"
+            )
+
+    def _rng(self, waveform: Waveform, step: int) -> random.Random:
+        tag = zlib.crc32(waveform.name.encode("utf-8"))
+        return random.Random((self.seed << 40) ^ (step << 20) ^ tag)
+
+    def drifted(self, waveform: Waveform, step: int) -> Waveform:
+        """The envelope ``waveform`` has wandered to by drift step ``step``.
+
+        Step 0 is the calibrated original.  The drifted envelope is the
+        original rotated by a phase error and scaled by a gain error,
+        both drawn per ``(seed, waveform.name, step)``; a gain above
+        full scale is clamped back to peak 1.0 the way the DAC would.
+        """
+        if step < 0:
+            raise CompressionError(f"drift step must be >= 0, got {step}")
+        if step == 0:
+            return waveform
+        rng = self._rng(waveform, step)
+        scale = np.sqrt(step)
+        gain = 1.0 + rng.gauss(0.0, self.amplitude_sigma) * scale
+        phase = rng.gauss(0.0, self.phase_sigma) * scale
+        samples = waveform.samples * (gain * np.exp(1j * phase))
+        peak = float(np.max(np.abs(samples)))
+        if peak > 1.0:
+            samples = samples / peak
+        return waveform.with_samples(samples)
+
+    def drift_mse(self, waveform: Waveform, step: int) -> float:
+        """MSE between the calibrated envelope and its drift at ``step``."""
+        return float(
+            mean_squared_error(
+                waveform.samples, self.drifted(waveform, step).samples
+            )
+        )
+
+
+def recalibration_updates(
+    waveforms: Iterable[Waveform],
+    model: DriftModel,
+    step: int,
+    mse_budget: float = 1e-6,
+) -> List[Waveform]:
+    """The pulses that need recompiling at drift step ``step``.
+
+    Returns the *drifted* envelopes of every waveform whose drift MSE
+    exceeds ``mse_budget`` -- exactly the set a control stack should
+    recompile and republish through
+    :class:`~repro.store.StoreWriter`, leaving the still-in-budget
+    pulses untouched (and their cache entries valid).
+    """
+    if mse_budget < 0:
+        raise CompressionError(f"mse_budget must be >= 0, got {mse_budget}")
+    updates: List[Waveform] = []
+    for waveform in waveforms:
+        drifted = model.drifted(waveform, step)
+        if mean_squared_error(waveform.samples, drifted.samples) > mse_budget:
+            updates.append(drifted)
+    return updates
 
 
 def adaptive_compress(

@@ -57,6 +57,7 @@ from repro.compression.pipeline import decompress_waveform
 from repro.core.compiler import CompaqtCompiler, CompressedPulseLibrary
 from repro.devices import IBM_DEVICE_NAMES, fluxonium_device, google_device, ibm_device
 from repro.perf.runner import TimingStats, time_callable
+from repro.store.atomic import atomic_write
 from repro.version import __version__
 
 __all__ = [
@@ -499,8 +500,8 @@ def render_bench_table(payload: Dict) -> str:
 
 
 def write_bench_json(payload: Dict, path: str = DEFAULT_OUTPUT) -> pathlib.Path:
-    """Write the payload to disk; returns the resolved path."""
+    """Write the payload to disk (atomically); returns the resolved path."""
     out = pathlib.Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write(out, json.dumps(payload, indent=2) + "\n")
     return out.resolve()

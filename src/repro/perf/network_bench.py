@@ -68,6 +68,7 @@ from repro.serve_net.loadgen import run_closed_loop, run_open_loop
 from repro.serve_net.server import serve_in_thread
 from repro.serve_net.workers import DecodePool
 from repro.store import PulseServer, save_store, synthetic_trace
+from repro.store.atomic import atomic_write
 from repro.version import __version__
 
 __all__ = [
@@ -868,10 +869,10 @@ def render_network_table(payload: Dict) -> str:
 def write_network_json(
     payload: Dict, path: str = DEFAULT_NETWORK_OUTPUT
 ) -> pathlib.Path:
-    """Write the payload to disk; returns the resolved path."""
+    """Write the payload to disk (atomically); returns the resolved path."""
     out = pathlib.Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write(out, json.dumps(payload, indent=2) + "\n")
     return out.resolve()
 
 

@@ -31,14 +31,26 @@ exposes ``all_identity_ok`` -- CI fails on it -- plus the headline
 ``warm_speedup_full_cache_min``, the smallest warm-over-naive speedup
 among full-cache configs (the repo gates this at >= 5x for the
 committed ``BENCH_serving.json``).
+
+Schema v3 adds a **mixed read/write** section (one entry per device):
+a :class:`~repro.store.StoreWriter` commits generations against a
+writable copy of the store while reader threads keep fetching and
+adopting snapshots via :meth:`~repro.store.PulseServer.refresh`.  Two
+gates ride on it: every waveform served mid-storm must equal *some*
+durably committed version of its key (``mixed_identity_ok``), and
+reads must complete while a commit is held paused at its pre-publish
+hook point -- the deterministic proof that readers never block on
+writer commits (``readers_nonblocking_ok``).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import random
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import fields, is_dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -52,7 +64,17 @@ from repro.core.compiler import CompaqtCompiler
 from repro.devices import IBM_DEVICE_NAMES
 from repro.perf.compression_bench import resolve_device
 from repro.perf.runner import time_callable
-from repro.store import PulseServer, ShardedStore, save_store, synthetic_trace
+from repro.pulses.waveform import Waveform
+from repro.store import (
+    PulseServer,
+    ShardedStore,
+    StoreWriter,
+    atomic_write,
+    open_store,
+    save_store,
+    synthetic_trace,
+)
+from repro.store.hooks import set_preempt_hook
 from repro.version import __version__
 
 __all__ = [
@@ -73,7 +95,7 @@ __all__ = [
     "soak_gates_ok",
 ]
 
-SERVING_BENCH_SCHEMA = "compaqt-bench-serving/v2"
+SERVING_BENCH_SCHEMA = "compaqt-bench-serving/v3"
 
 DEFAULT_SERVING_OUTPUT = "BENCH_serving.json"
 
@@ -167,6 +189,209 @@ def _identity_ok(
     return True
 
 
+def _recalibrated(waveform: Waveform, rng: random.Random) -> Waveform:
+    """A cheap, deterministic stand-in for a device recalibration."""
+    samples = np.roll(waveform.samples, 1 + rng.randrange(5))
+    samples = samples * (0.75 + 0.2 * rng.random())
+    return Waveform(
+        name=waveform.name,
+        samples=samples,
+        dt=waveform.dt,
+        gate=waveform.gate,
+        qubits=waveform.qubits,
+    )
+
+
+def _paused_commit_reads(
+    server: PulseServer, rw_dir: pathlib.Path, rng: random.Random
+) -> Tuple[int, bool]:
+    """Readers-never-blocked, deterministically.
+
+    Stage one update, start its commit on a thread, and *hold* it at
+    ``writer.manifest.tmp_written`` -- the last instant before the
+    atomic publish, with the staged shard and temp manifest already on
+    disk.  While the commit is frozen there, a full catalog read (cache
+    cleared, so every fetch goes to the store) must complete.  Returns
+    ``(reads completed during the pause, completed without timing
+    out)``; a reader blocked on the writer would leave the read thread
+    alive at the join timeout.
+    """
+    writer = StoreWriter(rw_dir)
+    keys = writer.store.keys()
+    key = keys[rng.randrange(len(keys))]
+    waveform = writer.store.decode_many([key])[0]
+    compiler = CompaqtCompiler(
+        window_size=writer.store.window_size, codec=writer.store.variant
+    )
+    writer.put(
+        key[0], key[1],
+        compiler.compile_waveform(_recalibrated(waveform, rng)),
+    )
+
+    reached = threading.Event()
+    release = threading.Event()
+    previous = set_preempt_hook(None)
+
+    def hook(point: str) -> None:
+        if previous is not None:
+            previous(point)
+        if point == "writer.manifest.tmp_written":
+            reached.set()
+            release.wait(timeout=30.0)
+
+    set_preempt_hook(hook)
+    commit_error: List[BaseException] = []
+
+    def do_commit() -> None:
+        try:
+            writer.commit()
+        except BaseException as exc:  # surfaced after the proof
+            commit_error.append(exc)
+
+    committer = threading.Thread(target=do_commit, name="bench-rw-commit")
+    reads_done = [0]
+
+    def read_storm() -> None:
+        for read_key in keys:
+            server.fetch(*read_key)
+            reads_done[0] += 1
+
+    try:
+        committer.start()
+        if not reached.wait(timeout=30.0):
+            return 0, False
+        server.cache.clear()
+        reader = threading.Thread(target=read_storm, name="bench-rw-reads")
+        reader.start()
+        reader.join(timeout=30.0)
+        blocked = reader.is_alive()
+    finally:
+        release.set()
+        committer.join()
+        set_preempt_hook(previous)
+        writer.close()
+    if commit_error:
+        raise commit_error[0]
+    return reads_done[0], not blocked and reads_done[0] == len(keys)
+
+
+def _run_mixed_rw(
+    compiled,
+    device_name: str,
+    tmp: str,
+    n_shards: int,
+    batch_size: int,
+    seed: int,
+    commits: int,
+    reader_threads: int = 2,
+) -> Dict:
+    """One device's mixed read/write measurement (schema v3 ``mixed``).
+
+    Reader threads fetch continuously (refreshing every few batches to
+    adopt the writer's generations) while the main thread commits
+    ``commits`` seeded recalibration batches.  Every served waveform is
+    checked against the key's committed-version history; reader
+    throughput under write load is the reported rate.
+    """
+    rw_dir = pathlib.Path(tmp) / f"{device_name}-rw.cqs"
+    base = save_store(compiled, rw_dir, n_shards=n_shards)
+    keys = base.keys()
+    current = dict(zip(keys, base.decode_many(keys)))
+    history_lock = threading.Lock()
+    history = {
+        key: [decompress_waveform(base.read_record(*key)).samples]
+        for key in keys
+    }
+    base.close()
+
+    compiler = CompaqtCompiler(
+        window_size=compiled.window_size, codec=compiled.variant
+    )
+    rng = random.Random(seed ^ 0xB177E)
+    stop = threading.Event()
+    served = [0] * reader_threads
+    mismatches = [0]
+    refreshes = [0]
+
+    with PulseServer(
+        open_store(rw_dir), cache_capacity=len(keys), max_workers=4
+    ) as server:
+
+        def reader(worker_id: int) -> None:
+            local = random.Random((seed << 10) ^ worker_id)
+            ops = 0
+            while not stop.is_set():
+                ops += 1
+                if ops % 4 == 0:
+                    if server.refresh():
+                        refreshes[0] += 1
+                batch = [
+                    keys[local.randrange(len(keys))]
+                    for _ in range(batch_size)
+                ]
+                waveforms = server.fetch_batch(batch)
+                served[worker_id] += len(waveforms)
+                for key, waveform in zip(batch, waveforms):
+                    with history_lock:
+                        committed = list(history[key])
+                    if not any(
+                        np.array_equal(waveform.samples, want)
+                        for want in committed
+                    ):
+                        mismatches[0] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), name=f"bench-rw-{i}")
+            for i in range(reader_threads)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+
+        writer = StoreWriter(rw_dir)
+        try:
+            for _ in range(commits):
+                for _ in range(1 + rng.randrange(3)):
+                    key = keys[rng.randrange(len(keys))]
+                    result = compiler.compile_waveform(
+                        _recalibrated(current[key], rng)
+                    )
+                    writer.put(key[0], key[1], result)
+                    current[key] = result.reconstructed
+                    # Record the candidate *before* the publish: a
+                    # reader may adopt the new generation the instant
+                    # the manifest lands, ahead of this thread.
+                    with history_lock:
+                        history[key].append(result.reconstructed.samples)
+                writer.commit()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            writer.close()
+        elapsed = time.perf_counter() - start
+        server.refresh()
+        generation = server.store.generation
+
+        paused_reads, nonblocking = _paused_commit_reads(
+            server, rw_dir, rng
+        )
+
+    return {
+        "device": device_name,
+        "n_shards": n_shards,
+        "reader_threads": reader_threads,
+        "commits": commits,
+        "generation": generation,
+        "refresh_adoptions": refreshes[0],
+        "reads_served": sum(served),
+        "mixed_pulses_per_s": sum(served) / elapsed if elapsed else 0.0,
+        "identity_ok": mismatches[0] == 0,
+        "reads_during_paused_commit": paused_reads,
+        "readers_nonblocking_ok": bool(nonblocking),
+    }
+
+
 def run_serving_bench(
     device_specs: Sequence[str] = SERVING_QUICK_DEVICE_SPECS,
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
@@ -179,12 +404,15 @@ def run_serving_bench(
     window_size: int = 16,
     variant: str = "int-DCT-W",
     max_workers: int = 4,
+    mixed_commits: int = 4,
 ) -> Dict:
     """Run the serving benchmark; returns the JSON-serializable payload.
 
     One entry per ``device x shard count x cache fraction``.  The trace
     (Zipf over the device's keys, fixed seed) and the naive baseline
     are shared across a device's configs so speedups are comparable.
+    ``mixed_commits`` sizes the per-device mixed read/write section
+    (0 skips it, dropping the v3 gates).
     """
     if not device_specs:
         raise DeviceError("serving bench needs at least one device spec")
@@ -198,6 +426,7 @@ def run_serving_bench(
         raise DeviceError("n_requests and batch_size must be >= 1")
 
     entries: List[Dict] = []
+    mixed_entries: List[Dict] = []
     for spec in device_specs:
         device = resolve_device(spec)
         library = device.pulse_library()
@@ -298,6 +527,14 @@ def run_serving_bench(
                         }
                     )
 
+            if mixed_commits:
+                mixed_entries.append(
+                    _run_mixed_rw(
+                        compiled, device.name, tmp, shard_counts[0],
+                        batch_size, seed, mixed_commits,
+                    )
+                )
+
     full_cache = [e for e in entries if e["cache_size"] >= e["n_pulses"]]
     warm_full = [e["warm_speedup_vs_naive"] for e in full_cache]
     warm_all = [e["warm_speedup_vs_naive"] for e in entries]
@@ -315,6 +552,10 @@ def run_serving_bench(
             np.mean([e["record_bytes_per_pulse"] for e in entries])
         ),
         "n_entries": len(entries),
+        "mixed_identity_ok": all(e["identity_ok"] for e in mixed_entries),
+        "readers_nonblocking_ok": all(
+            e["readers_nonblocking_ok"] for e in mixed_entries
+        ),
     }
     return {
         "schema": SERVING_BENCH_SCHEMA,
@@ -332,8 +573,10 @@ def run_serving_bench(
             "window_size": window_size,
             "variant": variant,
             "max_workers": max_workers,
+            "mixed_commits": mixed_commits,
         },
         "entries": entries,
+        "mixed": mixed_entries,
         "summary": summary,
     }
 
@@ -366,6 +609,14 @@ def render_serving_table(payload: Dict) -> str:
             f"(gate {summary['warm_speedup_gate']:.0f}x: "
             f"{'ok' if summary['warm_speedup_gate_ok'] else 'FAILED'})"
         )
+    if payload.get("mixed"):
+        mixed_pps = min(e["mixed_pulses_per_s"] for e in payload["mixed"])
+        notes.append(
+            f"mixed r/w >= {mixed_pps:.0f} p/s, versioned identity "
+            f"{'ok' if summary.get('mixed_identity_ok') else 'FAILED'}, "
+            "readers non-blocking "
+            f"{'ok' if summary.get('readers_nonblocking_ok') else 'FAILED'}"
+        )
     return render_table(
         "Pulse serving: store + cache + server vs naive decode loop "
         f"(WS={payload['config']['window_size']}, "
@@ -392,17 +643,32 @@ def write_serving_json(
     """Write the payload to disk; returns the resolved path."""
     out = pathlib.Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write(out, (json.dumps(payload, indent=2) + "\n").encode("ascii"))
     return out.resolve()
 
 
 def serving_gates_ok(payload: Dict) -> Tuple[bool, List[str]]:
-    """CI verdict: (ok, failure messages).  Identity is the hard gate."""
+    """CI verdict: (ok, failure messages).  Identity is the hard gate.
+
+    Payloads carrying the schema-v3 ``mixed`` section additionally gate
+    on versioned identity under live writes and on the paused-commit
+    readers-never-blocked proof.
+    """
     failures: List[str] = []
     if not payload["summary"]["all_identity_ok"]:
         failures.append(
             "served waveforms are not bit-identical to decompress_channel"
         )
+    if payload.get("mixed"):
+        if not payload["summary"].get("mixed_identity_ok"):
+            failures.append(
+                "mixed r/w: a served waveform matched no committed version"
+            )
+        if not payload["summary"].get("readers_nonblocking_ok"):
+            failures.append(
+                "mixed r/w: reads did not complete while a commit was "
+                "paused pre-publish"
+            )
     return (not failures, failures)
 
 
@@ -421,6 +687,8 @@ def run_serving_soak(
     fault_period: int = 7,
     decode_workers: int = 2,
     trace_sample_rate: float = 0.0,
+    write_commits: int = 12,
+    store_dir=None,
 ) -> Dict:
     """Run the fault-injection soak over each bench device.
 
@@ -428,7 +696,8 @@ def run_serving_soak(
     throughput, this runs the same store/cache/server/net stack under
     the seeded fault plan of :func:`repro.chaos.run_chaos` -- one run
     per device spec, including the decode-pool SIGKILL storm when
-    ``decode_workers > 0`` -- and returns a JSON-able payload whose
+    ``decode_workers > 0`` and the commit-protocol write storm when
+    ``write_commits > 0`` -- and returns a JSON-able payload whose
     ``all_ok`` is the CI gate (see :func:`soak_gates_ok`).
     """
     from repro.chaos import CHAOS_SCHEMA, FaultPlan, run_chaos
@@ -446,6 +715,8 @@ def run_serving_soak(
             plan=FaultPlan(seed=seed, period=fault_period),
             decode_workers=decode_workers,
             trace_sample_rate=trace_sample_rate,
+            write_commits=write_commits,
+            store_dir=store_dir,
         )
         for spec in device_specs
     ]
@@ -463,6 +734,7 @@ def run_serving_soak(
             "fault_period": fault_period,
             "decode_workers": decode_workers,
             "trace_sample_rate": trace_sample_rate,
+            "write_commits": write_commits,
         },
         "entries": [report.as_dict() for report in reports],
         "all_ok": all(report.ok for report in reports),

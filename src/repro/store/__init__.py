@@ -31,19 +31,29 @@ Quickstart::
         batch = server.fetch_batch([("x", (1,)), ("cx", (0, 1))])
 """
 
+from repro.store.atomic import atomic_write
 from repro.store.sharded import (
     MANIFEST_NAME,
     STORE_FORMAT_VERSION,
+    STORE_FORMAT_VERSION_V2,
     STORE_MAGIC,
+    STORE_MAGIC_V2,
     ShardedStore,
     StoreHandle,
     StoreRecord,
+    generation_manifest_name,
     open_store,
     save_store,
     shard_index,
 )
 from repro.store.cache import CacheStats, PulseCache
 from repro.store.server import PulseServer, ServerStats
+from repro.store.verify import VerifyReport, verify_store
+from repro.store.writable import (
+    COMMIT_HOOK_POINTS,
+    COMPACT_HOOK_POINTS,
+    StoreWriter,
+)
 from repro.store.trace import (
     arrival_times,
     load_trace,
@@ -54,13 +64,22 @@ from repro.store.trace import (
 __all__ = [
     "STORE_MAGIC",
     "STORE_FORMAT_VERSION",
+    "STORE_MAGIC_V2",
+    "STORE_FORMAT_VERSION_V2",
     "MANIFEST_NAME",
     "StoreRecord",
     "ShardedStore",
     "StoreHandle",
     "shard_index",
+    "generation_manifest_name",
     "save_store",
     "open_store",
+    "atomic_write",
+    "StoreWriter",
+    "COMMIT_HOOK_POINTS",
+    "COMPACT_HOOK_POINTS",
+    "VerifyReport",
+    "verify_store",
     "CacheStats",
     "PulseCache",
     "ServerStats",

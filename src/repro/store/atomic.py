@@ -1,0 +1,80 @@
+"""Crash-safe file publication: temp file + fsync + atomic rename.
+
+Every durable artifact this project writes -- store manifests, shard
+files, committed ``BENCH_*.json`` baselines, chaos reports, traces --
+goes through :func:`atomic_write`.  The discipline is the classic
+three-step publish:
+
+1. write the full payload to a temp file *in the same directory* (so
+   the final rename never crosses a filesystem boundary),
+2. ``fsync`` the temp file so the payload is on stable storage before
+   the name exists,
+3. ``os.replace`` onto the final name (atomic on POSIX and NTFS), then
+   ``fsync`` the directory so the rename itself is durable.
+
+A crash at any point leaves either the old file intact or the new file
+complete -- never a truncated hybrid.  The worst case is an orphaned
+``*.tmp-*`` sibling, which readers ignore and a later write of the
+same target sweeps up.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Union
+
+__all__ = ["atomic_write", "fsync_dir"]
+
+
+def fsync_dir(path: Union[str, pathlib.Path]) -> None:
+    """fsync a directory so a rename inside it is durable.
+
+    Best-effort on platforms where directories cannot be opened
+    (Windows raises ``OSError``/``PermissionError``); the rename itself
+    is still atomic there.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, pathlib.Path],
+    data: Union[bytes, str],
+    fsync: bool = True,
+) -> pathlib.Path:
+    """Publish ``data`` at ``path`` atomically; returns the final path.
+
+    ``str`` payloads are encoded UTF-8.  ``fsync=False`` keeps the
+    write-temp-then-rename atomicity (readers never observe a torn
+    file) but skips the flush-to-stable-storage step -- acceptable for
+    scratch artifacts, never for store manifests or shards.
+    """
+    target = pathlib.Path(path)
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(target.parent)
+    return target

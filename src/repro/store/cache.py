@@ -157,12 +157,18 @@ class PulseCache:
         self.store = store
         self.capacity = capacity
         self._lru: "OrderedDict[_Key, Waveform]" = OrderedDict()
+        # Record version each cached entry was decoded at (CQS2): the
+        # adoption path evicts on (key, version) change, and in-flight
+        # fills that raced an adoption are dropped via the epoch.
+        self._versions: Dict[_Key, int] = {}
+        self._epoch = 0
         self._lock = threading.RLock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._hits = self.metrics.counter("cache.hits")
         self._misses = self.metrics.counter("cache.misses")
         self._insertions = self.metrics.counter("cache.insertions")
         self._evictions = self.metrics.counter("cache.evictions")
+        self._invalidations = self.metrics.counter("cache.invalidations")
 
     # -- probes ---------------------------------------------------------------
 
@@ -206,12 +212,24 @@ class PulseCache:
         )
         if not unique:
             return {}
-        decoded = self.store.decode_many(unique)
+        with self._lock:
+            store = self.store
+            epoch = self._epoch
+        decoded = store.decode_many(unique)
         preempt("cache.load.pre_insert")
         out: Dict[_Key, Waveform] = {}
         with self._lock:
+            # A generation adoption that raced this fill makes the
+            # decoded snapshot stale for *caching* (the reader still
+            # gets its consistent snapshot back) -- inserting would
+            # resurrect superseded samples into a newer-generation
+            # cache.
+            stale = self._epoch != epoch
             for key, waveform in zip(unique, decoded):
-                out[key] = self._insert(key, waveform)
+                if stale:
+                    out[key] = _lock_samples(waveform)
+                else:
+                    out[key] = self._insert(key, waveform, store)
         return out
 
     def insert_decoded(
@@ -249,7 +267,31 @@ class PulseCache:
         reports 0 rather than the whole library again.
         """
         if shards is None:
-            shards = range(self.store.n_shards)
+            shards = range(self.store.shard_count)
+        if getattr(self.store, "generation", 0) > 0:
+            # A CQS2 generation's shard files still hold superseded and
+            # tombstoned record bytes; warming must go through the live
+            # index, not raw container order.
+            wanted = set(shards)
+            to_load: List[_Key] = []
+            with self._lock:
+                room = self.capacity - len(self._lru)
+                for key in self.store.keys():
+                    if room <= 0:
+                        break
+                    if key in self._lru:
+                        continue
+                    if self.store.record_info(*key).shard not in wanted:
+                        continue
+                    to_load.append(key)
+                    room -= 1
+            if not to_load:
+                return 0
+            decoded = self.store.decode_many(to_load)
+            with self._lock:
+                for key, waveform in zip(to_load, decoded):
+                    self._insert(key, waveform)
+            return len(to_load)
         inserted = 0
         for shard in shards:
             with self._lock:
@@ -264,23 +306,69 @@ class PulseCache:
                     self._insert(key, waveform)
         return inserted
 
-    def _insert(self, key: _Key, waveform: Waveform) -> Waveform:
+    def _insert(
+        self, key: _Key, waveform: Waveform, store: Optional[ShardedStore] = None
+    ) -> Waveform:
         """Insert under the lock, evicting least-recent entries to fit.
 
         Stores -- and returns -- the sample-locked form of the waveform
         (see :func:`_lock_samples`): the one object every later hit is
-        served, with a buffer no caller can re-enable writes on.
+        served, with a buffer no caller can re-enable writes on.  The
+        entry is tagged with its record version from ``store`` (the
+        snapshot it was decoded against) so generation adoption can
+        invalidate precisely.
         """
+        if store is None:
+            store = self.store
+        try:
+            version = store.record_info(*key).version
+        except StoreError:
+            version = 1
         already_present = key in self._lru
         waveform = _lock_samples(waveform)
         self._lru[key] = waveform
+        self._versions[key] = version
         self._lru.move_to_end(key)
         if not already_present:
             self._insertions.inc()
             while len(self._lru) > self.capacity:
-                self._lru.popitem(last=False)
+                evicted, _waveform = self._lru.popitem(last=False)
+                self._versions.pop(evicted, None)
                 self._evictions.inc()
         return waveform
+
+    # -- generation adoption ---------------------------------------------------
+
+    def adopt_store(self, new_store: ShardedStore) -> int:
+        """Swap to a newer store generation; invalidate by (key, version).
+
+        Entries whose record version is unchanged in the new generation
+        stay hot (compaction moves bytes, not content); entries that
+        were re-put or tombstoned are dropped.  Each drop counts as one
+        ``cache.evictions`` (preserving the ``insertions - evictions ==
+        size`` law) and one ``cache.invalidations`` (so the two causes
+        stay distinguishable in the registry).  Returns the number of
+        entries invalidated.
+        """
+        with self._lock:
+            if new_store is self.store:
+                return 0
+            self.store = new_store
+            self._epoch += 1
+            stale: List[_Key] = []
+            for key, version in self._versions.items():
+                try:
+                    current = new_store.record_info(*key).version
+                except StoreError:
+                    current = -1
+                if current != version:
+                    stale.append(key)
+            for key in stale:
+                self._lru.pop(key, None)
+                self._versions.pop(key, None)
+                self._evictions.inc()
+                self._invalidations.inc()
+            return len(stale)
 
     # -- the public read path -------------------------------------------------
 
@@ -333,6 +421,7 @@ class PulseCache:
         """Drop every cached waveform (counters keep their history)."""
         with self._lock:
             self._lru.clear()
+            self._versions.clear()
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -137,6 +137,7 @@ class PulseServer:
             else PulseCache(store, cache_capacity, metrics=self.metrics)
         )
         self._pool = None
+        self._pool_config = (workers, shm_limit, start_method)
         if workers > 0:
             # Imported lazily: repro.serve_net.workers imports from
             # repro.store, so a module-level import here would cycle.
@@ -149,6 +150,10 @@ class PulseServer:
                 start_method=start_method,
                 metrics=self.metrics,
             )
+        # Sized to the hash-routing width; a CQS2 generation's shard
+        # *table* can be wider (staged commit files), so fills index
+        # these modulo len -- same single-flight guarantee, staged
+        # shards simply share a lock with one base shard.
         self._shard_locks = tuple(
             threading.Lock() for _ in range(store.n_shards)
         )
@@ -157,6 +162,7 @@ class PulseServer:
             thread_name_prefix="pulse-serve",
         )
         self._stats_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
         self._requests = self.metrics.counter("server.requests")
         self._batches = self.metrics.counter("server.batches")
         self._shard_fills = self.metrics.counter("server.shard_fills")
@@ -268,6 +274,54 @@ class PulseServer:
             self._batches.inc()
         return [resolved[key] for key in keys]
 
+    # -- generation adoption -----------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Adopt the newest committed store generation, if one exists.
+
+        Reopens the store directory; when a different generation than
+        the one being served has been committed (by a
+        :class:`repro.store.writable.StoreWriter`, possibly in another
+        process), swaps it in: the cache invalidates precisely by
+        (key, version) via :meth:`PulseCache.adopt_store`, the decode
+        pool (if any) is restarted on the new snapshot (workers pin
+        their own generation at open), and the old snapshot's mmap pool
+        is released.  Returns ``True`` iff a new generation was adopted.
+
+        Readers are never blocked: adoption swaps references under the
+        cache lock only, and fills in flight against the old snapshot
+        complete normally -- they return their (snapshot-consistent)
+        waveforms but skip the cache insert, so the cache never mixes
+        generations.
+        """
+        with self._refresh_lock:
+            current = self.store
+            fresh = current.handle().open()
+            if fresh.generation == current.generation:
+                fresh.close()
+                return False
+            invalidated = self.cache.adopt_store(fresh)
+            self.store = fresh
+            self.metrics.counter("server.generation_adoptions").inc()
+            self.metrics.counter("server.refresh_invalidations").inc(invalidated)
+            if self._pool is not None:
+                from repro.serve_net.workers import DEFAULT_SHM_LIMIT, DecodePool
+
+                old_pool, self._pool = self._pool, None
+                old_pool.close()
+                workers, shm_limit, start_method = self._pool_config
+                self._pool = DecodePool(
+                    fresh.handle(),
+                    workers=workers,
+                    shm_limit=(
+                        DEFAULT_SHM_LIMIT if shm_limit is None else shm_limit
+                    ),
+                    start_method=start_method,
+                    metrics=self.metrics,
+                )
+            current.close()
+            return True
+
     # -- fills -----------------------------------------------------------------
 
     def _fill_shard(self, shard: int, keys: List[_Key]) -> Dict[_Key, Waveform]:
@@ -282,7 +336,7 @@ class PulseServer:
         started = time.perf_counter()
         with obs_trace.span("server.fill", shard=shard, keys=len(keys)):
             preempt("server.fill.pre_lock")
-            with self._shard_locks[shard]:
+            with self._shard_locks[shard % len(self._shard_locks)]:
                 preempt("server.fill.locked")
                 to_load: List[_Key] = []
                 for key in keys:

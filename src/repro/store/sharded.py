@@ -56,6 +56,7 @@ from __future__ import annotations
 import json
 import mmap
 import pathlib
+import re
 import threading
 import time
 import zlib
@@ -75,11 +76,16 @@ from repro.compression.bitstream import (
 from repro.compression.fastpath import decode_library_bytes, decode_records
 from repro.compression.pipeline import CompressedWaveform
 from repro.pulses.waveform import Waveform
+from repro.store.atomic import atomic_write
 
 __all__ = [
     "STORE_MAGIC",
     "STORE_FORMAT_VERSION",
+    "STORE_MAGIC_V2",
+    "STORE_FORMAT_VERSION_V2",
     "MANIFEST_NAME",
+    "generation_manifest_name",
+    "list_generation_manifests",
     "StoreRecord",
     "StoreHandle",
     "normalize_key",
@@ -91,7 +97,33 @@ __all__ = [
 
 STORE_MAGIC = "CQS1"
 STORE_FORMAT_VERSION = 1
+#: The writable, versioned store layer (see :mod:`repro.store.writable`):
+#: a ``CQS2`` manifest adds a generation counter, per-record versions,
+#: and tombstones on top of the ``CQS1`` layout.  Shard files are
+#: unchanged ``CQL1`` containers either way.
+STORE_MAGIC_V2 = "CQS2"
+STORE_FORMAT_VERSION_V2 = 2
 MANIFEST_NAME = "manifest.json"
+
+_GEN_MANIFEST_RE = re.compile(r"^manifest-(\d{10})\.json$")
+
+
+def generation_manifest_name(generation: int) -> str:
+    """The manifest file name for one committed CQS2 generation."""
+    if generation < 1:
+        raise StoreError(f"generation must be >= 1, got {generation}")
+    return f"manifest-{generation:010d}.json"
+
+
+def list_generation_manifests(root: pathlib.Path) -> List[Tuple[int, pathlib.Path]]:
+    """All CQS2 generation manifests under ``root``, newest first."""
+    found = []
+    for path in root.glob("manifest-*.json"):
+        match = _GEN_MANIFEST_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort(key=lambda pair: pair[0], reverse=True)
+    return found
 
 _Key = Tuple[str, Tuple[int, ...]]
 
@@ -118,7 +150,14 @@ def shard_index(gate: str, qubits: Sequence[int], n_shards: int) -> int:
 
 @dataclass(frozen=True, slots=True)
 class StoreRecord:
-    """One manifest index row: where a pulse lives and its metadata."""
+    """One manifest index row: where a pulse lives and its metadata.
+
+    ``version`` is the record's logical version under the CQS2
+    writable layer: 1 for every record of a freshly saved (CQS1)
+    store, bumped on each re-put by :class:`repro.store.writable.StoreWriter`.
+    Caches invalidate on ``(key, version)`` change at generation
+    adoption.
+    """
 
     gate: str
     qubits: Tuple[int, ...]
@@ -127,6 +166,7 @@ class StoreRecord:
     length: int
     mse: float
     threshold: float
+    version: int = 1
 
 
 @dataclass(frozen=True)
@@ -210,7 +250,7 @@ def save_store(
             )
         )
         file_name = _shard_file_name(shard)
-        (out / file_name).write_bytes(blob)
+        atomic_write(out / file_name, blob)
         shard_table.append(
             {"file": file_name, "n_entries": len(entries), "n_bytes": len(blob)}
         )
@@ -227,12 +267,21 @@ def save_store(
                 }
             )
 
-    # Overwriting a wider layout must not leave its extra shard files
-    # behind: anything matching the shard naming scheme beyond n_shards
-    # is a stale orphan from a previous save.
+    # Overwriting an existing store must not leave stale state behind
+    # that would outrank or corrupt the fresh save: extra base shard
+    # files from a wider layout, staged CQS2 shard files, *newer*
+    # generation manifests (which open() would prefer over this save),
+    # and orphaned publish temp files all go.
+    live = {row["file"] for row in shard_table}
     for stale in out.glob("shard-[0-9][0-9][0-9][0-9].cql"):
-        if stale.name not in {row["file"] for row in shard_table}:
+        if stale.name not in live:
             stale.unlink()
+    for stale in out.glob("shard-g*.cql"):
+        stale.unlink()
+    for _gen, stale in list_generation_manifests(out):
+        stale.unlink()
+    for orphan in out.glob("*.tmp-*"):
+        orphan.unlink(missing_ok=True)
 
     manifest = {
         "magic": STORE_MAGIC,
@@ -245,7 +294,7 @@ def save_store(
         "shards": shard_table,
         "entries": index,
     }
-    (out / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1) + "\n")
+    atomic_write(out / MANIFEST_NAME, json.dumps(manifest, indent=1) + "\n")
     return ShardedStore.open(out)
 
 
@@ -376,17 +425,29 @@ class ShardedStore:
         shard_files: Tuple[str, ...],
         index: Dict[_Key, StoreRecord],
         max_open_shards: int = 8,
+        generation: int = 0,
+        tombstones: Optional[Dict[_Key, int]] = None,
     ) -> None:
         self.path = path
         self.device_name = device_name
         self.variant = variant
         self.window_size = window_size
+        # Hash-routing width (shard_index modulus).  A CQS2 store's
+        # shard *table* can be wider: staged commit files append beyond
+        # the base layout, so use ``shard_count`` to iterate files.
         self.n_shards = n_shards
+        #: Committed CQS2 generation this handle is pinned to (0 for a
+        #: plain CQS1 store).  The mmap pool below maps exactly this
+        #: generation's files, so reads stay snapshot-consistent while
+        #: a writer publishes newer generations into the directory.
+        self.generation = generation
+        #: Deleted keys -> the version at which they were deleted.
+        self.tombstones: Dict[_Key, int] = dict(tombstones or {})
         self._shard_files = shard_files
         self._index = index
         self._pool = _MmapPool(
             tuple(path / name for name in shard_files),
-            max_open=min(max_open_shards, n_shards),
+            max_open=min(max_open_shards, max(1, len(shard_files))),
         )
 
     def handle(self) -> StoreHandle:
@@ -418,20 +479,59 @@ class ShardedStore:
     ) -> "ShardedStore":
         """Open a store directory, validating its manifest and layout.
 
+        Recovery-on-open: CQS2 generation manifests are tried newest
+        first, falling back to the legacy ``manifest.json`` (generation
+        0).  The first candidate that fully validates -- parse, magic,
+        shard files present at the recorded sizes, spans in range --
+        wins, so a crash that left a torn temp manifest or an orphaned
+        staged shard reopens as the newest *committed* generation,
+        never a hybrid.
+
         Args:
             path: The ``*.cqs`` store directory.
             max_open_shards: Upper bound on concurrently resident shard
                 mmaps (the handle-pool budget).
         """
         root = pathlib.Path(path)
-        manifest_path = root / MANIFEST_NAME
+        candidates: List[Tuple[int, pathlib.Path]] = list_generation_manifests(root)
+        legacy = root / MANIFEST_NAME
+        if legacy.is_file() or not candidates:
+            candidates.append((0, legacy))
+        if not candidates[0][1].is_file() and len(candidates) == 1:
+            raise StoreError(f"no CQS1 manifest at {legacy}")
+        failures: List[str] = []
+        for _generation, manifest_path in candidates:
+            try:
+                return cls._open_manifest(root, manifest_path, max_open_shards)
+            except StoreError as exc:
+                failures.append(f"{manifest_path.name}: {exc}")
+        if len(failures) == 1:
+            raise StoreError(failures[0].split(": ", 1)[1])
+        raise StoreError(
+            "no openable manifest generation in "
+            f"{root}: " + "; ".join(failures)
+        )
+
+    @classmethod
+    def _open_manifest(
+        cls,
+        root: pathlib.Path,
+        manifest_path: pathlib.Path,
+        max_open_shards: int,
+    ) -> "ShardedStore":
+        """Parse and fully validate one manifest candidate (CQS1 or CQS2)."""
         if not manifest_path.is_file():
             raise StoreError(f"no CQS1 manifest at {manifest_path}")
         try:
             manifest = json.loads(manifest_path.read_text())
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise StoreError(f"corrupt CQS1 manifest: {exc}") from None
-        if not isinstance(manifest, dict) or manifest.get("magic") != STORE_MAGIC:
+        if not isinstance(manifest, dict):
+            raise StoreError(f"{manifest_path} is not a CQS1 manifest (bad magic)")
+        magic = manifest.get("magic")
+        if magic == STORE_MAGIC_V2:
+            return cls._open_v2(root, manifest_path, manifest, max_open_shards)
+        if magic != STORE_MAGIC:
             raise StoreError(f"{manifest_path} is not a CQS1 manifest (bad magic)")
         version = manifest.get("format_version")
         if version != STORE_FORMAT_VERSION:
@@ -442,7 +542,6 @@ class ShardedStore:
         try:
             n_shards = int(manifest["n_shards"])
             shard_table = manifest["shards"]
-            entry_rows = manifest["entries"]
             device_name = manifest["device_name"]
             variant = manifest["variant"]
             window_size = int(manifest["window_size"])
@@ -453,9 +552,100 @@ class ShardedStore:
                 f"manifest declares {n_shards} shards but lists "
                 f"{len(shard_table)} shard files"
             )
+        shard_files, shard_sizes = cls._validate_shard_table(root, shard_table)
+        index = cls._validate_entries(
+            manifest, shard_sizes, versioned=False
+        )
+        return cls(
+            path=root,
+            device_name=device_name,
+            variant=variant,
+            window_size=window_size,
+            n_shards=n_shards,
+            shard_files=tuple(shard_files),
+            index=index,
+            max_open_shards=max_open_shards,
+            generation=0,
+        )
 
+    @classmethod
+    def _open_v2(
+        cls,
+        root: pathlib.Path,
+        manifest_path: pathlib.Path,
+        manifest: Dict,
+        max_open_shards: int,
+    ) -> "ShardedStore":
+        """Validate one CQS2 (writable-layer) generation manifest.
+
+        Unknown top-level fields are tolerated (forward compatibility);
+        structural damage -- duplicate entry keys, a tombstone colliding
+        with a live entry, bad versions or generations -- is a typed
+        :class:`StoreError`.
+        """
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION_V2:
+            raise StoreError(
+                f"unsupported CQS2 format version {version!r} "
+                f"(this build reads version {STORE_FORMAT_VERSION_V2})"
+            )
+        try:
+            generation = int(manifest["generation"])
+            n_shards = int(manifest["n_shards"])
+            shard_table = manifest["shards"]
+            device_name = manifest["device_name"]
+            variant = manifest["variant"]
+            window_size = int(manifest["window_size"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed CQS2 manifest: {exc!r}") from None
+        if generation < 1:
+            raise StoreError(f"CQS2 generation must be >= 1, got {generation}")
+        if n_shards < 1:
+            raise StoreError(f"n_shards must be >= 1, got {n_shards}")
+        if not isinstance(shard_table, list) or len(shard_table) < 1:
+            raise StoreError("CQS2 manifest lists no shard files")
+        shard_files, shard_sizes = cls._validate_shard_table(root, shard_table)
+        index = cls._validate_entries(manifest, shard_sizes, versioned=True)
+        tombstones: Dict[_Key, int] = {}
+        for row in manifest.get("tombstones", []):
+            try:
+                key = (str(row["gate"]), tuple(int(q) for q in row["qubits"]))
+                dead_version = int(row["version"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StoreError(f"malformed tombstone row: {exc!r}") from None
+            if dead_version < 1:
+                raise StoreError(
+                    f"tombstone for {key} has version {dead_version} (< 1)"
+                )
+            if key in index:
+                raise StoreError(
+                    f"tombstone for {key[0]!r} {key[1]} collides with a "
+                    "live manifest entry"
+                )
+            if key in tombstones:
+                raise StoreError(f"duplicate tombstone for {key[0]!r} {key[1]}")
+            tombstones[key] = dead_version
+        return cls(
+            path=root,
+            device_name=device_name,
+            variant=variant,
+            window_size=window_size,
+            n_shards=n_shards,
+            shard_files=tuple(shard_files),
+            index=index,
+            max_open_shards=max_open_shards,
+            generation=generation,
+            tombstones=tombstones,
+        )
+
+    @staticmethod
+    def _validate_shard_table(
+        root: pathlib.Path, shard_table: List
+    ) -> Tuple[List[str], List[int]]:
+        """Check every listed shard file exists at its recorded size."""
         shard_sizes: List[int] = []
         shard_files: List[str] = []
+        seen: set = set()
         for shard, row in enumerate(shard_table):
             try:
                 file_name = str(row["file"])
@@ -464,6 +654,9 @@ class ShardedStore:
                 raise StoreError(
                     f"malformed shard table row {shard}: {exc!r}"
                 ) from None
+            if file_name in seen:
+                raise StoreError(f"duplicate shard file {file_name!r} in manifest")
+            seen.add(file_name)
             shard_path = root / file_name
             if not shard_path.is_file():
                 raise StoreError(f"missing shard file {shard_path}")
@@ -475,8 +668,19 @@ class ShardedStore:
                 )
             shard_sizes.append(actual)
             shard_files.append(file_name)
+        return shard_files, shard_sizes
 
+    @staticmethod
+    def _validate_entries(
+        manifest: Dict, shard_sizes: List[int], versioned: bool
+    ) -> Dict[_Key, StoreRecord]:
+        """Range-check and index the manifest's entry rows."""
+        try:
+            entry_rows = manifest["entries"]
+        except KeyError as exc:
+            raise StoreError(f"malformed CQS1 manifest: {exc!r}") from None
         index: Dict[_Key, StoreRecord] = {}
+        n_files = len(shard_sizes)
         for row in entry_rows:
             try:
                 record = StoreRecord(
@@ -487,13 +691,19 @@ class ShardedStore:
                     length=int(row["length"]),
                     mse=float(row["mse"]),
                     threshold=float(row["threshold"]),
+                    version=int(row["version"]) if versioned else 1,
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 raise StoreError(f"malformed manifest entry: {exc!r}") from None
-            if not 0 <= record.shard < n_shards:
+            if record.version < 1:
+                raise StoreError(
+                    f"entry {record.gate!r} {record.qubits} has version "
+                    f"{record.version} (< 1)"
+                )
+            if not 0 <= record.shard < n_files:
                 raise StoreError(
                     f"entry {record.gate!r} {record.qubits} names shard "
-                    f"{record.shard} of {n_shards}"
+                    f"{record.shard} of {n_files}"
                 )
             if record.offset < 0 or record.length < 1 or (
                 record.offset + record.length > shard_sizes[record.shard]
@@ -504,7 +714,13 @@ class ShardedStore:
                     f"overruns shard {record.shard} "
                     f"({shard_sizes[record.shard]} bytes)"
                 )
-            index[(record.gate, record.qubits)] = record
+            key = (record.gate, record.qubits)
+            if key in index:
+                raise StoreError(
+                    f"duplicate manifest entry for {record.gate!r} "
+                    f"{record.qubits}"
+                )
+            index[key] = record
         try:
             declared_entries = int(manifest.get("n_entries", len(index)))
         except (TypeError, ValueError) as exc:
@@ -514,16 +730,7 @@ class ShardedStore:
                 f"manifest declares {declared_entries} entries, "
                 f"index holds {len(index)}"
             )
-        return cls(
-            path=root,
-            device_name=device_name,
-            variant=variant,
-            window_size=window_size,
-            n_shards=n_shards,
-            shard_files=tuple(shard_files),
-            index=index,
-            max_open_shards=max_open_shards,
-        )
+        return index
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -546,6 +753,16 @@ class ShardedStore:
     def open_shard_handles(self) -> int:
         """Currently resident shard mmaps (bounded by the pool)."""
         return self._pool.open_count
+
+    @property
+    def shard_count(self) -> int:
+        """Shard *files* in this generation's table.
+
+        Equal to ``n_shards`` for a plain CQS1 store; a CQS2 generation
+        appends staged commit files beyond the hash-routing width, so
+        iterate files with this, route keys with ``n_shards``.
+        """
+        return len(self._shard_files)
 
     # -- inventory -----------------------------------------------------------
 
@@ -574,8 +791,8 @@ class ShardedStore:
             ) from None
 
     def shard_path(self, shard: int) -> pathlib.Path:
-        if not 0 <= shard < self.n_shards:
-            raise StoreError(f"shard {shard} out of range [0, {self.n_shards})")
+        if not 0 <= shard < self.shard_count:
+            raise StoreError(f"shard {shard} out of range [0, {self.shard_count})")
         return self.path / self._shard_files[shard]
 
     # -- demand reads --------------------------------------------------------
@@ -683,8 +900,8 @@ class ShardedStore:
 
     def _shard_view(self, shard: int) -> memoryview:
         """Whole-shard zero-copy view (range-checked, pool-served)."""
-        if not 0 <= shard < self.n_shards:
-            raise StoreError(f"shard {shard} out of range [0, {self.n_shards})")
+        if not 0 <= shard < self.shard_count:
+            raise StoreError(f"shard {shard} out of range [0, {self.shard_count})")
         return self._pool.view(shard)
 
     def read_shard(self, shard: int) -> LibraryBitstream:
@@ -728,10 +945,29 @@ class ShardedStore:
             window_size=self.window_size,
             variant=self.variant,
         )
+        if self.generation > 0:
+            # A CQS2 generation's shard files still hold superseded and
+            # tombstoned record bytes; only the manifest index is truth.
+            keys = self.keys()
+            compressed = self.read_many(keys)
+            if keys:
+                reconstructed = decompress_batch(compressed)
+                for key, parsed, waveform in zip(keys, compressed, reconstructed):
+                    info = self._index[key]
+                    library.add(
+                        key,
+                        CompressionResult(
+                            compressed=parsed,
+                            reconstructed=waveform,
+                            mse=info.mse,
+                            threshold=info.threshold,
+                        ),
+                    )
+            return library
         entries: List[LibraryEntry] = []
-        for shard in range(self.n_shards):
+        for shard in range(self.shard_count):
             entries.extend(self.read_shard(shard).entries)
-        if len(entries) != len(self._index):
+        if self.generation == 0 and len(entries) != len(self._index):
             raise StoreError(
                 f"shards hold {len(entries)} entries, manifest indexes "
                 f"{len(self._index)}"
@@ -753,12 +989,15 @@ class ShardedStore:
     @property
     def total_shard_bytes(self) -> int:
         """Compressed on-disk footprint across all shard files."""
-        return sum(self.shard_path(s).stat().st_size for s in range(self.n_shards))
+        return sum(
+            self.shard_path(s).stat().st_size for s in range(self.shard_count)
+        )
 
     def __repr__(self) -> str:
         return (
             f"ShardedStore({self.device_name!r}, variant={self.variant!r}, "
-            f"n_shards={self.n_shards}, n_entries={len(self)})"
+            f"n_shards={self.n_shards}, generation={self.generation}, "
+            f"n_entries={len(self)})"
         )
 
 

@@ -24,6 +24,7 @@ from typing import List, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import StoreError
+from repro.store.atomic import atomic_write
 from repro.store.sharded import normalize_key
 
 __all__ = ["load_trace", "write_trace", "synthetic_trace", "arrival_times"]
@@ -86,7 +87,7 @@ def write_trace(
         [gate, [int(q) for q in qubits]] for gate, qubits in requests
     ]
     out = pathlib.Path(path)
-    out.write_text(json.dumps({"requests": rows}, indent=0) + "\n")
+    atomic_write(out, json.dumps({"requests": rows}, indent=0) + "\n")
     return out.resolve()
 
 

@@ -1,0 +1,501 @@
+"""The CQS2 writable store layer: staged updates, atomic generation commit.
+
+COMPAQT's pulse library is recompiled continuously -- qubits drift, the
+adaptive layer recalibrates, and the controller's waveform memory must
+pick up new pulses *while serving*.  :class:`StoreWriter` makes a CQS1
+store directory updatable without ever breaking a concurrent reader:
+
+* **Staging.**  ``put`` / ``delete`` accumulate in memory.  ``commit``
+  serializes every staged record through the fused indexed serializer
+  into **one fresh shard file** (``shard-g<generation>.cql``) -- the
+  existing shard files are never rewritten, so a reader's pinned mmap
+  snapshot stays valid byte for byte.
+
+* **Versioned manifests.**  Each commit publishes
+  ``manifest-<generation>.json`` (magic ``CQS2``): a generation
+  counter, the full live index with a per-record **version** (bumped on
+  every re-put), and **tombstones** for deletes.  Readers open the
+  newest *valid* generation; caches invalidate by (key, version) on
+  adoption (:meth:`repro.store.cache.PulseCache.adopt_store`).
+
+* **Atomic publish.**  Every file lands via temp-file + ``fsync`` +
+  ``os.replace`` + directory ``fsync``.  The manifest rename is the
+  commit point: a crash anywhere before it leaves the previous
+  generation intact (orphaned temp files and staged shards are ignored
+  and later swept); a crash anywhere after it leaves the new generation
+  fully durable.  There is no state in between -- the crash matrix in
+  the README and the chaos harness's ``crash_commit`` fault enumerate
+  every hook point below and assert exactly this.
+
+* **Compaction.**  ``compact`` re-encodes the live records through the
+  fused serializer into fresh hash-routed shard files, drops
+  tombstones and superseded bytes, and publishes the result as a new
+  generation under the very same protocol -- crash-safe for free.
+
+The writer assumes a **single writer per store directory** (the usual
+control-stack arrangement: one recalibration loop, many readers).
+Readers need no coordination at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import StoreError
+from repro.compression.bitstream import (
+    LibraryBitstream,
+    LibraryEntry,
+    serialize_library_indexed,
+)
+from repro.store.atomic import fsync_dir
+from repro.store.hooks import preempt
+from repro.store.sharded import (
+    STORE_FORMAT_VERSION_V2,
+    STORE_MAGIC_V2,
+    ShardedStore,
+    StoreRecord,
+    generation_manifest_name,
+    list_generation_manifests,
+    normalize_key,
+    shard_index,
+)
+
+__all__ = ["COMMIT_HOOK_POINTS", "COMPACT_HOOK_POINTS", "StoreWriter"]
+
+_Key = Tuple[str, Tuple[int, ...]]
+
+#: Every yield point the commit protocol passes through, in order.  The
+#: chaos harness and the crash property tests abort at each one and
+#: assert the store reopens as exactly the old or the new generation.
+#: ``writer.manifest.published`` is the commit point: aborts strictly
+#: before it reopen old, at-or-after it reopen new.
+COMMIT_HOOK_POINTS = (
+    "writer.commit.begin",
+    "writer.commit.staged",
+    "writer.shard.tmp_written",
+    "writer.shard.published",
+    "writer.manifest.tmp_written",
+    "writer.manifest.published",
+    "writer.commit.cleanup",
+)
+
+#: The compaction pass's points; the shard pair fires once per rewritten
+#: shard file.  Same old-or-new guarantee, same commit point.
+COMPACT_HOOK_POINTS = (
+    "writer.compact.begin",
+    "writer.compact.staged",
+    "writer.shard.tmp_written",
+    "writer.shard.published",
+    "writer.manifest.tmp_written",
+    "writer.manifest.published",
+    "writer.compact.cleanup",
+)
+
+
+def _staged_shard_name(generation: int) -> str:
+    return f"shard-g{generation:010d}.cql"
+
+
+def _compact_shard_name(generation: int, shard: int) -> str:
+    return f"shard-g{generation:010d}-{shard:04d}.cql"
+
+
+class StoreWriter:
+    """Single-writer update handle over a store directory.
+
+    Args:
+        path: An existing ``*.cqs`` store directory (CQS1 or any CQS2
+            generation -- the writer rebases on the newest valid one).
+
+    Use as a context manager or call :meth:`close`; the writer keeps a
+    read handle on its base generation for index/version lookups.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._store = ShardedStore.open(self.path)
+        self._puts: Dict[_Key, object] = {}
+        self._deletes: Set[_Key] = set()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def store(self) -> ShardedStore:
+        """The writer's base snapshot (the parent of the next commit)."""
+        return self._store
+
+    @property
+    def generation(self) -> int:
+        return self._store.generation
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- staging -------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Staged mutations (puts + deletes) awaiting :meth:`commit`."""
+        with self._lock:
+            return len(self._puts) + len(self._deletes)
+
+    def put(self, gate: str, qubits: Sequence[int], result) -> None:
+        """Stage one new or updated pulse.
+
+        ``result`` is a :class:`~repro.compression.pipeline.CompressionResult`
+        (what the compiler emits); its compressed record must be bound
+        to the same (gate, qubits) it is stored under -- enforced here
+        and again by the serializer at commit.
+        """
+        key = normalize_key(gate, qubits)
+        compressed = result.compressed
+        if (compressed.gate, tuple(compressed.qubits or ())) != key:
+            raise StoreError(
+                f"staged record for {key} is bound to "
+                f"({compressed.gate!r}, {compressed.qubits})"
+            )
+        with self._lock:
+            self._puts[key] = result
+            self._deletes.discard(key)
+
+    def delete(self, gate: str, qubits: Sequence[int]) -> None:
+        """Stage one deletion (published as a tombstone)."""
+        key = normalize_key(gate, qubits)
+        with self._lock:
+            if key in self._puts:
+                del self._puts[key]
+                if key not in self._store:
+                    return
+            elif key not in self._store:
+                raise StoreError(
+                    f"store {self._store.device_name!r} holds no pulse for "
+                    f"gate {key[0]!r} on qubits {key[1]}"
+                )
+            self._deletes.add(key)
+
+    def discard_pending(self) -> None:
+        """Drop every staged mutation without committing."""
+        with self._lock:
+            self._puts.clear()
+            self._deletes.clear()
+
+    # -- the atomic publish primitive ---------------------------------------
+
+    def _publish(self, name: str, data: bytes, tmp_point: str, done_point: str) -> None:
+        """temp + fsync + rename + dir-fsync, with chaos yield points.
+
+        ``tmp_point`` fires after the payload is durable under the temp
+        name (a crash here orphans one ``*.tmp-*`` file); ``done_point``
+        fires after the rename is durable.
+        """
+        target = self.path / name
+        tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            preempt(tmp_point)
+            os.replace(tmp, target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        fsync_dir(self.path)
+        preempt(done_point)
+
+    # -- commit --------------------------------------------------------------
+
+    def commit(self) -> ShardedStore:
+        """Publish every staged mutation as one new generation.
+
+        Returns a read handle on the new generation (also adopted as
+        the writer's base).  A no-op commit (nothing staged) returns
+        the current base unchanged.  On any failure -- including an
+        injected crash -- the store directory still opens as either the
+        old or the new generation.
+        """
+        with self._lock:
+            if not self._puts and not self._deletes:
+                return self._store
+            base = self._store
+            generation = base.generation + 1
+            preempt("writer.commit.begin")
+
+            staged_keys = sorted(self._puts)
+            entries = tuple(
+                LibraryEntry(
+                    gate=key[0],
+                    qubits=key[1],
+                    mse=self._puts[key].mse,
+                    threshold=self._puts[key].threshold,
+                    compressed=self._puts[key].compressed,
+                )
+                for key in staged_keys
+            )
+            staged_file: Optional[str] = None
+            spans = []
+            if entries:
+                blob, spans = serialize_library_indexed(
+                    LibraryBitstream(
+                        device_name=base.device_name,
+                        window_size=base.window_size,
+                        variant=base.variant,
+                        entries=entries,
+                    )
+                )
+                staged_file = _staged_shard_name(generation)
+            preempt("writer.commit.staged")
+
+            base_files = [base.shard_path(s).name for s in range(base.shard_count)]
+            if staged_file is not None:
+                self._publish(
+                    staged_file,
+                    blob,
+                    "writer.shard.tmp_written",
+                    "writer.shard.published",
+                )
+
+            index_rows: List[Dict] = []
+            live_per_file = [0] * (len(base_files) + (1 if staged_file else 0))
+            for key in base.keys():
+                if key in self._puts or key in self._deletes:
+                    continue
+                record = base.record_info(*key)
+                index_rows.append(_entry_row(record, record.shard))
+                live_per_file[record.shard] += 1
+            staged_shard = len(base_files)
+            for key, span in zip(staged_keys, spans):
+                result = self._puts[key]
+                if key in base:
+                    version = base.record_info(*key).version + 1
+                else:
+                    version = base.tombstones.get(key, 0) + 1
+                index_rows.append(
+                    {
+                        "gate": key[0],
+                        "qubits": list(key[1]),
+                        "shard": staged_shard,
+                        "offset": span.offset,
+                        "length": span.length,
+                        "mse": result.mse,
+                        "threshold": result.threshold,
+                        "version": version,
+                    }
+                )
+                live_per_file[staged_shard] += 1
+
+            tombstones = {
+                key: version
+                for key, version in base.tombstones.items()
+                if key not in self._puts
+            }
+            for key in sorted(self._deletes):
+                tombstones[key] = base.record_info(*key).version + 1
+
+            shard_table = [
+                {
+                    "file": name,
+                    "n_entries": live_per_file[position],
+                    "n_bytes": (self.path / name).stat().st_size,
+                }
+                for position, name in enumerate(
+                    base_files + ([staged_file] if staged_file else [])
+                )
+            ]
+            self._publish_manifest(
+                generation, base.generation, shard_table, index_rows, tombstones
+            )
+            preempt("writer.commit.cleanup")
+            self._cleanup(
+                keep_files={row["file"] for row in shard_table} | set(base_files),
+                parent_generation=base.generation,
+            )
+            self._puts.clear()
+            self._deletes.clear()
+            return self._rebase(generation)
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> ShardedStore:
+        """Re-encode live records into fresh shards; drop dead bytes.
+
+        Publishes a new generation whose shard table is exactly
+        ``n_shards`` hash-routed files rebuilt through the fused
+        serializer: superseded record bytes and tombstones are gone,
+        per-record versions are preserved (compaction moves bytes, it
+        does not change logical content, so caches stay valid).
+        Requires a clean slate -- commit or discard staged mutations
+        first.
+        """
+        with self._lock:
+            if self._puts or self._deletes:
+                raise StoreError(
+                    "commit or discard staged mutations before compacting"
+                )
+            base = self._store
+            generation = base.generation + 1
+            preempt("writer.compact.begin")
+
+            keys = base.keys()
+            parsed = base.read_many(keys)
+            by_shard: Dict[int, List[Tuple[_Key, object]]] = {
+                shard: [] for shard in range(base.n_shards)
+            }
+            for key, compressed in zip(keys, parsed):
+                by_shard[shard_index(*key, base.n_shards)].append((key, compressed))
+
+            blobs: List[bytes] = []
+            index_rows: List[Dict] = []
+            shard_table: List[Dict] = []
+            for shard in range(base.n_shards):
+                members = by_shard[shard]
+                entries = tuple(
+                    LibraryEntry(
+                        gate=key[0],
+                        qubits=key[1],
+                        mse=base.record_info(*key).mse,
+                        threshold=base.record_info(*key).threshold,
+                        compressed=compressed,
+                    )
+                    for key, compressed in members
+                )
+                blob, spans = serialize_library_indexed(
+                    LibraryBitstream(
+                        device_name=base.device_name,
+                        window_size=base.window_size,
+                        variant=base.variant,
+                        entries=entries,
+                    )
+                )
+                blobs.append(blob)
+                file_name = _compact_shard_name(generation, shard)
+                shard_table.append(
+                    {
+                        "file": file_name,
+                        "n_entries": len(entries),
+                        "n_bytes": len(blob),
+                    }
+                )
+                for (key, _compressed), span in zip(members, spans):
+                    record = base.record_info(*key)
+                    index_rows.append(
+                        _entry_row(
+                            StoreRecord(
+                                gate=key[0],
+                                qubits=key[1],
+                                shard=shard,
+                                offset=span.offset,
+                                length=span.length,
+                                mse=record.mse,
+                                threshold=record.threshold,
+                                version=record.version,
+                            ),
+                            shard,
+                        )
+                    )
+            preempt("writer.compact.staged")
+            for row, blob in zip(shard_table, blobs):
+                self._publish(
+                    row["file"],
+                    blob,
+                    "writer.shard.tmp_written",
+                    "writer.shard.published",
+                )
+            self._publish_manifest(
+                generation, base.generation, shard_table, index_rows, {}
+            )
+            preempt("writer.compact.cleanup")
+            base_files = [base.shard_path(s).name for s in range(base.shard_count)]
+            self._cleanup(
+                keep_files={row["file"] for row in shard_table} | set(base_files),
+                parent_generation=base.generation,
+            )
+            return self._rebase(generation)
+
+    # -- shared publish / cleanup machinery -----------------------------------
+
+    def _publish_manifest(
+        self,
+        generation: int,
+        parent_generation: int,
+        shard_table: List[Dict],
+        index_rows: List[Dict],
+        tombstones: Dict[_Key, int],
+    ) -> None:
+        base = self._store
+        manifest = {
+            "magic": STORE_MAGIC_V2,
+            "format_version": STORE_FORMAT_VERSION_V2,
+            "generation": generation,
+            "parent_generation": parent_generation,
+            "device_name": base.device_name,
+            "variant": base.variant,
+            "window_size": base.window_size,
+            "n_shards": base.n_shards,
+            "n_entries": len(index_rows),
+            "shards": shard_table,
+            "entries": index_rows,
+            "tombstones": [
+                {"gate": key[0], "qubits": list(key[1]), "version": version}
+                for key, version in sorted(tombstones.items())
+            ],
+        }
+        self._publish(
+            generation_manifest_name(generation),
+            (json.dumps(manifest, indent=1) + "\n").encode("utf-8"),
+            "writer.manifest.tmp_written",
+            "writer.manifest.published",
+        )
+
+    def _cleanup(self, keep_files: Set[str], parent_generation: int) -> None:
+        """Sweep state no crash-recovery path can need any more.
+
+        Runs strictly *after* the new manifest is durable, so a crash
+        mid-sweep only leaves extra files behind (which open() ignores
+        and the next commit's sweep retires).  The parent generation's
+        manifest and files are retained on purpose: they are the
+        fallback if the just-published manifest is later found torn.
+        """
+        for gen, manifest_path in list_generation_manifests(self.path):
+            if 0 < gen < parent_generation:
+                manifest_path.unlink(missing_ok=True)
+        for shard_file in self.path.glob("shard-*.cql"):
+            if shard_file.name not in keep_files:
+                shard_file.unlink(missing_ok=True)
+        for orphan in self.path.glob("*.tmp-*"):
+            orphan.unlink(missing_ok=True)
+
+    def _rebase(self, expected_generation: int) -> ShardedStore:
+        fresh = ShardedStore.open(self.path)
+        if fresh.generation != expected_generation:
+            raise StoreError(
+                f"published generation {expected_generation} but the "
+                f"directory reopened as generation {fresh.generation}"
+            )
+        old, self._store = self._store, fresh
+        old.close()
+        return fresh
+
+
+def _entry_row(record: StoreRecord, shard: int) -> Dict:
+    return {
+        "gate": record.gate,
+        "qubits": list(record.qubits),
+        "shard": shard,
+        "offset": record.offset,
+        "length": record.length,
+        "mse": record.mse,
+        "threshold": record.threshold,
+        "version": record.version,
+    }

@@ -13,6 +13,7 @@ import pytest
 from repro.chaos import (
     FAULT_KINDS,
     POOL_FAULT_KINDS,
+    WRITE_FAULT_KINDS,
     ChaosReport,
     FaultPlan,
     FaultyStore,
@@ -82,6 +83,16 @@ class TestFaultPlan:
             FaultPlan(bitflip_target="header")
         with pytest.raises(StoreError):
             FaultPlan(slow_io_delay=-1.0)
+
+    def test_write_kinds_are_valid_plan_kinds(self):
+        plan = FaultPlan(seed=1, period=2, kinds=WRITE_FAULT_KINDS)
+        schedule = [plan.fault_for(t) for t in range(8)]
+        assert schedule == [
+            None, "crash_commit",
+            None, "torn_write",
+            None, "crash_commit",
+            None, "torn_write",
+        ]
 
 
 class TestFaultyStore:
@@ -154,6 +165,13 @@ class TestFaultyStore:
         assert store.io_fault_hook is not None
         faulty.detach()
         assert store.io_fault_hook is None
+
+    def test_rejects_write_fault_kinds(self, store):
+        # Write faults target the commit protocol, not the read path; a
+        # read-side FaultyStore must refuse a plan that contains them.
+        plan = FaultPlan(seed=0, period=2, kinds=("truncate",) + WRITE_FAULT_KINDS)
+        with pytest.raises(StoreError, match="write"):
+            FaultyStore(store, plan)
 
 
 class TestPreemptHooks:
@@ -232,9 +250,10 @@ class TestRunChaos:
             device_spec="bogota", seed=0, threads=3, ops_per_thread=60,
             net_clients=2,
         )
+        assert isinstance(report, ChaosReport)
         assert report.ok, report.violations
         assert set(report.faults_injected) == (
-            set(FAULT_KINDS) | set(POOL_FAULT_KINDS)
+            set(FAULT_KINDS) | set(POOL_FAULT_KINDS) | set(WRITE_FAULT_KINDS)
         )
         assert report.typed_errors >= 1
         assert report.untyped_errors == 0
@@ -276,11 +295,42 @@ class TestRunChaos:
         assert report.pool_stats == {}
         assert not set(POOL_FAULT_KINDS) & set(report.faults_injected)
 
+    def test_write_storm_counters_and_recovery(self):
+        report = run_chaos(
+            device_spec="bogota", seed=1, threads=2, ops_per_thread=30,
+            net_clients=0, decode_workers=0, write_commits=8,
+            write_plan=FaultPlan(seed=1, period=2, kinds=WRITE_FAULT_KINDS),
+        )
+        assert report.ok, report.violations
+        assert report.write_commits == 8
+        # Every tick stages a batch; a crashed commit only counts when
+        # the manifest proved durable before the abort.
+        assert 1 <= report.commits_done <= 8
+        assert report.requests_rw > 0
+        assert report.rw_generation >= 1
+        assert report.faults_injected["crash_commit"] >= 1
+        assert report.faults_injected["torn_write"] >= 1
+        assert report.rw_stats["requests"] > 0
+        assert report.rw_stats["cache"]["size"] >= 0
+
+    def test_write_commits_zero_skips_the_write_phase(self):
+        report = run_chaos(
+            device_spec="bogota", seed=0, threads=2, ops_per_thread=30,
+            net_clients=0, decode_workers=0, write_commits=0,
+        )
+        assert report.ok, report.violations
+        assert report.write_commits == 0
+        assert report.requests_rw == 0
+        assert report.rw_stats == {}
+        assert not set(WRITE_FAULT_KINDS) & set(report.faults_injected)
+
     def test_validates_arguments(self):
         with pytest.raises(ChaosError):
             run_chaos(threads=0)
         with pytest.raises(ChaosError):
             run_chaos(decode_workers=-1)
+        with pytest.raises(ChaosError):
+            run_chaos(write_commits=-1)
 
     def test_soak_payload_and_gates(self):
         payload = run_serving_soak(
